@@ -1,0 +1,142 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation section. Each benchmark regenerates its artifact through the
+// experiment suite and prints the rows/series the paper reports (once per
+// run). `go test -bench=. -benchmem` therefore reproduces the whole
+// evaluation at Quick scale; run cmd/ffetexp for the Full-scale sweeps.
+package ffet_test
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/tech"
+)
+
+var (
+	suiteOnce sync.Once
+	suite     *exp.Suite
+	suiteErr  error
+)
+
+func getSuite(b *testing.B) *exp.Suite {
+	b.Helper()
+	suiteOnce.Do(func() {
+		suite, suiteErr = exp.NewSuite(exp.Quick)
+	})
+	if suiteErr != nil {
+		b.Fatalf("suite: %v", suiteErr)
+	}
+	return suite
+}
+
+// printOnce renders a table to stdout on the first benchmark iteration.
+func printOnce(i int, t *exp.Table) {
+	if i == 0 {
+		t.Print(os.Stdout)
+	}
+}
+
+func BenchmarkFig04CellArea(b *testing.B) {
+	s := getSuite(b)
+	for i := 0; i < b.N; i++ {
+		printOnce(i, s.Fig04())
+	}
+}
+
+func BenchmarkTable1LibChar(b *testing.B) {
+	s := getSuite(b)
+	for i := 0; i < b.N; i++ {
+		printOnce(i, s.Table1())
+	}
+}
+
+func BenchmarkTable2DesignRules(b *testing.B) {
+	s := getSuite(b)
+	for i := 0; i < b.N; i++ {
+		printOnce(i, s.Table2())
+	}
+}
+
+func benchFlow(b *testing.B, run func() (*exp.Table, error), metric func(t *exp.Table)) {
+	s := getSuite(b)
+	_ = s
+	for i := 0; i < b.N; i++ {
+		t, err := run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		printOnce(i, t)
+		if metric != nil && i == 0 {
+			metric(t)
+		}
+	}
+}
+
+func BenchmarkFig08aAreaUtil(b *testing.B) {
+	s := getSuite(b)
+	benchFlow(b, s.Fig08a, nil)
+}
+
+func BenchmarkFig08bLayout(b *testing.B) {
+	s := getSuite(b)
+	benchFlow(b, s.Fig08b, nil)
+}
+
+func BenchmarkFig08cAreaUtil(b *testing.B) {
+	s := getSuite(b)
+	benchFlow(b, s.Fig08c, nil)
+}
+
+func BenchmarkFig09PowerFreq(b *testing.B) {
+	s := getSuite(b)
+	benchFlow(b, s.Fig09, nil)
+}
+
+func BenchmarkFig10FreqArea(b *testing.B) {
+	s := getSuite(b)
+	benchFlow(b, s.Fig10, nil)
+}
+
+func BenchmarkFig11PinDensityDoE(b *testing.B) {
+	s := getSuite(b)
+	benchFlow(b, s.Fig11, nil)
+}
+
+func BenchmarkTable3CoOpt(b *testing.B) {
+	s := getSuite(b)
+	benchFlow(b, s.Table3, nil)
+}
+
+func BenchmarkFig12MaxUtilLayers(b *testing.B) {
+	s := getSuite(b)
+	benchFlow(b, s.Fig12, nil)
+}
+
+func BenchmarkFig13PowerEff(b *testing.B) {
+	s := getSuite(b)
+	benchFlow(b, s.Fig13, nil)
+}
+
+// BenchmarkFlowSingleRun measures one complete physical implementation +
+// PPA flow on the quick-scale core (the unit of work behind every figure).
+// Each iteration varies the seed so memoization never short-circuits it.
+func BenchmarkFlowSingleRun(b *testing.B) {
+	s := getSuite(b)
+	for i := 0; i < b.N; i++ {
+		cfg := core.DefaultFlowConfig(tech.Pattern{Front: 6, Back: 6}, 1.5, 0.72)
+		cfg.BackPinFraction = 0.5
+		cfg.Seed = int64(i + 1)
+		res, err := s.Run(tech.FFET, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			fmt.Printf("single flow: %.3f GHz, %.1f uW, %.1f um2, valid=%v\n",
+				res.AchievedFreqGHz, res.PowerUW, res.CoreAreaUm2, res.Valid)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+// Command ffetexp regenerates the paper's tables and figures: text to
+// stdout and CSV files under -out. -scale full reproduces the paper's
+// sweep resolution on the full RV32 core; -scale quick runs the reduced
+// core on coarser sweeps.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	scaleFlag := flag.String("scale", "quick", "quick or full")
+	outDir := flag.String("out", "", "directory for CSV output (optional)")
+	only := flag.String("only", "", "comma-separated experiment ids (e.g. fig09,table3)")
+	flag.Parse()
+
+	scale := exp.Quick
+	if *scaleFlag == "full" {
+		scale = exp.Full
+	}
+	suite, err := exp.NewSuite(scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+	want := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		if id != "" {
+			want[id] = true
+		}
+	}
+	sel := func(id string) bool { return len(want) == 0 || want[id] }
+
+	type job struct {
+		id  string
+		run func() (*exp.Table, error)
+	}
+	jobs := []job{
+		{"fig04", func() (*exp.Table, error) { return suite.Fig04(), nil }},
+		{"table1", func() (*exp.Table, error) { return suite.Table1(), nil }},
+		{"table2", func() (*exp.Table, error) { return suite.Table2(), nil }},
+		{"fig08a", suite.Fig08a},
+		{"fig08b", suite.Fig08b},
+		{"fig08c", suite.Fig08c},
+		{"fig09", suite.Fig09},
+		{"fig10", suite.Fig10},
+		{"fig11", suite.Fig11},
+		{"table3", suite.Table3},
+		{"fig12", suite.Fig12},
+		{"fig13", suite.Fig13},
+	}
+	for _, j := range jobs {
+		if !sel(j.id) {
+			continue
+		}
+		t0 := time.Now()
+		t, err := j.run()
+		if err != nil {
+			log.Fatalf("%s: %v", j.id, err)
+		}
+		t.Print(os.Stdout)
+		fmt.Printf("  (%s in %s)\n\n", j.id, time.Since(t0).Round(time.Millisecond))
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				log.Fatal(err)
+			}
+			path := filepath.Join(*outDir, t.ID+".csv")
+			if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+}

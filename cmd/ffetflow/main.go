@@ -1,0 +1,60 @@
+// Command ffetflow runs one full physical implementation + PPA flow on the
+// generated RISC-V core and prints the result summary.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/cell"
+	"repro/internal/core"
+	"repro/internal/riscv"
+	"repro/internal/tech"
+)
+
+func main() {
+	arch := flag.String("arch", "ffet", "ffet or cfet")
+	front := flag.Int("fm", 12, "frontside routing layers")
+	back := flag.Int("bm", 0, "backside routing layers")
+	target := flag.Float64("target", 1.5, "synthesis target frequency (GHz)")
+	util := flag.Float64("util", 0.76, "placement utilization")
+	backPins := flag.Float64("backpins", 0, "backside input pin density ratio")
+	regs := flag.Int("regs", 32, "architectural registers (8/16/32)")
+	flag.Parse()
+
+	st := tech.NewFFET()
+	if *arch == "cfet" {
+		st = tech.NewCFET()
+	}
+	lib := cell.NewLibrary(st)
+	nl, _, err := riscv.Generate(lib, riscv.Config{Name: "rv32", Registers: *regs})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := core.DefaultFlowConfig(tech.Pattern{Front: *front, Back: *back}, *target, *util)
+	cfg.BackPinFraction = *backPins
+	t0 := time.Now()
+	res, err := core.RunFlow(nl, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("arch=%s pattern=%s target=%.2fGHz util=%.0f%% backpins=%.0f%%\n",
+		st.Arch, cfg.Pattern, *target, *util*100, *backPins*100)
+	fmt.Printf("valid=%v reason=%q\n", res.Valid, res.Reason)
+	fmt.Printf("core=%.1fum2 (%.2fx%.2fum) cells=%.1fum2 realUtil=%.1f%%\n",
+		res.CoreAreaUm2, float64(res.CoreW)/1000, float64(res.CoreH)/1000,
+		res.CellAreaUm2, res.RealUtilization*100)
+	fmt.Printf("HPWL=%.0fum WL front=%.0fum back=%.0fum vias=%d DRV=%d+%d\n",
+		res.HPWLUm, res.WirelenFrontUm, res.WirelenBackUm, res.Vias, res.DRVsFront, res.DRVsBack)
+	fmt.Printf("freq=%.3fGHz (period %.1fps) power=%.1fuW eff=%.0fGHz/W\n",
+		res.AchievedFreqGHz, res.MinPeriodPs, res.PowerUW, res.EffGHzPerW)
+	fmt.Printf("ctsbufs=%d synbufs=%d pins F/B=%d/%d rerouted=%d elapsed=%s\n",
+		res.CTSBuffers, res.SynthBuffers, res.PinStats.FrontPins, res.PinStats.BackPins,
+		res.Rerouted, time.Since(t0).Round(time.Millisecond))
+	if res.Power != nil {
+		fmt.Printf("power: sw=%.1f int=%.1f clk=%.1f leak=%.2f uW\n",
+			res.Power.SwitchingUW, res.Power.InternalUW, res.Power.ClockUW, res.Power.LeakageUW)
+	}
+}

@@ -1,0 +1,54 @@
+// pin_density explores the input-pin density design space of the paper's
+// Fig. 11 / Table III: sweeping the backside pin ratio and layer split at
+// fixed utilization, reporting frequency and energy per cycle against the
+// single-sided FM12 baseline.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	ffet "repro"
+)
+
+func main() {
+	lib := ffet.NewFFETLibrary()
+	nl, _, err := ffet.GenerateRV32(lib, ffet.RV32Config{Name: "rv32", Registers: 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+	util := 0.76
+	base, err := ffet.RunFlow(nl, ffet.NewFlowConfig(ffet.Pattern{Front: 12}, 1.5, util))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("baseline FFET FM12: %.3f GHz, %.1f uW\n\n", base.AchievedFreqGHz, base.PowerUW)
+	fmt.Println("pin split    pattern    freq diff   E/cycle diff  valid")
+
+	type doe struct {
+		bp  float64
+		pat ffet.Pattern
+	}
+	does := []doe{
+		{0.04, ffet.Pattern{Front: 10, Back: 2}},
+		{0.16, ffet.Pattern{Front: 9, Back: 3}},
+		{0.30, ffet.Pattern{Front: 8, Back: 4}},
+		{0.40, ffet.Pattern{Front: 7, Back: 5}},
+		{0.50, ffet.Pattern{Front: 6, Back: 6}},
+		{0.50, ffet.Pattern{Front: 12, Back: 12}},
+	}
+	baseE := base.PowerUW / base.AchievedFreqGHz
+	for _, d := range does {
+		cfg := ffet.NewFlowConfig(d.pat, 1.5, util)
+		cfg.BackPinFraction = d.bp
+		r, err := ffet.RunFlow(nl, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		e := r.PowerUW / r.AchievedFreqGHz
+		fmt.Printf("FP%.2gBP%.2g  %-9s  %+8.1f%%  %+10.1f%%   %v\n",
+			1-d.bp, d.bp, d.pat,
+			100*(r.AchievedFreqGHz/base.AchievedFreqGHz-1),
+			100*(e/baseE-1), r.Valid)
+	}
+}

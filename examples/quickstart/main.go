@@ -1,0 +1,36 @@
+// Quickstart: build the FFET library, generate a small RISC-V core, and
+// push it through the full dual-sided physical implementation + PPA flow.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	ffet "repro"
+)
+
+func main() {
+	lib := ffet.NewFFETLibrary()
+	fmt.Printf("library %s: %d cells, INVD1 area %.4f um2\n",
+		lib.Name, len(lib.Cells()), lib.MustCell("INVD1").AreaUm2(lib.Stack))
+
+	// A reduced 8-register core keeps the quickstart fast.
+	nl, _, err := ffet.GenerateRV32(lib, ffet.RV32Config{Name: "demo", Registers: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := nl.Stats()
+	fmt.Printf("core: %d cells, %d flops, %.1f um2\n", st.Instances, st.Flops, st.AreaUm2)
+
+	cfg := ffet.NewFlowConfig(ffet.Pattern{Front: 6, Back: 6}, 1.5, 0.72)
+	cfg.BackPinFraction = 0.5 // FP0.5BP0.5 input pin redistribution
+	res, err := ffet.RunFlow(nl, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("P&R %s: valid=%v core=%.1f um2\n", cfg.Pattern, res.Valid, res.CoreAreaUm2)
+	fmt.Printf("wire front=%.0f um back=%.0f um, DRVs=%d\n",
+		res.WirelenFrontUm, res.WirelenBackUm, res.DRVs())
+	fmt.Printf("PPA: %.3f GHz, %.1f uW, %.0f GHz/W\n",
+		res.AchievedFreqGHz, res.PowerUW, res.EffGHzPerW)
+}

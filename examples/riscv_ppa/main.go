@@ -1,0 +1,57 @@
+// riscv_ppa reproduces the block-level FFET-vs-CFET comparison of the
+// paper's Figs. 8-10 on the full RV32 core: max utilization, core area,
+// and power/frequency for single-sided FFET against the CFET baseline.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	ffet "repro"
+)
+
+func main() {
+	ffetLib, cfetLib := ffet.NewFFETLibrary(), ffet.NewCFETLibrary()
+	nlF, _, err := ffet.GenerateRV32(ffetLib, ffet.RV32Config{Name: "rv32", Registers: 32})
+	if err != nil {
+		log.Fatal(err)
+	}
+	nlC, err := nlF.Remap(cfetLib)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	util := 0.76
+	fCfg := ffet.NewFlowConfig(ffet.Pattern{Front: 12}, 1.5, util)
+	rF, err := ffet.RunFlow(nlF, fCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cCfg := ffet.NewFlowConfig(ffet.Pattern{Front: 12}, 1.5, util)
+	rC, err := ffet.RunFlow(nlC, cCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	dCfg := ffet.NewFlowConfig(ffet.Pattern{Front: 12, Back: 12}, 1.5, util)
+	dCfg.BackPinFraction = 0.5
+	rD, err := ffet.RunFlow(nlF, dCfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	row := func(name string, r *ffet.FlowResult) {
+		fmt.Printf("%-18s area %6.1f um2  freq %5.3f GHz  power %6.1f uW  E/cyc %5.2f pJ  valid=%v\n",
+			name, r.CoreAreaUm2, r.AchievedFreqGHz, r.PowerUW,
+			r.PowerUW/r.AchievedFreqGHz/1000, r.Valid)
+	}
+	fmt.Printf("RV32 core at %.0f%% utilization, 1.5 GHz target\n", util*100)
+	row("CFET FM12", rC)
+	row("FFET FM12", rF)
+	row("FFET FM12BM12", rD)
+	fmt.Printf("\nFFET FM12 vs CFET: freq %+.1f%%, energy/cycle %+.1f%%, area %+.1f%%\n",
+		100*(rF.AchievedFreqGHz/rC.AchievedFreqGHz-1),
+		100*((rF.PowerUW/rF.AchievedFreqGHz)/(rC.PowerUW/rC.AchievedFreqGHz)-1),
+		100*(rF.CoreAreaUm2/rC.CoreAreaUm2-1))
+	fmt.Printf("dual-sided vs single-sided FFET: freq %+.1f%%\n",
+		100*(rD.AchievedFreqGHz/rF.AchievedFreqGHz-1))
+}

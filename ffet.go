@@ -1,0 +1,102 @@
+// Package ffet is the public API of the FFET dual-sided physical
+// implementation and block-level PPA evaluation framework — a from-scratch
+// Go reproduction of "A Tale of Two Sides of Wafer: Physical Implementation
+// and Block-Level PPA on Flip FET with Dual-Sided Signals" (DATE 2025).
+//
+// The facade re-exports the pieces a downstream user needs:
+//
+//   - technology stacks (Table II) and characterized cell libraries
+//     (Fig. 4 / Table I) for the 3.5T FFET and 4T CFET;
+//   - the gate-level RV32I benchmark core generator with ISS co-simulation;
+//   - the full physical flow (Fig. 7): synthesis sizing, floorplan, BSPDN
+//     power planning with Power Tap Cells, placement, CTS, the Algorithm 1
+//     dual-sided netlist partition and per-side routing, DEF merge,
+//     dual-sided RC extraction, STA and power analysis;
+//   - the experiment suite reproducing every table and figure of the
+//     paper's evaluation.
+//
+// Quick start:
+//
+//	lib := ffet.NewFFETLibrary()
+//	nl, _, _ := ffet.GenerateRV32(lib, ffet.RV32Config{Registers: 32})
+//	cfg := ffet.NewFlowConfig(ffet.Pattern{Front: 6, Back: 6}, 1.5, 0.76)
+//	cfg.BackPinFraction = 0.5
+//	res, _ := ffet.RunFlow(nl, cfg)
+//	fmt.Println(res.AchievedFreqGHz, res.PowerUW)
+package ffet
+
+import (
+	"repro/internal/cell"
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/netlist"
+	"repro/internal/riscv"
+	"repro/internal/tech"
+)
+
+// Re-exported technology types.
+type (
+	// Stack is a metal stack + cell grid for one architecture.
+	Stack = tech.Stack
+	// Pattern selects routing layer counts per side (e.g. FM6BM6).
+	Pattern = tech.Pattern
+	// Library is a characterized standard-cell library.
+	Library = cell.Library
+	// Netlist is a gate-level design.
+	Netlist = netlist.Netlist
+	// FlowConfig parameterizes a physical implementation run.
+	FlowConfig = core.FlowConfig
+	// FlowResult is the complete P&R + PPA outcome.
+	FlowResult = core.FlowResult
+	// RV32Config sizes the generated benchmark core.
+	RV32Config = riscv.Config
+	// CoreInfo records generated core structure for co-simulation.
+	CoreInfo = riscv.CoreInfo
+	// Suite runs the paper's experiments.
+	Suite = exp.Suite
+	// Table is a printable experiment result.
+	Table = exp.Table
+)
+
+// Architecture constants.
+const (
+	FFET = tech.FFET
+	CFET = tech.CFET
+)
+
+// Experiment scales.
+const (
+	Quick = exp.Quick
+	Full  = exp.Full
+)
+
+// NewFFETStack returns the 3.5T FFET stack of the paper's Table II.
+func NewFFETStack() *Stack { return tech.NewFFET() }
+
+// NewCFETStack returns the 4T CFET stack of the paper's Table II.
+func NewCFETStack() *Stack { return tech.NewCFET() }
+
+// NewFFETLibrary generates and characterizes the 28-cell FFET library.
+func NewFFETLibrary() *Library { return cell.NewLibrary(tech.NewFFET()) }
+
+// NewCFETLibrary generates and characterizes the 28-cell CFET library.
+func NewCFETLibrary() *Library { return cell.NewLibrary(tech.NewCFET()) }
+
+// GenerateRV32 builds the gate-level RISC-V benchmark core over a library.
+func GenerateRV32(lib *Library, cfg RV32Config) (*Netlist, *CoreInfo, error) {
+	return riscv.Generate(lib, cfg)
+}
+
+// NewFlowConfig returns evaluation defaults for a pattern, synthesis
+// target (GHz) and placement utilization.
+func NewFlowConfig(p Pattern, targetGHz, util float64) FlowConfig {
+	return core.DefaultFlowConfig(p, targetGHz, util)
+}
+
+// RunFlow executes the full physical implementation + PPA flow.
+func RunFlow(nl *Netlist, cfg FlowConfig) (*FlowResult, error) {
+	return core.RunFlow(nl, cfg)
+}
+
+// NewSuite builds the experiment suite at the given scale.
+func NewSuite(scale exp.Scale) (*Suite, error) { return exp.NewSuite(scale) }

@@ -1,0 +1,275 @@
+// Package cell models standard cells and generates the two libraries the
+// paper evaluates: the 3.5T FFET library and the 4T CFET library (Fig. 4,
+// 28 cells). Cells carry physical footprints (CPP width × track height),
+// dual-side pin capability, logic functions, and NLDM characterization
+// produced by an analytic switched-RC model (see charact.go).
+package cell
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/liberty"
+	"repro/internal/tech"
+)
+
+// Func identifies the logic function of a cell.
+type Func int
+
+// Logic functions implemented by the 28-cell library.
+const (
+	FnINV Func = iota
+	FnBUF
+	FnNAND2
+	FnNOR2
+	FnAND2
+	FnOR2
+	FnAOI21
+	FnOAI21
+	FnAOI22
+	FnOAI22
+	FnMUX2
+	FnDFF
+	FnDFFRS
+)
+
+var funcNames = map[Func]string{
+	FnINV: "INV", FnBUF: "BUF", FnNAND2: "NAND2", FnNOR2: "NOR2",
+	FnAND2: "AND2", FnOR2: "OR2", FnAOI21: "AOI21", FnOAI21: "OAI21",
+	FnAOI22: "AOI22", FnOAI22: "OAI22", FnMUX2: "MUX2", FnDFF: "DFF",
+	FnDFFRS: "DFFRS",
+}
+
+func (f Func) String() string { return funcNames[f] }
+
+// Sequential reports whether the function holds state.
+func (f Func) Sequential() bool { return f == FnDFF || f == FnDFFRS }
+
+// Eval computes the combinational function over inputs given in the cell's
+// canonical pin order. It panics for sequential functions or wrong arity.
+func (f Func) Eval(in []bool) bool {
+	need := map[Func]int{
+		FnINV: 1, FnBUF: 1, FnNAND2: 2, FnNOR2: 2, FnAND2: 2, FnOR2: 2,
+		FnAOI21: 3, FnOAI21: 3, FnAOI22: 4, FnOAI22: 4, FnMUX2: 3,
+	}[f]
+	if f.Sequential() {
+		panic("cell: Eval on sequential function " + f.String())
+	}
+	if len(in) != need {
+		panic(fmt.Sprintf("cell: %v wants %d inputs, got %d", f, need, len(in)))
+	}
+	switch f {
+	case FnINV:
+		return !in[0]
+	case FnBUF:
+		return in[0]
+	case FnNAND2:
+		return !(in[0] && in[1])
+	case FnNOR2:
+		return !(in[0] || in[1])
+	case FnAND2:
+		return in[0] && in[1]
+	case FnOR2:
+		return in[0] || in[1]
+	case FnAOI21:
+		return !((in[0] && in[1]) || in[2])
+	case FnOAI21:
+		return !((in[0] || in[1]) && in[2])
+	case FnAOI22:
+		return !((in[0] && in[1]) || (in[2] && in[3]))
+	case FnOAI22:
+		return !((in[0] || in[1]) && (in[2] || in[3]))
+	case FnMUX2:
+		if in[2] {
+			return in[1]
+		}
+		return in[0]
+	}
+	panic("cell: unhandled function")
+}
+
+// PinDir distinguishes inputs from outputs.
+type PinDir int
+
+// Pin directions.
+const (
+	Input PinDir = iota
+	Output
+)
+
+// Pin is one logical pin of a cell.
+type Pin struct {
+	Name      string
+	Dir       PinDir
+	CapFF     float64 // input capacitance (0 for outputs)
+	Clock     bool    // true for CP on flip-flops
+	OffsetCPP float64 // pin location along the cell width, in CPP units
+	// DualSided reports whether the pin can physically sit on either
+	// wafer side. In the FFET library every pin is dual-side capable
+	// (output pins are made dual-sided by the Drain Merge; input pins
+	// can be redistributed per the paper's Section III.A). CFET pins
+	// are frontside-only.
+	DualSided bool
+}
+
+// Cell is one characterized standard cell.
+type Cell struct {
+	Name     string // e.g. "NAND2D2"
+	Base     string // e.g. "NAND2"
+	Drive    int    // 1, 2, 4, 8
+	Fn       Func
+	Arch     tech.Arch
+	WidthCPP int // footprint width in CPP units
+
+	Inputs []Pin // canonical order (matches Func.Eval)
+	Out    Pin
+
+	// Arcs maps input pin name -> combinational timing arc to Out.
+	Arcs map[string]*liberty.Arc
+	// Seq is set for flip-flops.
+	Seq *liberty.SeqSpec
+
+	LeakageNW float64 // identical across archs (same intrinsic devices)
+}
+
+// IsSeq reports whether the cell is a flip-flop.
+func (c *Cell) IsSeq() bool { return c.Seq != nil }
+
+// WidthNm returns the cell width for a given stack.
+func (c *Cell) WidthNm(s *tech.Stack) int64 { return int64(c.WidthCPP) * s.CPPNm }
+
+// AreaNm2 returns the footprint area on a given stack.
+func (c *Cell) AreaNm2(s *tech.Stack) int64 { return c.WidthNm(s) * s.CellHeightNm() }
+
+// AreaUm2 returns the footprint area in µm².
+func (c *Cell) AreaUm2(s *tech.Stack) float64 { return float64(c.AreaNm2(s)) / 1e6 }
+
+// InputPin returns the named input pin.
+func (c *Cell) InputPin(name string) (Pin, bool) {
+	for _, p := range c.Inputs {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Pin{}, false
+}
+
+// InputCap returns the capacitance of the named input pin (0 if unknown).
+func (c *Cell) InputCap(name string) float64 {
+	p, ok := c.InputPin(name)
+	if !ok {
+		return 0
+	}
+	return p.CapFF
+}
+
+// TotalInputCap sums all input pin capacitances.
+func (c *Cell) TotalInputCap() float64 {
+	var sum float64
+	for _, p := range c.Inputs {
+		sum += p.CapFF
+	}
+	return sum
+}
+
+// DataInputs returns the non-clock input pins.
+func (c *Cell) DataInputs() []Pin {
+	var out []Pin
+	for _, p := range c.Inputs {
+		if !p.Clock {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Arc returns the timing arc from the named input, or nil for clock pins
+// (flip-flop clock timing lives in Seq).
+func (c *Cell) Arc(input string) *liberty.Arc { return c.Arcs[input] }
+
+// Library is a characterized standard-cell library for one architecture.
+type Library struct {
+	Name  string
+	Arch  tech.Arch
+	Stack *tech.Stack
+
+	cells  map[string]*Cell
+	order  []string           // deterministic listing order (Fig. 4 order)
+	byBase map[string][]*Cell // base name -> cells sorted by drive
+}
+
+// NewLibrary generates and characterizes the full 28-cell library for the
+// given stack.
+func NewLibrary(stack *tech.Stack) *Library {
+	lib := &Library{
+		Name:   fmt.Sprintf("%s_5nm_%0.1fT", stack.Arch, stack.HeightTracks),
+		Arch:   stack.Arch,
+		Stack:  stack,
+		cells:  make(map[string]*Cell),
+		byBase: make(map[string][]*Cell),
+	}
+	for _, tpl := range templates {
+		for _, d := range tpl.drives {
+			c := buildCell(tpl, d, stack)
+			characterize(c, tpl, stack)
+			lib.cells[c.Name] = c
+			lib.order = append(lib.order, c.Name)
+			lib.byBase[c.Base] = append(lib.byBase[c.Base], c)
+		}
+	}
+	for _, cs := range lib.byBase {
+		sort.Slice(cs, func(i, j int) bool { return cs[i].Drive < cs[j].Drive })
+	}
+	return lib
+}
+
+// Cell returns the named cell, or nil.
+func (l *Library) Cell(name string) *Cell { return l.cells[name] }
+
+// MustCell returns the named cell and panics if absent.
+func (l *Library) MustCell(name string) *Cell {
+	c := l.cells[name]
+	if c == nil {
+		panic("cell: library " + l.Name + " has no cell " + name)
+	}
+	return c
+}
+
+// Cells returns all cells in the canonical Fig. 4 order.
+func (l *Library) Cells() []*Cell {
+	out := make([]*Cell, 0, len(l.order))
+	for _, n := range l.order {
+		out = append(out, l.cells[n])
+	}
+	return out
+}
+
+// CellNames returns the canonical cell name order.
+func (l *Library) CellNames() []string { return append([]string(nil), l.order...) }
+
+// ByBase returns the drive-sorted cells of one base function (e.g. "INV").
+func (l *Library) ByBase(base string) []*Cell { return l.byBase[base] }
+
+// Smallest returns the lowest-drive cell of a base function.
+func (l *Library) Smallest(base string) *Cell {
+	cs := l.byBase[base]
+	if len(cs) == 0 {
+		return nil
+	}
+	return cs[0]
+}
+
+// PickDrive returns the smallest cell of the base whose drive is >= want,
+// falling back to the largest available drive.
+func (l *Library) PickDrive(base string, want int) *Cell {
+	cs := l.byBase[base]
+	if len(cs) == 0 {
+		return nil
+	}
+	for _, c := range cs {
+		if c.Drive >= want {
+			return c
+		}
+	}
+	return cs[len(cs)-1]
+}

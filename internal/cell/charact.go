@@ -1,0 +1,330 @@
+package cell
+
+import (
+	"math"
+
+	"repro/internal/liberty"
+	"repro/internal/tech"
+)
+
+// Analytic switched-RC characterization.
+//
+// Each cell is modeled as one or two RC stages. Architecture differences
+// enter through structural parasitics:
+//
+//   - CFET: the bottom-tier pFET must reach the frontside M0 through
+//     supervias, adding series resistance on the output stage and extra
+//     capacitance on internal nets; the taller 4T cell adds intra-cell
+//     wire capacitance.
+//   - FFET: the symmetric cell removes all supervias except the Drain
+//     Merge; the output pin presents short M0 stubs on *both* sides
+//     (dual-sided pin), so the output-node capacitance is close to the
+//     CFET's, while internal nets (which need no dual-sided pin) are much
+//     lighter. This reproduces the paper's Table I trends: INV transition
+//     power ≈ parity (slightly above), BUF transition power clearly lower,
+//     timing better across the board with fall edges gaining most.
+//
+// Units: kΩ, fF, ps (kΩ·fF = ps), fJ, V.
+const (
+	// Drive-1 pull-down resistance of a two-fin stage.
+	r1Fall = 8.0 // kΩ
+	// Pull-up is weaker by the p/n mobility ratio.
+	riseRatio = 1.15
+
+	// Input gate capacitance per unit drive per pin.
+	cinPerDrive = 0.22 // fF
+
+	// Output diffusion parasitic per unit drive.
+	cparPerDrive = 0.080 // fF
+
+	// Fixed output-node extras.
+	cparStubFFET = 0.104 // dual-sided M0 stubs + Drain Merge
+	cparStubCFET = 0.097 // single frontside stub + supervia landing
+
+	// CFET supervia series resistance at drive 1 (scales ~d^-0.55: bigger
+	// cells use more parallel supervia cuts, but sublinearly).
+	rsvFallCFET = 0.95 // kΩ, pull-down path through the shared drain stack
+	rsvRiseCFET = 0.30 // kΩ, pull-up path
+	rsvExponent = -0.55
+
+	// Internal-net capacitance of two-stage cells.
+	cintBase = 0.06 // fF, both archs
+	// CFET internal nets carry a supervia between tiers whose cut count
+	// (hence capacitance) scales with the second-stage drive.
+	csvIntCFET = 0.06 // fF per unit of stage-2 drive
+
+	// Intra-cell wiring capacitance per track of cell height (the 4T CFET
+	// cell is taller than the 3.5T FFET cell).
+	cHeightPerTrack = 0.012 // fF per track
+
+	// Slew sensitivity of delay and output slew.
+	kSlewDelay = 0.08
+	kSlewSlew  = 0.08
+	slewGain   = 2.2 // output slew = slewGain * R * C
+
+	// Energy model.
+	shortCircuitFJ = 0.0025 // fJ per ps of input slew per unit drive
+
+	// Leakage: intrinsic-device quantity, identical across archs.
+	leakPerDriveNW = 0.40 // nW per unit drive per stage-equivalent
+
+	// Flip-flop internals.
+	ffInternalCapFFET = 0.55 // fF equivalent internal switched cap
+	ffInternalCapCFET = 0.95 // extra supervias on master/slave nets
+	ffClockPinCap     = 0.30 // fF
+)
+
+// charSlews and the load grid span the operating range seen in P&R.
+var charSlews = []float64{5, 10, 20, 40, 80} // ps
+
+func charLoads(drive int) []float64 {
+	base := []float64{0.25, 0.5, 1, 2, 4}
+	out := make([]float64, len(base))
+	for i, b := range base {
+		out[i] = b * float64(drive)
+	}
+	return out
+}
+
+// inputCapFF returns a pin's input capacitance. MUX select and flip-flop
+// data pins land on first-stage devices sized below the output drive.
+func inputCapFF(tpl template, pin string, drive int) float64 {
+	switch tpl.fn {
+	case FnDFF, FnDFFRS:
+		if pin == "CP" {
+			return ffClockPinCap
+		}
+		return 0.9 * cinPerDrive // input stage of the FF, drive-independent
+	case FnMUX2:
+		if pin == "S" {
+			return cinPerDrive * float64(drive) * 0.8
+		}
+		return cinPerDrive * float64(drive) * 0.6
+	case FnBUF:
+		return cinPerDrive * float64(stage1Drive(drive))
+	case FnAND2, FnOR2:
+		return cinPerDrive * float64(drive)
+	default:
+		return cinPerDrive * float64(drive)
+	}
+}
+
+// stage1Drive is the first-stage size of two-stage cells.
+func stage1Drive(drive int) int {
+	d := drive / 2
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// archParasitics bundles the architecture-dependent stage parasitics.
+type archParasitics struct {
+	rsvFall, rsvRise float64 // series supervia R at drive d (already scaled)
+	cparFixed        float64 // fixed output-node cap
+	cHeight          float64 // intra-cell wiring cap from cell height
+	csvInt           float64 // internal-net supervia cap coefficient
+}
+
+func parasitics(arch tech.Arch, stack *tech.Stack, drive int) archParasitics {
+	scale := math.Pow(float64(drive), rsvExponent)
+	h := stack.HeightTracks * cHeightPerTrack
+	if arch == tech.CFET {
+		return archParasitics{
+			rsvFall:   rsvFallCFET * scale,
+			rsvRise:   rsvRiseCFET * scale,
+			cparFixed: cparStubCFET,
+			cHeight:   h,
+			csvInt:    csvIntCFET,
+		}
+	}
+	return archParasitics{
+		cparFixed: cparStubFFET,
+		cHeight:   h,
+	}
+}
+
+// stageModel is one switched-RC stage.
+type stageModel struct {
+	rFall, rRise float64 // effective drive resistance per edge, kΩ
+	cpar         float64 // output-node parasitic, fF
+}
+
+// newStage builds a stage for the given drive with per-input stack factors.
+func newStage(drive int, fFall, fRise float64, p archParasitics, nInputs int) stageModel {
+	d := float64(drive)
+	sizeFactor := 1 + 0.15*float64(nInputs-1)
+	return stageModel{
+		rFall: r1Fall/d*fFall + p.rsvFall,
+		rRise: r1Fall*riseRatio/d*fRise + p.rsvRise,
+		cpar:  cparPerDrive*d*sizeFactor + p.cparFixed + p.cHeight,
+	}
+}
+
+const ln2 = 0.6931471805599453
+
+// delay returns the stage propagation delay for one output edge.
+func (st stageModel) delay(r float64, slewIn, load float64) float64 {
+	return ln2*r*(st.cpar+load) + kSlewDelay*slewIn
+}
+
+// outSlew returns the stage output transition time for one edge.
+func (st stageModel) outSlew(r float64, slewIn, load float64) float64 {
+	return slewGain*r*(st.cpar+load) + kSlewSlew*slewIn
+}
+
+// characterize fills in the Arcs / Seq tables of a built cell.
+func characterize(c *Cell, tpl template, stack *tech.Stack) {
+	if tpl.fn.Sequential() {
+		characterizeFF(c, tpl, stack)
+		return
+	}
+	p := parasitics(stack.Arch, stack, c.Drive)
+	loads := charLoads(c.Drive)
+	nIn := len(tpl.inputs)
+
+	for _, pf := range tpl.inputs {
+		var arc *liberty.Arc
+		if tpl.stages == 1 {
+			arc = singleStageArc(c, pf, p, loads, nIn)
+		} else {
+			arc = twoStageArc(c, tpl, pf, p, stack, loads, nIn)
+		}
+		arc.From = pf.name
+		arc.To = c.Out.Name
+		arc.Unate = unateness(tpl.fn, pf.name)
+		c.Arcs[pf.name] = arc
+	}
+	c.LeakageNW = leakPerDriveNW * float64(c.Drive) * float64(tpl.stages) *
+		(1 + 0.3*float64(nIn-1))
+}
+
+// unateness assigns arc sense from the cell function.
+func unateness(fn Func, pin string) liberty.Unateness {
+	switch fn {
+	case FnINV, FnNAND2, FnNOR2, FnAOI21, FnOAI21, FnAOI22, FnOAI22:
+		return liberty.NegativeUnate
+	case FnBUF, FnAND2, FnOR2:
+		return liberty.PositiveUnate
+	case FnMUX2:
+		if pin == "S" {
+			return liberty.NonUnate
+		}
+		return liberty.PositiveUnate
+	default:
+		return liberty.NonUnate
+	}
+}
+
+func singleStageArc(c *Cell, pf pinFactors, p archParasitics, loads []float64, nIn int) *liberty.Arc {
+	st := newStage(c.Drive, pf.fall, pf.rise, p, nIn)
+	return &liberty.Arc{
+		DelayRise: liberty.NewTable(charSlews, loads, func(s, l float64) float64 {
+			return st.delay(st.rRise, s, l)
+		}),
+		DelayFall: liberty.NewTable(charSlews, loads, func(s, l float64) float64 {
+			return st.delay(st.rFall, s, l)
+		}),
+		SlewRise: liberty.NewTable(charSlews, loads, func(s, l float64) float64 {
+			return st.outSlew(st.rRise, s, l)
+		}),
+		SlewFall: liberty.NewTable(charSlews, loads, func(s, l float64) float64 {
+			return st.outSlew(st.rFall, s, l)
+		}),
+		EnergyRise: liberty.NewTable(charSlews, loads, func(s, l float64) float64 {
+			return transitionEnergy(st.cpar, 0, s, c.Drive, c.Arch)
+		}),
+		EnergyFall: liberty.NewTable(charSlews, loads, func(s, l float64) float64 {
+			return transitionEnergy(st.cpar, 0, s, c.Drive, c.Arch)
+		}),
+	}
+}
+
+func twoStageArc(c *Cell, tpl template, pf pinFactors, p archParasitics, stack *tech.Stack, loads []float64, nIn int) *liberty.Arc {
+	d1 := stage1Drive(c.Drive)
+	st1 := newStage(d1, pf.fall, pf.rise, p, nIn)
+	st2 := newStage(c.Drive, 1, 1, p, 1)
+	// Internal net: base + stage-2 input gate + (CFET) supervia cap.
+	cint := cintBase + cinPerDrive*float64(c.Drive) +
+		p.csvInt*float64(c.Drive)
+
+	// For a positive-unate two-stage cell, output rise = stage1 fall then
+	// stage2 rise; output fall = stage1 rise then stage2 fall.
+	mk := func(r1, r2 float64, slewFn bool) *liberty.Table {
+		return liberty.NewTable(charSlews, loads, func(s, l float64) float64 {
+			d1v := st1.delay(r1, s, cint)
+			s1 := st1.outSlew(r1, s, cint)
+			if slewFn {
+				return st2.outSlew(r2, s1, l)
+			}
+			return d1v + st2.delay(r2, s1, l)
+		})
+	}
+	energy := func(s float64) float64 {
+		// Internal energy: stage-1 output node (the internal net) plus the
+		// stage-2 output parasitic switch together on each transition.
+		return transitionEnergy(st2.cpar, st1.cpar+cint, s, c.Drive, c.Arch)
+	}
+	return &liberty.Arc{
+		DelayRise: mk(st1.rFall, st2.rRise, false),
+		DelayFall: mk(st1.rRise, st2.rFall, false),
+		SlewRise:  mk(st1.rFall, st2.rRise, true),
+		SlewFall:  mk(st1.rRise, st2.rFall, true),
+		EnergyRise: liberty.NewTable(charSlews, loads, func(s, l float64) float64 {
+			return energy(s)
+		}),
+		EnergyFall: liberty.NewTable(charSlews, loads, func(s, l float64) float64 {
+			return energy(s)
+		}),
+	}
+}
+
+// transitionEnergy is the internal energy of one output transition: the
+// cell's own switched capacitance at VDD² plus input-slew-dependent
+// short-circuit current. Load energy is accounted separately by the power
+// analyzer from extracted net capacitance.
+func transitionEnergy(cpar, cInternalNets, slew float64, drive int, arch tech.Arch) float64 {
+	vdd := 0.7
+	cap := cpar + cInternalNets
+	return cap*vdd*vdd + shortCircuitFJ*slew*float64(drive)
+}
+
+// characterizeFF builds the sequential spec for DFF / DFFRS.
+func characterizeFF(c *Cell, tpl template, stack *tech.Stack) {
+	p := parasitics(stack.Arch, stack, 1)
+	loads := charLoads(c.Drive)
+
+	cInt := ffInternalCapFFET
+	if stack.Arch == tech.CFET {
+		cInt = ffInternalCapCFET
+	}
+	// Internal master/slave stages at drive 1, output stage at cell drive.
+	stInt := newStage(1, 1.2, 1.2, p, 2)
+	stOut := newStage(c.Drive, 1, 1, p, 1)
+
+	clkq := func(rOut float64) func(s, l float64) float64 {
+		return func(s, l float64) float64 {
+			// Clock edge -> master/slave internal transfer (2 internal
+			// stages driving cInt each) -> output stage driving the load.
+			internal := 2 * stInt.delay(stInt.rFall, s*0.5, cInt/2)
+			return internal + stOut.delay(rOut, stInt.outSlew(stInt.rFall, s*0.5, cInt/2), l)
+		}
+	}
+	vdd := stack.VDD
+	c.Seq = &liberty.SeqSpec{
+		ClockPin: "CP",
+		DataPin:  "D",
+		SetupPs:  1.6 * stInt.delay(stInt.rFall, 10, cInt/2),
+		HoldPs:   2.0,
+		ClkQRise: liberty.NewTable(charSlews, loads, clkq(stOut.rRise)),
+		ClkQFall: liberty.NewTable(charSlews, loads, clkq(stOut.rFall)),
+		// Clock pin energy: internal clock inverters + (CFET) supervias.
+		ClockEnergy: (cInt*0.5 + ffClockPinCap) * vdd * vdd,
+	}
+	// Q output arc energy is folded into the clkq path; model D->Q energy
+	// as one internal transfer.
+	c.LeakageNW = leakPerDriveNW * 6 // ~6 stage-equivalents in a DFF
+	if tpl.fn == FnDFFRS {
+		c.LeakageNW = leakPerDriveNW * 7
+	}
+}

@@ -1,0 +1,120 @@
+package cell
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"repro/internal/liberty"
+)
+
+// WriteLiberty emits the library in a Liberty-like text format: lu_table
+// templates, per-cell area/leakage, pin capacitances, and the NLDM delay /
+// transition / internal-power tables of every timing arc. The output is
+// the characterization artifact a downstream STA user would consume.
+func WriteLiberty(w io.Writer, lib *Library) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "library (%s) {\n", lib.Name)
+	fmt.Fprintf(bw, "  technology (cmos);\n")
+	fmt.Fprintf(bw, "  time_unit : \"1ps\";\n")
+	fmt.Fprintf(bw, "  capacitive_load_unit (1, ff);\n")
+	fmt.Fprintf(bw, "  nom_voltage : %.2f;\n", lib.Stack.VDD)
+
+	for _, c := range lib.Cells() {
+		fmt.Fprintf(bw, "  cell (%s) {\n", c.Name)
+		fmt.Fprintf(bw, "    area : %.4f;\n", c.AreaUm2(lib.Stack))
+		fmt.Fprintf(bw, "    cell_leakage_power : %.4f;\n", c.LeakageNW)
+		for _, p := range c.Inputs {
+			fmt.Fprintf(bw, "    pin (%s) {\n      direction : input;\n", p.Name)
+			fmt.Fprintf(bw, "      capacitance : %.4f;\n", p.CapFF)
+			if p.Clock {
+				fmt.Fprintf(bw, "      clock : true;\n")
+			}
+			fmt.Fprintf(bw, "    }\n")
+		}
+		fmt.Fprintf(bw, "    pin (%s) {\n      direction : output;\n", c.Out.Name)
+		if c.IsSeq() {
+			writeSeqArcs(bw, c)
+		} else {
+			writeCombArcs(bw, c)
+		}
+		fmt.Fprintf(bw, "    }\n")
+		if c.IsSeq() {
+			fmt.Fprintf(bw, "    ff (IQ) {\n      clocked_on : \"%s\";\n      next_state : \"%s\";\n    }\n",
+				c.Seq.ClockPin, c.Seq.DataPin)
+		}
+		fmt.Fprintf(bw, "  }\n")
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}
+
+func writeCombArcs(bw *bufio.Writer, c *Cell) {
+	for _, p := range c.Inputs {
+		arc := c.Arc(p.Name)
+		if arc == nil {
+			continue
+		}
+		fmt.Fprintf(bw, "      timing () {\n")
+		fmt.Fprintf(bw, "        related_pin : \"%s\";\n", p.Name)
+		fmt.Fprintf(bw, "        timing_sense : %s;\n", arc.Unate)
+		writeTable(bw, "cell_rise", arc.DelayRise)
+		writeTable(bw, "cell_fall", arc.DelayFall)
+		writeTable(bw, "rise_transition", arc.SlewRise)
+		writeTable(bw, "fall_transition", arc.SlewFall)
+		fmt.Fprintf(bw, "      }\n")
+		fmt.Fprintf(bw, "      internal_power () {\n")
+		fmt.Fprintf(bw, "        related_pin : \"%s\";\n", p.Name)
+		writeTable(bw, "rise_power", arc.EnergyRise)
+		writeTable(bw, "fall_power", arc.EnergyFall)
+		fmt.Fprintf(bw, "      }\n")
+	}
+}
+
+func writeSeqArcs(bw *bufio.Writer, c *Cell) {
+	fmt.Fprintf(bw, "      timing () {\n")
+	fmt.Fprintf(bw, "        related_pin : \"%s\";\n", c.Seq.ClockPin)
+	fmt.Fprintf(bw, "        timing_type : rising_edge;\n")
+	writeTable(bw, "cell_rise", c.Seq.ClkQRise)
+	writeTable(bw, "cell_fall", c.Seq.ClkQFall)
+	fmt.Fprintf(bw, "      }\n")
+	fmt.Fprintf(bw, "      /* setup %.2f ps, hold %.2f ps at %s */\n",
+		c.Seq.SetupPs, c.Seq.HoldPs, c.Seq.DataPin)
+}
+
+// writeTable emits one lu_table group straight from the NLDM table.
+func writeTable(bw *bufio.Writer, kind string, t *liberty.Table) {
+	if t == nil {
+		return
+	}
+	fmt.Fprintf(bw, "        %s (tpl_%dx%d) {\n", kind, len(t.Slews), len(t.Loads))
+	fmt.Fprintf(bw, "          index_1 (\"%s\");\n", joinF(t.Slews))
+	fmt.Fprintf(bw, "          index_2 (\"%s\");\n", joinF(t.Loads))
+	fmt.Fprintf(bw, "          values ( \\\n")
+	for i := range t.Slews {
+		fmt.Fprintf(bw, "            \"")
+		for j := range t.Loads {
+			if j > 0 {
+				fmt.Fprintf(bw, ", ")
+			}
+			fmt.Fprintf(bw, "%.4f", t.Values[i][j])
+		}
+		if i == len(t.Slews)-1 {
+			fmt.Fprintf(bw, "\" );\n")
+		} else {
+			fmt.Fprintf(bw, "\", \\\n")
+		}
+	}
+	fmt.Fprintf(bw, "        }\n")
+}
+
+func joinF(v []float64) string {
+	out := ""
+	for i, x := range v {
+		if i > 0 {
+			out += ", "
+		}
+		out += fmt.Sprintf("%g", x)
+	}
+	return out
+}

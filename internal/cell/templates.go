@@ -1,0 +1,203 @@
+package cell
+
+import (
+	"fmt"
+
+	"repro/internal/liberty"
+	"repro/internal/tech"
+)
+
+// pinFactors are the per-input effective drive-resistance multipliers from
+// transistor stacking: a 2-high series stack slows the corresponding edge.
+// fall applies to output-fall (pull-down network), rise to output-rise.
+type pinFactors struct {
+	name string
+	fall float64
+	rise float64
+}
+
+// template describes one base cell: footprint per architecture and drive,
+// input pins with stack factors, and stage structure for characterization.
+type template struct {
+	base   string
+	fn     Func
+	drives []int
+	// widthCPP[arch][drive] footprint width. Keys are drive strengths.
+	widthCFET map[int]int
+	widthFFET map[int]int
+	inputs    []pinFactors
+	stages    int // 1 = single stage, 2 = two-stage (BUF/AND2/OR2/MUX2)
+	// splitGate marks cells whose FFET variant exploits the Split Gate
+	// (MUX2, DFF, DFFRS): area saved and internal parasitics reduced.
+	splitGate bool
+	// extraDrainMerge marks FFET cells paying an extra Drain Merge
+	// (AOI22/OAI22), costing footprint (paper Section II.B).
+	extraDrainMerge bool
+}
+
+// Canonical library templates. Footprints are chosen so the Fig. 4 area
+// comparison reproduces: equal widths give the pure 3.5T/4T height gain of
+// 12.5%; Split Gate cells save CPPs in FFET; AOI22/OAI22 pay one extra CPP
+// in FFET for the second Drain Merge.
+var templates = []template{
+	{
+		base: "INV", fn: FnINV, drives: []int{1, 2, 4, 8},
+		widthCFET: map[int]int{1: 2, 2: 3, 4: 5, 8: 9},
+		widthFFET: map[int]int{1: 2, 2: 3, 4: 5, 8: 9},
+		inputs:    []pinFactors{{"I", 1, 1}},
+		stages:    1,
+	},
+	{
+		base: "BUF", fn: FnBUF, drives: []int{1, 2, 4, 8},
+		widthCFET: map[int]int{1: 3, 2: 4, 4: 6, 8: 10},
+		widthFFET: map[int]int{1: 3, 2: 4, 4: 6, 8: 10},
+		inputs:    []pinFactors{{"I", 1, 1}},
+		stages:    2,
+	},
+	{
+		base: "NAND2", fn: FnNAND2, drives: []int{1, 2},
+		widthCFET: map[int]int{1: 3, 2: 5},
+		widthFFET: map[int]int{1: 3, 2: 5},
+		inputs:    []pinFactors{{"A1", 1.45, 1.0}, {"A2", 1.52, 1.0}},
+		stages:    1,
+	},
+	{
+		base: "NOR2", fn: FnNOR2, drives: []int{1, 2},
+		widthCFET: map[int]int{1: 3, 2: 5},
+		widthFFET: map[int]int{1: 3, 2: 5},
+		inputs:    []pinFactors{{"A1", 1.0, 1.45}, {"A2", 1.0, 1.52}},
+		stages:    1,
+	},
+	{
+		base: "AND2", fn: FnAND2, drives: []int{1, 2},
+		widthCFET: map[int]int{1: 4, 2: 6},
+		widthFFET: map[int]int{1: 4, 2: 6},
+		inputs:    []pinFactors{{"A1", 1.45, 1.0}, {"A2", 1.52, 1.0}},
+		stages:    2,
+	},
+	{
+		base: "OR2", fn: FnOR2, drives: []int{1, 2},
+		widthCFET: map[int]int{1: 4, 2: 6},
+		widthFFET: map[int]int{1: 4, 2: 6},
+		inputs:    []pinFactors{{"A1", 1.0, 1.45}, {"A2", 1.0, 1.52}},
+		stages:    2,
+	},
+	{
+		base: "AOI21", fn: FnAOI21, drives: []int{1, 2},
+		widthCFET: map[int]int{1: 4, 2: 7},
+		widthFFET: map[int]int{1: 4, 2: 7},
+		inputs: []pinFactors{
+			{"A1", 1.45, 1.52}, {"A2", 1.52, 1.52}, {"B", 1.0, 1.52},
+		},
+		stages: 1,
+	},
+	{
+		base: "OAI21", fn: FnOAI21, drives: []int{1, 2},
+		widthCFET: map[int]int{1: 4, 2: 7},
+		widthFFET: map[int]int{1: 4, 2: 7},
+		inputs: []pinFactors{
+			{"A1", 1.52, 1.45}, {"A2", 1.52, 1.52}, {"B", 1.52, 1.0},
+		},
+		stages: 1,
+	},
+	{
+		base: "AOI22", fn: FnAOI22, drives: []int{1, 2},
+		widthCFET: map[int]int{1: 5, 2: 9},
+		widthFFET: map[int]int{1: 6, 2: 10},
+		inputs: []pinFactors{
+			{"A1", 1.45, 1.55}, {"A2", 1.52, 1.55},
+			{"B1", 1.45, 1.60}, {"B2", 1.52, 1.60},
+		},
+		stages:          1,
+		extraDrainMerge: true,
+	},
+	{
+		base: "OAI22", fn: FnOAI22, drives: []int{1, 2},
+		widthCFET: map[int]int{1: 5, 2: 9},
+		widthFFET: map[int]int{1: 6, 2: 10},
+		inputs: []pinFactors{
+			{"A1", 1.55, 1.45}, {"A2", 1.55, 1.52},
+			{"B1", 1.60, 1.45}, {"B2", 1.60, 1.52},
+		},
+		stages:          1,
+		extraDrainMerge: true,
+	},
+	{
+		base: "MUX2", fn: FnMUX2, drives: []int{1, 2},
+		widthCFET: map[int]int{1: 8, 2: 10},
+		widthFFET: map[int]int{1: 6, 2: 8},
+		inputs: []pinFactors{
+			{"I0", 1.30, 1.30}, {"I1", 1.30, 1.30}, {"S", 1.55, 1.55},
+		},
+		stages:    2,
+		splitGate: true,
+	},
+	{
+		base: "DFF", fn: FnDFF, drives: []int{1},
+		widthCFET: map[int]int{1: 12},
+		widthFFET: map[int]int{1: 9},
+		inputs:    []pinFactors{{"D", 1, 1}, {"CP", 1, 1}},
+		stages:    1,
+		splitGate: true,
+	},
+	{
+		base: "DFFRS", fn: FnDFFRS, drives: []int{1},
+		widthCFET: map[int]int{1: 14},
+		widthFFET: map[int]int{1: 11},
+		inputs: []pinFactors{
+			{"D", 1, 1}, {"CP", 1, 1}, {"RN", 1, 1}, {"SN", 1, 1},
+		},
+		stages:    1,
+		splitGate: true,
+	},
+}
+
+// OutPinName is the output pin name convention: inverting cells use ZN,
+// non-inverting use Z, flip-flops use Q.
+func outPinName(fn Func) string {
+	switch fn {
+	case FnINV, FnNAND2, FnNOR2, FnAOI21, FnOAI21, FnAOI22, FnOAI22:
+		return "ZN"
+	case FnDFF, FnDFFRS:
+		return "Q"
+	default:
+		return "Z"
+	}
+}
+
+// buildCell assembles the physical/logical (un-characterized) cell.
+func buildCell(tpl template, drive int, stack *tech.Stack) *Cell {
+	width := tpl.widthFFET[drive]
+	if stack.Arch == tech.CFET {
+		width = tpl.widthCFET[drive]
+	}
+	c := &Cell{
+		Name:     fmt.Sprintf("%sD%d", tpl.base, drive),
+		Base:     tpl.base,
+		Drive:    drive,
+		Fn:       tpl.fn,
+		Arch:     stack.Arch,
+		WidthCPP: width,
+		Arcs:     make(map[string]*liberty.Arc),
+	}
+	dual := stack.Arch == tech.FFET
+	n := len(tpl.inputs)
+	for i, pf := range tpl.inputs {
+		clock := tpl.fn.Sequential() && pf.name == "CP"
+		c.Inputs = append(c.Inputs, Pin{
+			Name:      pf.name,
+			Dir:       Input,
+			CapFF:     inputCapFF(tpl, pf.name, drive),
+			Clock:     clock,
+			OffsetCPP: float64(width) * float64(i+1) / float64(n+1),
+			DualSided: dual,
+		})
+	}
+	c.Out = Pin{
+		Name:      outPinName(tpl.fn),
+		Dir:       Output,
+		OffsetCPP: float64(width) * 0.5,
+		DualSided: dual, // Drain Merge makes every FFET output dual-sided
+	}
+	return c
+}

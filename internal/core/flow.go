@@ -1,0 +1,425 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cts"
+	"repro/internal/def"
+	"repro/internal/extract"
+	"repro/internal/floorplan"
+	"repro/internal/geom"
+	"repro/internal/netlist"
+	"repro/internal/place"
+	"repro/internal/power"
+	"repro/internal/powerplan"
+	"repro/internal/route"
+	"repro/internal/sta"
+	"repro/internal/synth"
+	"repro/internal/tech"
+)
+
+// FlowConfig parameterizes one physical implementation + PPA run.
+type FlowConfig struct {
+	Name          string
+	Pattern       tech.Pattern // routing layers per side (e.g. FM12BM12)
+	TargetFreqGHz float64
+	Utilization   float64
+	AspectRatio   float64
+	// BackPinFraction is the backside input-pin density ratio
+	// (FP(1-x)BP(x)); must be 0 for CFET or frontside-only patterns.
+	BackPinFraction float64
+	Seed            int64
+	// MaxDRVs is the validity rule: a P&R result is valid only if the
+	// total design-rule violation count stays below this (paper: 10).
+	MaxDRVs int
+
+	// Stage options (zero values pick defaults).
+	Synth synth.Options
+	Place place.Options
+	Route route.Options
+	CTS   cts.Options
+	STA   sta.Options
+	Power power.Options
+}
+
+// DefaultFlowConfig returns the evaluation defaults for a target.
+func DefaultFlowConfig(pattern tech.Pattern, targetGHz, util float64) FlowConfig {
+	return FlowConfig{
+		Pattern:       pattern,
+		TargetFreqGHz: targetGHz,
+		Utilization:   util,
+		AspectRatio:   1.0,
+		Seed:          1,
+		MaxDRVs:       10,
+	}
+}
+
+// FlowResult is the complete outcome of one run.
+type FlowResult struct {
+	Config FlowConfig
+	Arch   tech.Arch
+
+	Valid  bool
+	Reason string // why the run is invalid, if it is
+
+	// Physical metrics.
+	CoreAreaUm2     float64
+	CoreW, CoreH    int64 // nm
+	RealUtilization float64
+	CellAreaUm2     float64
+	HPWLUm          float64
+	WirelenFrontUm  float64
+	WirelenBackUm   float64
+	DRVsFront       int
+	DRVsBack        int
+	Vias            int
+	CTSBuffers      int
+	SynthBuffers    int
+	Rerouted        int
+
+	// PPA.
+	AchievedFreqGHz float64
+	MinPeriodPs     float64
+	PowerUW         float64
+	EffGHzPerW      float64
+
+	// Artifacts.
+	FrontDEF  *def.Design
+	BackDEF   *def.Design
+	MergedDEF *def.Design
+	STA       *sta.Result
+	Power     *power.Result
+	PinStats  PartitionStats
+}
+
+// DRVs returns the total violation count.
+func (r *FlowResult) DRVs() int { return r.DRVsFront + r.DRVsBack }
+
+// RunFlow executes the full Fig. 7 framework over a technology-mapped
+// netlist: synthesis sizing -> floorplan -> powerplan (BSPDN + Power Tap
+// Cells) -> placement -> CTS -> Algorithm 1 partition -> dual-sided
+// routing -> DEF merge -> dual-sided RC extraction -> STA -> power.
+//
+// Invalid runs (tap-cell placement violations or DRVs >= MaxDRVs) return a
+// FlowResult with Valid=false rather than an error; errors indicate
+// malformed inputs.
+func RunFlow(nl *netlist.Netlist, cfg FlowConfig) (*FlowResult, error) {
+	lib := nl.Lib
+	st := lib.Stack
+	if err := st.Validate(cfg.Pattern); err != nil {
+		return nil, err
+	}
+	if cfg.BackPinFraction > 0 && cfg.Pattern.Back == 0 {
+		return nil, fmt.Errorf("core: backside pins need backside routing layers")
+	}
+	if cfg.MaxDRVs <= 0 {
+		cfg.MaxDRVs = 10
+	}
+	res := &FlowResult{Config: cfg, Arch: st.Arch}
+
+	// --- Synthesis sizing --------------------------------------------------
+	sopt := cfg.Synth
+	if sopt.TargetFreqGHz == 0 {
+		sopt = synth.DefaultOptions(cfg.TargetFreqGHz)
+	}
+	syn, err := synth.Run(nl, sopt)
+	if err != nil {
+		return nil, err
+	}
+	work := syn.Netlist
+	res.SynthBuffers = syn.BuffersAdded
+
+	// --- Floorplan ----------------------------------------------------------
+	// Reserve ~2.5% headroom for clock tree buffers inserted after the
+	// floorplan is frozen, so the requested utilization refers to the
+	// post-CTS cell area (as the paper reports it).
+	fpArea := int64(float64(work.CellAreaNm2()) * 1.025)
+	fp, err := floorplan.New(st, fpArea, cfg.Utilization, cfg.AspectRatio)
+	if err != nil {
+		return nil, err
+	}
+	res.CoreAreaUm2 = fp.CoreAreaUm2()
+	res.CoreW, res.CoreH = fp.Core.W(), fp.Core.H()
+	res.CellAreaUm2 = work.CellAreaUm2()
+
+	// --- Powerplan ------------------------------------------------------------
+	pp, err := powerplan.Plan(fp, cfg.Pattern)
+	if err != nil {
+		return nil, err
+	}
+	if !pp.Feasible {
+		res.Reason = pp.Reason
+		return res, nil
+	}
+
+	// --- Placement + CTS ---------------------------------------------------------
+	popt := cfg.Place
+	if popt.GlobalIters == 0 {
+		popt = place.DefaultOptions()
+		popt.Seed = cfg.Seed
+	}
+	place.Global(work, fp, popt)
+	copt := cfg.CTS
+	if copt.MaxLeafFanout == 0 {
+		copt = cts.DefaultOptions()
+	}
+	ctsRes, err := cts.Run(work, fp, copt)
+	if err != nil {
+		return nil, err
+	}
+	res.CTSBuffers = ctsRes.Buffers
+	res.RealUtilization = float64(work.CellAreaNm2()) / float64(fp.Core.Area())
+	if err := place.Legalize(work, fp, pp.Blockages); err != nil {
+		res.Reason = fmt.Sprintf("placement violation: %v", err)
+		return res, nil
+	}
+	place.Refine(work, fp, pp.Blockages, 3)
+	res.HPWLUm = float64(place.HPWL(work, fp)) / 1000
+
+	// --- Algorithm 1: pin redistribution + netlist partition -----------------------
+	pa, err := AssignPins(lib, cfg.BackPinFraction, cfg.Seed, work)
+	if err != nil {
+		return nil, err
+	}
+	pinAt := func(ref netlist.PinRef) geom.Point { return pinLocation(ref, fp) }
+	sides, err := Partition(work, pa, cfg.Pattern, pinAt)
+	if err != nil {
+		return nil, err
+	}
+	res.PinStats = sides.Stats()
+	res.Rerouted = sides.Rerouted
+
+	// --- Dual-sided routing ----------------------------------------------------------
+	ropt := cfg.Route
+	if ropt.GCellNm == 0 {
+		ropt = route.DefaultOptions()
+	}
+	if st.Arch == tech.CFET && ropt.PinAccessFactor <= 1 {
+		// Every CFET pin is reached from the single frontside through a
+		// 4T-tall cell whose drain supervias block access tracks; the
+		// FFET's symmetric structure removes these (Section II.B).
+		ropt.PinAccessFactor = 1.5
+	}
+	var frontRes, backRes *route.Result
+	if len(sides.Front) > 0 {
+		layers := st.SideRoutingLayers(cfg.Pattern, tech.Front)
+		r, err := route.NewRouter(fp.Core, tech.Front, layers, ropt)
+		if err != nil {
+			return nil, err
+		}
+		if frontRes, err = r.Run(sides.Front); err != nil {
+			return nil, err
+		}
+		res.DRVsFront = frontRes.DRVs
+		res.WirelenFrontUm = float64(frontRes.WirelenNm) / 1000
+		res.Vias += frontRes.ViaCount
+	}
+	if len(sides.Back) > 0 {
+		layers := st.SideRoutingLayers(cfg.Pattern, tech.Back)
+		r, err := route.NewRouter(fp.Core, tech.Back, layers, ropt)
+		if err != nil {
+			return nil, err
+		}
+		if backRes, err = r.Run(sides.Back); err != nil {
+			return nil, err
+		}
+		res.DRVsBack = backRes.DRVs
+		res.WirelenBackUm = float64(backRes.WirelenNm) / 1000
+		res.Vias += backRes.ViaCount
+	}
+	if res.DRVs() >= cfg.MaxDRVs {
+		res.Reason = fmt.Sprintf("routing violations: %d DRVs (front %d, back %d) >= %d",
+			res.DRVs(), res.DRVsFront, res.DRVsBack, cfg.MaxDRVs)
+		// Continue analysis anyway (the paper reports only valid points;
+		// callers filter on Valid).
+	}
+
+	// --- DEF generation + merge ---------------------------------------------------------
+	res.FrontDEF = buildDEF(work, fp, pp, frontRes, tech.Front, cfg)
+	res.BackDEF = buildDEF(work, fp, pp, backRes, tech.Back, cfg)
+	merged, err := def.Merge(work.Name, res.FrontDEF, res.BackDEF)
+	if err != nil {
+		return nil, err
+	}
+	res.MergedDEF = merged
+
+	// --- Dual-sided RC extraction ----------------------------------------------------------
+	eopt := extract.DefaultOptions()
+	netRC := make(map[string]*extract.NetRC, len(work.Nets))
+	for _, n := range work.Nets {
+		var ft, bt *route.Tree
+		if frontRes != nil {
+			ft = frontRes.Trees[n.Name]
+		}
+		if backRes != nil {
+			bt = backRes.Trees[n.Name]
+		}
+		netRC[n.Name] = extract.Extract(st, extract.NetInput{
+			Name:     n.Name,
+			Front:    ft,
+			Back:     bt,
+			DriverID: sides.DriverID[n.Name],
+			SinkCaps: sides.SinkCaps[n.Name],
+		}, eopt)
+	}
+
+	// --- STA ---------------------------------------------------------------------------------
+	staOpt := cfg.STA
+	if staOpt.InputSlewPs == 0 {
+		staOpt = sta.DefaultOptions()
+	}
+	staRes, err := sta.Analyze(sta.Input{
+		Netlist:      work,
+		NetRC:        netRC,
+		ClockArrival: ctsRes.Arrival,
+	}, staOpt)
+	if err != nil {
+		return nil, err
+	}
+	res.STA = staRes
+	res.MinPeriodPs = staRes.MinPeriodPs
+	res.AchievedFreqGHz = staRes.AchievedFreqGHz
+
+	// --- Power -----------------------------------------------------------------------------------
+	pwOpt := cfg.Power
+	if pwOpt.Activity == 0 {
+		pwOpt = power.DefaultOptions()
+	}
+	pw := power.Analyze(work, st, netRC, res.AchievedFreqGHz, pwOpt)
+	res.Power = pw
+	res.PowerUW = pw.TotalUW
+	res.EffGHzPerW = pw.EfficiencyGHzPerW()
+
+	res.Valid = res.Reason == ""
+	return res, nil
+}
+
+// pinLocation returns the physical location of a pin: port position or the
+// instance pin offset on its row.
+func pinLocation(ref netlist.PinRef, fp *floorplan.Plan) geom.Point {
+	if ref.IsPort() {
+		return ref.Port.Pos
+	}
+	inst := ref.Inst
+	var offCPP float64
+	if p, ok := inst.Cell.InputPin(ref.Pin); ok {
+		offCPP = p.OffsetCPP
+	} else {
+		offCPP = inst.Cell.Out.OffsetCPP
+	}
+	return geom.Pt(
+		inst.Pos.X+int64(offCPP*float64(fp.Stack.CPPNm)),
+		inst.Pos.Y+fp.Stack.CellHeightNm()/2,
+	)
+}
+
+// buildDEF renders one side's physical database.
+func buildDEF(nl *netlist.Netlist, fp *floorplan.Plan, pp *powerplan.Result, rr *route.Result, side tech.Side, cfg FlowConfig) *def.Design {
+	d := def.New(nl.Name + "_" + sideSuffix(side))
+	d.Die = fp.Core
+	for _, r := range fp.Rows {
+		d.Rows = append(d.Rows, def.Row{
+			Name:   fmt.Sprintf("row%d", r.Index),
+			Site:   "core_site",
+			Origin: geom.Pt(r.X0, r.Y),
+			NumX:   r.SitesX(fp.Stack.CPPNm),
+			StepX:  fp.Stack.CPPNm,
+		})
+	}
+	for _, inst := range nl.Instances {
+		d.AddComponent(&def.Component{
+			Name:  inst.Name,
+			Macro: inst.Cell.Name,
+			Pos:   inst.Pos,
+			Fixed: inst.Fixed,
+		})
+	}
+	for _, p := range nl.Ports {
+		dir := "INPUT"
+		if p.Dir == netlist.Out {
+			dir = "OUTPUT"
+		}
+		d.Pins = append(d.Pins, &def.IOPin{
+			Name: p.Name, Net: p.Name, Dir: dir,
+			Layer: fmt.Sprintf("%sM2", side), Pos: p.Pos,
+		})
+	}
+	// BSPDN stripes live on the backside; tap cells appear in both views
+	// (they span the wafer).
+	if side == tech.Back {
+		d.SpecialNets = pp.SpecialNets(fp)
+	}
+	for _, c := range pp.TapComponents() {
+		d.AddComponent(c)
+	}
+	if rr != nil {
+		for _, tree := range rr.Trees {
+			dn := &def.Net{Name: tree.Name}
+			for id := range tree.PinNode {
+				dn.Pins = append(dn.Pins, splitPinID(id))
+			}
+			sortNetPins(dn)
+			for _, e := range tree.Edges {
+				layer := e.Layer.Name
+				if layer == "" {
+					layer = fmt.Sprintf("%sM1", side)
+				}
+				dn.Wires = append(dn.Wires, def.Wire{
+					Layer: layer,
+					From:  tree.Nodes[e.From],
+					To:    tree.Nodes[e.To],
+				})
+				if e.Vias > 0 {
+					dn.Vias = append(dn.Vias, def.Via{
+						At:        tree.Nodes[e.To],
+						FromLayer: layer,
+						ToLayer:   layer,
+					})
+				}
+			}
+			d.Nets = append(d.Nets, dn)
+		}
+		sortNets(d)
+	}
+	return d
+}
+
+func sideSuffix(s tech.Side) string {
+	if s == tech.Front {
+		return "front"
+	}
+	return "back"
+}
+
+func splitPinID(id string) def.NetPin {
+	for i := len(id) - 1; i >= 0; i-- {
+		if id[i] == '/' {
+			return def.NetPin{Comp: id[:i], Pin: id[i+1:]}
+		}
+	}
+	return def.NetPin{Comp: id}
+}
+
+func sortNetPins(n *def.Net) {
+	for i := 1; i < len(n.Pins); i++ {
+		for j := i; j > 0 && less(n.Pins[j], n.Pins[j-1]); j-- {
+			n.Pins[j], n.Pins[j-1] = n.Pins[j-1], n.Pins[j]
+		}
+	}
+}
+
+func less(a, b def.NetPin) bool {
+	if a.Comp != b.Comp {
+		return a.Comp < b.Comp
+	}
+	return a.Pin < b.Pin
+}
+
+func sortNets(d *def.Design) {
+	nets := d.Nets
+	for i := 1; i < len(nets); i++ {
+		for j := i; j > 0 && nets[j].Name < nets[j-1].Name; j-- {
+			nets[j], nets[j-1] = nets[j-1], nets[j]
+		}
+	}
+}

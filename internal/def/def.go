@@ -1,0 +1,235 @@
+// Package def models the physical design database exchanged between flow
+// stages — a DEF (Design Exchange Format) subset: die area, placement rows,
+// components, IO pins, special (power) nets and routed signal nets.
+//
+// The dual-sided flow produces one Design per wafer side ("two DEFs", paper
+// Section III.A); Merge combines them into a single database for dual-sided
+// RC extraction (Section III.C). Database units are 1 nm (DBU 1000/µm).
+package def
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// Design is one DEF database.
+type Design struct {
+	Name string
+	DBU  int64 // database units per micron; always 1000 here
+	Die  geom.Rect
+
+	Rows        []Row
+	Components  []*Component
+	Pins        []*IOPin
+	SpecialNets []*SNet
+	Nets        []*Net
+}
+
+// New creates an empty design with 1000 DBU/µm.
+func New(name string) *Design { return &Design{Name: name, DBU: 1000} }
+
+// Row is one placement row.
+type Row struct {
+	Name   string
+	Site   string
+	Origin geom.Point
+	NumX   int   // sites along X
+	StepX  int64 // site pitch
+}
+
+// Component is a placed cell instance.
+type Component struct {
+	Name  string
+	Macro string
+	Pos   geom.Point // lower-left
+	Fixed bool       // FIXED vs PLACED
+}
+
+// IOPin is a top-level pin.
+type IOPin struct {
+	Name  string
+	Net   string
+	Dir   string // INPUT or OUTPUT
+	Layer string
+	Pos   geom.Point
+}
+
+// Wire is a routed segment on one layer. Segments are axis-parallel.
+type Wire struct {
+	Layer   string
+	WidthNm int64
+	From    geom.Point
+	To      geom.Point
+}
+
+// LengthNm returns the Manhattan length of the segment.
+func (w Wire) LengthNm() int64 { return w.From.ManhattanDist(w.To) }
+
+// Via is a cut between two adjacent layers at a point.
+type Via struct {
+	At        geom.Point
+	FromLayer string
+	ToLayer   string
+}
+
+// NetPin is a logical connection of a net: component pin or IO pin
+// (Comp == "PIN" denotes a top-level pin, matching DEF convention).
+type NetPin struct {
+	Comp string
+	Pin  string
+}
+
+// Net is a routed signal net.
+type Net struct {
+	Name  string
+	Pins  []NetPin
+	Wires []Wire
+	Vias  []Via
+}
+
+// WirelengthNm sums routed segment lengths.
+func (n *Net) WirelengthNm() int64 {
+	var sum int64
+	for _, w := range n.Wires {
+		sum += w.LengthNm()
+	}
+	return sum
+}
+
+// SNet is a special (power) net with wide stripes.
+type SNet struct {
+	Name  string
+	Use   string // POWER or GROUND
+	Wires []Wire
+}
+
+// AddComponent appends a component.
+func (d *Design) AddComponent(c *Component) { d.Components = append(d.Components, c) }
+
+// Component returns the named component (linear scan; callers cache).
+func (d *Design) Component(name string) *Component {
+	for _, c := range d.Components {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// Net returns the named net, or nil.
+func (d *Design) Net(name string) *Net {
+	for _, n := range d.Nets {
+		if n.Name == name {
+			return n
+		}
+	}
+	return nil
+}
+
+// TotalWirelengthNm sums all signal net wirelength.
+func (d *Design) TotalWirelengthNm() int64 {
+	var sum int64
+	for _, n := range d.Nets {
+		sum += n.WirelengthNm()
+	}
+	return sum
+}
+
+// WirelengthByLayerNm returns routed length per layer name.
+func (d *Design) WirelengthByLayerNm() map[string]int64 {
+	out := make(map[string]int64)
+	for _, n := range d.Nets {
+		for _, w := range n.Wires {
+			out[w.Layer] += w.LengthNm()
+		}
+	}
+	return out
+}
+
+// Merge combines per-side designs into one database for dual-sided RC
+// extraction. Components and IO pins are deduplicated by name (they must
+// agree across sides); nets with the same name have their pins, wires and
+// vias unioned; special nets are concatenated; the die is the union box.
+func Merge(name string, sides ...*Design) (*Design, error) {
+	out := New(name)
+	comps := make(map[string]*Component)
+	pins := make(map[string]*IOPin)
+	nets := make(map[string]*Net)
+	var netOrder []string
+
+	for _, d := range sides {
+		if d == nil {
+			continue
+		}
+		out.Die = out.Die.Union(d.Die)
+		out.Rows = append(out.Rows, d.Rows...)
+		for _, c := range d.Components {
+			if prev, ok := comps[c.Name]; ok {
+				if prev.Macro != c.Macro || prev.Pos != c.Pos {
+					return nil, fmt.Errorf("def: component %q differs between sides", c.Name)
+				}
+				continue
+			}
+			cc := *c
+			comps[c.Name] = &cc
+		}
+		for _, p := range d.Pins {
+			if _, ok := pins[p.Name]; ok {
+				continue
+			}
+			pp := *p
+			pins[p.Name] = &pp
+		}
+		for _, sn := range d.SpecialNets {
+			snCopy := *sn
+			snCopy.Wires = append([]Wire(nil), sn.Wires...)
+			out.SpecialNets = append(out.SpecialNets, &snCopy)
+		}
+		for _, n := range d.Nets {
+			m, ok := nets[n.Name]
+			if !ok {
+				m = &Net{Name: n.Name}
+				nets[n.Name] = m
+				netOrder = append(netOrder, n.Name)
+			}
+			for _, p := range n.Pins {
+				if !containsPin(m.Pins, p) {
+					m.Pins = append(m.Pins, p)
+				}
+			}
+			m.Wires = append(m.Wires, n.Wires...)
+			m.Vias = append(m.Vias, n.Vias...)
+		}
+	}
+	var compNames []string
+	for n := range comps {
+		compNames = append(compNames, n)
+	}
+	sort.Strings(compNames)
+	for _, n := range compNames {
+		out.Components = append(out.Components, comps[n])
+	}
+	var pinNames []string
+	for n := range pins {
+		pinNames = append(pinNames, n)
+	}
+	sort.Strings(pinNames)
+	for _, n := range pinNames {
+		out.Pins = append(out.Pins, pins[n])
+	}
+	for _, n := range netOrder {
+		out.Nets = append(out.Nets, nets[n])
+	}
+	return out, nil
+}
+
+func containsPin(ps []NetPin, p NetPin) bool {
+	for _, q := range ps {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,202 @@
+package def
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func sample() *Design {
+	d := New("core")
+	d.Die = geom.R(0, 0, 20000, 21000)
+	d.Rows = append(d.Rows, Row{Name: "row0", Site: "ffet", Origin: geom.Pt(0, 0), NumX: 400, StepX: 50})
+	d.AddComponent(&Component{Name: "u1", Macro: "INVD1", Pos: geom.Pt(100, 0)})
+	d.AddComponent(&Component{Name: "tap0", Macro: "PWRTAP", Pos: geom.Pt(3200, 0), Fixed: true})
+	d.Pins = append(d.Pins, &IOPin{Name: "a", Net: "a", Dir: "INPUT", Layer: "FM2", Pos: geom.Pt(0, 105)})
+	d.SpecialNets = append(d.SpecialNets, &SNet{
+		Name: "VDD", Use: "POWER",
+		Wires: []Wire{{Layer: "BM2", WidthNm: 1200, From: geom.Pt(0, 0), To: geom.Pt(0, 21000)}},
+	})
+	d.Nets = append(d.Nets, &Net{
+		Name: "n1",
+		Pins: []NetPin{{Comp: "u1", Pin: "ZN"}, {Comp: "PIN", Pin: "a"}},
+		Wires: []Wire{
+			{Layer: "FM2", From: geom.Pt(100, 0), To: geom.Pt(100, 500)},
+			{Layer: "FM3", From: geom.Pt(100, 500), To: geom.Pt(700, 500)},
+		},
+		Vias: []Via{{At: geom.Pt(100, 500), FromLayer: "FM2", ToLayer: "FM3"}},
+	})
+	return d
+}
+
+func TestWirelength(t *testing.T) {
+	d := sample()
+	if got := d.Net("n1").WirelengthNm(); got != 1100 {
+		t.Errorf("net wirelength = %d, want 1100", got)
+	}
+	if got := d.TotalWirelengthNm(); got != 1100 {
+		t.Errorf("total = %d", got)
+	}
+	byLayer := d.WirelengthByLayerNm()
+	if byLayer["FM2"] != 500 || byLayer["FM3"] != 600 {
+		t.Errorf("by layer = %v", byLayer)
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	d := sample()
+	var buf bytes.Buffer
+	if err := d.Write(&buf); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	text := buf.String()
+	for _, want := range []string{"DESIGN core ;", "DIEAREA ( 0 0 ) ( 20000 21000 )",
+		"- u1 INVD1 + PLACED ( 100 0 )", "- tap0 PWRTAP + FIXED", "SPECIALNETS 1 ;",
+		"( u1 ZN ) ( PIN a )"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("DEF missing %q", want)
+		}
+	}
+	back, err := Parse(&buf)
+	if err != nil {
+		t.Fatalf("Parse: %v\n%s", err, text)
+	}
+	if back.Name != "core" || back.DBU != 1000 {
+		t.Errorf("header lost: %q %d", back.Name, back.DBU)
+	}
+	if back.Die != d.Die {
+		t.Errorf("die = %v", back.Die)
+	}
+	if len(back.Rows) != 1 || back.Rows[0].NumX != 400 || back.Rows[0].StepX != 50 {
+		t.Errorf("rows = %+v", back.Rows)
+	}
+	if len(back.Components) != 2 {
+		t.Fatalf("components = %d", len(back.Components))
+	}
+	if c := back.Component("tap0"); c == nil || !c.Fixed {
+		t.Errorf("tap0 = %+v", c)
+	}
+	if len(back.Pins) != 1 || back.Pins[0].Layer != "FM2" {
+		t.Errorf("pins = %+v", back.Pins[0])
+	}
+	n := back.Net("n1")
+	if n == nil || len(n.Pins) != 2 || len(n.Wires) != 2 || len(n.Vias) != 1 {
+		t.Fatalf("net n1 = %+v", n)
+	}
+	if n.WirelengthNm() != 1100 {
+		t.Errorf("parsed wirelength = %d", n.WirelengthNm())
+	}
+	sn := back.SpecialNets[0]
+	if sn.Name != "VDD" || sn.Use != "POWER" || sn.Wires[0].WidthNm != 1200 {
+		t.Errorf("snet = %+v", sn)
+	}
+}
+
+func TestMergeDualSided(t *testing.T) {
+	front := New("core")
+	front.Die = geom.R(0, 0, 10000, 10000)
+	front.AddComponent(&Component{Name: "u1", Macro: "INVD1", Pos: geom.Pt(0, 0)})
+	front.AddComponent(&Component{Name: "u2", Macro: "INVD1", Pos: geom.Pt(500, 0)})
+	front.Nets = append(front.Nets, &Net{
+		Name:  "n1",
+		Pins:  []NetPin{{Comp: "u1", Pin: "ZN"}, {Comp: "u2", Pin: "I"}},
+		Wires: []Wire{{Layer: "FM2", From: geom.Pt(0, 0), To: geom.Pt(500, 0)}},
+	})
+	back := New("core")
+	back.Die = geom.R(0, 0, 10000, 10000)
+	back.AddComponent(&Component{Name: "u1", Macro: "INVD1", Pos: geom.Pt(0, 0)})
+	back.AddComponent(&Component{Name: "u3", Macro: "NAND2D1", Pos: geom.Pt(900, 0)})
+	back.Nets = append(back.Nets, &Net{
+		Name:  "n1",
+		Pins:  []NetPin{{Comp: "u1", Pin: "ZN"}, {Comp: "u3", Pin: "A1"}},
+		Wires: []Wire{{Layer: "BM2", From: geom.Pt(0, 0), To: geom.Pt(900, 0)}},
+	})
+	back.SpecialNets = append(back.SpecialNets, &SNet{Name: "VDD", Use: "POWER"})
+
+	m, err := Merge("core", front, back)
+	if err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	if len(m.Components) != 3 {
+		t.Errorf("merged components = %d, want 3", len(m.Components))
+	}
+	n := m.Net("n1")
+	if n == nil {
+		t.Fatal("merged net n1 missing")
+	}
+	if len(n.Pins) != 3 {
+		t.Errorf("merged net pins = %d, want 3 (u1 deduped)", len(n.Pins))
+	}
+	if len(n.Wires) != 2 {
+		t.Errorf("merged wires = %d, want both sides", len(n.Wires))
+	}
+	wl := m.WirelengthByLayerNm()
+	if wl["FM2"] != 500 || wl["BM2"] != 900 {
+		t.Errorf("merged per-layer = %v", wl)
+	}
+	if len(m.SpecialNets) != 1 {
+		t.Errorf("special nets = %d", len(m.SpecialNets))
+	}
+}
+
+func TestMergeConflictRejected(t *testing.T) {
+	a := New("x")
+	a.AddComponent(&Component{Name: "u1", Macro: "INVD1", Pos: geom.Pt(0, 0)})
+	b := New("x")
+	b.AddComponent(&Component{Name: "u1", Macro: "INVD2", Pos: geom.Pt(0, 0)})
+	if _, err := Merge("x", a, b); err == nil {
+		t.Fatal("conflicting component macros must be rejected")
+	}
+}
+
+func TestRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		d := New(fmt.Sprintf("rnd%d", trial))
+		d.Die = geom.R(0, 0, 1+rng.Int63n(50000), 1+rng.Int63n(50000))
+		nc := 1 + rng.Intn(30)
+		for i := 0; i < nc; i++ {
+			d.AddComponent(&Component{
+				Name:  fmt.Sprintf("c%d", i),
+				Macro: "INVD1",
+				Pos:   geom.Pt(rng.Int63n(50000), rng.Int63n(50000)),
+				Fixed: rng.Intn(2) == 0,
+			})
+		}
+		nn := rng.Intn(20)
+		for i := 0; i < nn; i++ {
+			n := &Net{Name: fmt.Sprintf("n%d", i)}
+			n.Pins = append(n.Pins, NetPin{Comp: fmt.Sprintf("c%d", rng.Intn(nc)), Pin: "ZN"})
+			for s := 0; s < 1+rng.Intn(3); s++ {
+				from := geom.Pt(rng.Int63n(50000), rng.Int63n(50000))
+				var to geom.Point
+				if rng.Intn(2) == 0 {
+					to = geom.Pt(from.X, rng.Int63n(50000))
+				} else {
+					to = geom.Pt(rng.Int63n(50000), from.Y)
+				}
+				n.Wires = append(n.Wires, Wire{Layer: "FM2", From: from, To: to})
+			}
+			d.Nets = append(d.Nets, n)
+		}
+		var buf bytes.Buffer
+		if err := d.Write(&buf); err != nil {
+			t.Fatalf("trial %d write: %v", trial, err)
+		}
+		back, err := Parse(&buf)
+		if err != nil {
+			t.Fatalf("trial %d parse: %v", trial, err)
+		}
+		if len(back.Components) != nc || len(back.Nets) != nn {
+			t.Fatalf("trial %d: lost structure", trial)
+		}
+		if back.TotalWirelengthNm() != d.TotalWirelengthNm() {
+			t.Fatalf("trial %d: wirelength %d != %d", trial,
+				back.TotalWirelengthNm(), d.TotalWirelengthNm())
+		}
+	}
+}

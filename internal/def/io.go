@@ -1,0 +1,402 @@
+package def
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/geom"
+)
+
+// Write emits the design as DEF 5.8 text.
+func (d *Design) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "VERSION 5.8 ;\nDESIGN %s ;\nUNITS DISTANCE MICRONS %d ;\n", d.Name, d.DBU)
+	fmt.Fprintf(bw, "DIEAREA ( %d %d ) ( %d %d ) ;\n", d.Die.Lo.X, d.Die.Lo.Y, d.Die.Hi.X, d.Die.Hi.Y)
+	for _, r := range d.Rows {
+		fmt.Fprintf(bw, "ROW %s %s %d %d N DO %d BY 1 STEP %d 0 ;\n",
+			r.Name, r.Site, r.Origin.X, r.Origin.Y, r.NumX, r.StepX)
+	}
+	fmt.Fprintf(bw, "COMPONENTS %d ;\n", len(d.Components))
+	for _, c := range d.Components {
+		kind := "PLACED"
+		if c.Fixed {
+			kind = "FIXED"
+		}
+		fmt.Fprintf(bw, "- %s %s + %s ( %d %d ) N ;\n", c.Name, c.Macro, kind, c.Pos.X, c.Pos.Y)
+	}
+	fmt.Fprintln(bw, "END COMPONENTS")
+	fmt.Fprintf(bw, "PINS %d ;\n", len(d.Pins))
+	for _, p := range d.Pins {
+		fmt.Fprintf(bw, "- %s + NET %s + DIRECTION %s + LAYER %s + PLACED ( %d %d ) N ;\n",
+			p.Name, p.Net, p.Dir, p.Layer, p.Pos.X, p.Pos.Y)
+	}
+	fmt.Fprintln(bw, "END PINS")
+	fmt.Fprintf(bw, "SPECIALNETS %d ;\n", len(d.SpecialNets))
+	for _, sn := range d.SpecialNets {
+		fmt.Fprintf(bw, "- %s + USE %s", sn.Name, sn.Use)
+		for i, wseg := range sn.Wires {
+			kw := "+ ROUTED"
+			if i > 0 {
+				kw = "NEW"
+			}
+			fmt.Fprintf(bw, "\n  %s %s %d ( %d %d ) ( %d %d )",
+				kw, wseg.Layer, wseg.WidthNm, wseg.From.X, wseg.From.Y, wseg.To.X, wseg.To.Y)
+		}
+		fmt.Fprintln(bw, " ;")
+	}
+	fmt.Fprintln(bw, "END SPECIALNETS")
+	fmt.Fprintf(bw, "NETS %d ;\n", len(d.Nets))
+	for _, n := range d.Nets {
+		fmt.Fprintf(bw, "- %s", n.Name)
+		for _, p := range n.Pins {
+			fmt.Fprintf(bw, " ( %s %s )", p.Comp, p.Pin)
+		}
+		for i, wseg := range n.Wires {
+			kw := "+ ROUTED"
+			if i > 0 {
+				kw = "NEW"
+			}
+			fmt.Fprintf(bw, "\n  %s %s ( %d %d ) ( %d %d )",
+				kw, wseg.Layer, wseg.From.X, wseg.From.Y, wseg.To.X, wseg.To.Y)
+		}
+		for _, v := range n.Vias {
+			fmt.Fprintf(bw, "\n  NEW VIA %s %s ( %d %d )", v.FromLayer, v.ToLayer, v.At.X, v.At.Y)
+		}
+		fmt.Fprintln(bw, " ;")
+	}
+	fmt.Fprintln(bw, "END NETS")
+	fmt.Fprintln(bw, "END DESIGN")
+	return bw.Flush()
+}
+
+// Parse reads the DEF subset produced by Write.
+func Parse(r io.Reader) (*Design, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 256*1024*1024)
+	var toks []string
+	for sc.Scan() {
+		line := line(sc.Text())
+		toks = append(toks, strings.Fields(line)...)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.parse()
+}
+
+func line(s string) string {
+	if i := strings.Index(s, "#"); i >= 0 {
+		s = s[:i]
+	}
+	return s
+}
+
+type parser struct {
+	toks []string
+	pos  int
+}
+
+func (p *parser) peek() string {
+	if p.pos >= len(p.toks) {
+		return ""
+	}
+	return p.toks[p.pos]
+}
+
+func (p *parser) next() string { t := p.peek(); p.pos++; return t }
+
+func (p *parser) expect(t string) error {
+	if got := p.next(); got != t {
+		return fmt.Errorf("def: expected %q got %q at token %d", t, got, p.pos-1)
+	}
+	return nil
+}
+
+func (p *parser) int() (int64, error) {
+	t := p.next()
+	v, err := strconv.ParseInt(t, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("def: bad integer %q at token %d", t, p.pos-1)
+	}
+	return v, nil
+}
+
+func (p *parser) point() (geom.Point, error) {
+	if err := p.expect("("); err != nil {
+		return geom.Point{}, err
+	}
+	x, err := p.int()
+	if err != nil {
+		return geom.Point{}, err
+	}
+	y, err := p.int()
+	if err != nil {
+		return geom.Point{}, err
+	}
+	if err := p.expect(")"); err != nil {
+		return geom.Point{}, err
+	}
+	return geom.Pt(x, y), nil
+}
+
+func (p *parser) skipToSemi() {
+	for p.peek() != ";" && p.peek() != "" {
+		p.next()
+	}
+	p.next()
+}
+
+func (p *parser) parse() (*Design, error) {
+	d := New("")
+	for {
+		switch p.peek() {
+		case "":
+			return d, nil
+		case "VERSION":
+			p.skipToSemi()
+		case "DESIGN":
+			p.next()
+			d.Name = p.next()
+			p.skipToSemi()
+		case "UNITS":
+			p.next()
+			p.next() // DISTANCE
+			p.next() // MICRONS
+			v, err := p.int()
+			if err != nil {
+				return nil, err
+			}
+			d.DBU = v
+			p.skipToSemi()
+		case "DIEAREA":
+			p.next()
+			lo, err := p.point()
+			if err != nil {
+				return nil, err
+			}
+			hi, err := p.point()
+			if err != nil {
+				return nil, err
+			}
+			d.Die = geom.Rect{Lo: lo, Hi: hi}
+			p.skipToSemi()
+		case "ROW":
+			p.next()
+			r := Row{Name: p.next(), Site: p.next()}
+			x, err := p.int()
+			if err != nil {
+				return nil, err
+			}
+			y, err := p.int()
+			if err != nil {
+				return nil, err
+			}
+			r.Origin = geom.Pt(x, y)
+			p.next() // orientation
+			p.next() // DO
+			n, err := p.int()
+			if err != nil {
+				return nil, err
+			}
+			r.NumX = int(n)
+			p.next() // BY
+			p.next() // 1
+			p.next() // STEP
+			step, err := p.int()
+			if err != nil {
+				return nil, err
+			}
+			r.StepX = step
+			d.Rows = append(d.Rows, r)
+			p.skipToSemi()
+		case "COMPONENTS":
+			if err := p.parseComponents(d); err != nil {
+				return nil, err
+			}
+		case "PINS":
+			if err := p.parsePins(d); err != nil {
+				return nil, err
+			}
+		case "SPECIALNETS":
+			if err := p.parseSpecialNets(d); err != nil {
+				return nil, err
+			}
+		case "NETS":
+			if err := p.parseNets(d); err != nil {
+				return nil, err
+			}
+		case "END":
+			p.next()
+			p.next() // DESIGN or section name
+		default:
+			return nil, fmt.Errorf("def: unexpected token %q at %d", p.peek(), p.pos)
+		}
+	}
+}
+
+func (p *parser) parseComponents(d *Design) error {
+	p.next() // COMPONENTS
+	p.skipToSemi()
+	for p.peek() == "-" {
+		p.next()
+		c := &Component{Name: p.next(), Macro: p.next()}
+		if err := p.expect("+"); err != nil {
+			return err
+		}
+		kind := p.next()
+		c.Fixed = kind == "FIXED"
+		pt, err := p.point()
+		if err != nil {
+			return err
+		}
+		c.Pos = pt
+		d.Components = append(d.Components, c)
+		p.skipToSemi()
+	}
+	p.next() // END
+	p.next() // COMPONENTS
+	return nil
+}
+
+func (p *parser) parsePins(d *Design) error {
+	p.next()
+	p.skipToSemi()
+	for p.peek() == "-" {
+		p.next()
+		pin := &IOPin{Name: p.next()}
+		for p.peek() == "+" {
+			p.next()
+			switch p.next() {
+			case "NET":
+				pin.Net = p.next()
+			case "DIRECTION":
+				pin.Dir = p.next()
+			case "LAYER":
+				pin.Layer = p.next()
+			case "PLACED":
+				pt, err := p.point()
+				if err != nil {
+					return err
+				}
+				pin.Pos = pt
+				p.next() // orientation
+			}
+		}
+		d.Pins = append(d.Pins, pin)
+		p.skipToSemi()
+	}
+	p.next()
+	p.next()
+	return nil
+}
+
+func (p *parser) parseWire() (Wire, error) {
+	var w Wire
+	w.Layer = p.next()
+	// Optional width (specialnets carry one).
+	if v, err := strconv.ParseInt(p.peek(), 10, 64); err == nil {
+		w.WidthNm = v
+		p.next()
+	}
+	from, err := p.point()
+	if err != nil {
+		return w, err
+	}
+	to, err := p.point()
+	if err != nil {
+		return w, err
+	}
+	w.From, w.To = from, to
+	return w, nil
+}
+
+func (p *parser) parseSpecialNets(d *Design) error {
+	p.next()
+	p.skipToSemi()
+	for p.peek() == "-" {
+		p.next()
+		sn := &SNet{Name: p.next()}
+		for p.peek() != ";" && p.peek() != "" {
+			switch p.next() {
+			case "+":
+				switch p.next() {
+				case "USE":
+					sn.Use = p.next()
+				case "ROUTED":
+					w, err := p.parseWire()
+					if err != nil {
+						return err
+					}
+					sn.Wires = append(sn.Wires, w)
+				}
+			case "NEW":
+				w, err := p.parseWire()
+				if err != nil {
+					return err
+				}
+				sn.Wires = append(sn.Wires, w)
+			}
+		}
+		p.next() // ;
+		d.SpecialNets = append(d.SpecialNets, sn)
+	}
+	p.next()
+	p.next()
+	return nil
+}
+
+func (p *parser) parseNets(d *Design) error {
+	p.next()
+	p.skipToSemi()
+	for p.peek() == "-" {
+		p.next()
+		n := &Net{Name: p.next()}
+		for p.peek() == "(" {
+			p.next()
+			np := NetPin{Comp: p.next(), Pin: p.next()}
+			if err := p.expect(")"); err != nil {
+				return err
+			}
+			n.Pins = append(n.Pins, np)
+		}
+		for p.peek() != ";" && p.peek() != "" {
+			switch p.next() {
+			case "+":
+				if err := p.expect("ROUTED"); err != nil {
+					return err
+				}
+				w, err := p.parseWire()
+				if err != nil {
+					return err
+				}
+				n.Wires = append(n.Wires, w)
+			case "NEW":
+				if p.peek() == "VIA" {
+					p.next()
+					v := Via{FromLayer: p.next(), ToLayer: p.next()}
+					pt, err := p.point()
+					if err != nil {
+						return err
+					}
+					v.At = pt
+					n.Vias = append(n.Vias, v)
+					continue
+				}
+				w, err := p.parseWire()
+				if err != nil {
+					return err
+				}
+				n.Wires = append(n.Wires, w)
+			}
+		}
+		p.next() // ;
+		d.Nets = append(d.Nets, n)
+	}
+	p.next()
+	p.next()
+	return nil
+}

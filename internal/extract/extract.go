@@ -1,0 +1,232 @@
+// Package extract implements parasitic extraction for the evaluation flow:
+// per-net RC trees built from routed topologies, Elmore delay from the
+// driver to every sink, and total net capacitance for delay and power
+// models.
+//
+// For FFET nets routed on both wafer sides, the front and back trees are
+// joined at the driver through the Drain Merge via — the paper's
+// "dual-sided RC extraction" after the per-side DEFs are merged
+// (Section III.C). The merged-DEF path itself is exercised through
+// def.Merge; extraction consumes the same routed topology.
+package extract
+
+import (
+	"math"
+
+	"repro/internal/route"
+	"repro/internal/tech"
+)
+
+// Options tunes extraction.
+type Options struct {
+	// DrainMergeRKOhm is the series resistance of the Drain Merge via
+	// joining the two sides of a dual-sided output pin.
+	DrainMergeRKOhm float64
+	// PinStubRKOhm models the local M0 stub + via landing at each pin.
+	PinStubRKOhm float64
+	// PinStubCfF is the local stub capacitance at each routed pin.
+	PinStubCfF float64
+	// EscapeK scales the driver escape resistance with pin crowding:
+	// R_escape = PinStubRKOhm * EscapeK * crowding². Crowded pin fields
+	// (dense single-sided cells) force long scenic M0/M1 escapes; the
+	// dual-sided FFET halves crowding per side.
+	EscapeK float64
+}
+
+// DefaultOptions returns flow defaults.
+func DefaultOptions() Options {
+	return Options{
+		DrainMergeRKOhm: 0.05,
+		PinStubRKOhm:    0.12,
+		PinStubCfF:      0.05,
+		EscapeK:         8.0,
+	}
+}
+
+// NetInput describes one net to extract.
+type NetInput struct {
+	Name     string
+	Front    *route.Tree // nil when the net has no frontside routing
+	Back     *route.Tree // nil when single-sided
+	DriverID string
+	// SinkCaps maps sink pin ID -> input capacitance (fF).
+	SinkCaps map[string]float64
+}
+
+// NetRC is the extracted view consumed by STA and power analysis.
+type NetRC struct {
+	Name string
+	// TotalCapFF includes wire, via, stub and sink pin capacitance — the
+	// load seen by the driver and the switched capacitance for power.
+	TotalCapFF float64
+	// WireCapFF is the wire+stub portion only.
+	WireCapFF float64
+	// ElmorePs maps sink pin ID -> Elmore delay from the driver output.
+	ElmorePs map[string]float64
+	// WirelenNm is the total routed length across both sides.
+	WirelenNm int64
+}
+
+// MaxElmore returns the worst sink delay.
+func (n *NetRC) MaxElmore() float64 {
+	m := 0.0
+	for _, v := range n.ElmorePs {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Extract builds the RC view of one net.
+func Extract(stack *tech.Stack, in NetInput, opt Options) *NetRC {
+	out := &NetRC{Name: in.Name, ElmorePs: make(map[string]float64, len(in.SinkCaps))}
+
+	type sideTree struct {
+		t *route.Tree
+	}
+	for _, st := range []sideTree{{in.Front}, {in.Back}} {
+		if st.t == nil {
+			continue
+		}
+		extractSide(stack, st.t, in, opt, out)
+		out.WirelenNm += st.t.WirelenNm
+	}
+	// Sinks with no routed tree (same-gcell or unrouted): local stub only.
+	for id, c := range in.SinkCaps {
+		if _, ok := out.ElmorePs[id]; !ok {
+			out.ElmorePs[id] = opt.PinStubRKOhm * (c + opt.PinStubCfF)
+			out.TotalCapFF += c + opt.PinStubCfF
+			out.WireCapFF += opt.PinStubCfF
+		}
+	}
+	return out
+}
+
+// extractSide runs Elmore analysis over one side's tree and merges the
+// results into out.
+func extractSide(stack *tech.Stack, t *route.Tree, in NetInput, opt Options, out *NetRC) {
+	n := len(t.Nodes)
+	if n == 0 {
+		return
+	}
+	// children adjacency (edges are parent->child by construction).
+	children := make([][]int, n)
+	edgeOf := make([]route.TreeEdge, n) // edge reaching node i (To == i)
+	hasEdge := make([]bool, n)
+	for _, e := range t.Edges {
+		children[e.From] = append(children[e.From], e.To)
+		edgeOf[e.To] = e
+		hasEdge[e.To] = true
+	}
+
+	// Node capacitance: edge wire cap lands at the child node; sink pin
+	// caps and stubs land at their pin node.
+	nodeCap := make([]float64, n)
+	for _, e := range t.Edges {
+		lenUm := float64(e.LenNm) / 1000.0
+		c := e.Layer.CPerUm * lenUm
+		if e.Layer.Name == "" {
+			c = 0.2 * lenUm
+		}
+		c += float64(e.Vias) * stack.ViaCfF
+		nodeCap[e.To] += c
+		out.WireCapFF += c
+		out.TotalCapFF += c
+	}
+	sinksHere := make(map[int][]string)
+	for id, node := range t.PinNode {
+		if id == in.DriverID {
+			continue
+		}
+		c, isSink := in.SinkCaps[id]
+		if !isSink {
+			continue
+		}
+		nodeCap[node] += c + opt.PinStubCfF
+		out.TotalCapFF += c + opt.PinStubCfF
+		out.WireCapFF += opt.PinStubCfF
+		sinksHere[node] = append(sinksHere[node], id)
+	}
+
+	// Downstream capacitance (post-order via reverse BFS order).
+	order := bfsOrder(children, t.DriverNode, n)
+	down := make([]float64, n)
+	copy(down, nodeCap)
+	for i := len(order) - 1; i >= 0; i-- {
+		u := order[i]
+		for _, v := range children[u] {
+			down[u] += down[v]
+		}
+	}
+
+	// Edge resistance includes the wire run plus via hops; the driver's
+	// escape (M0 up to the first routing layer + Drain Merge when the net
+	// reaches the backside) is a series resistance at the root.
+	rootR := opt.PinStubRKOhm * (1 + opt.EscapeK*t.EscapeCrowding*t.EscapeCrowding)
+	if in.Back != nil && in.Front != nil {
+		rootR += opt.DrainMergeRKOhm
+	}
+	if len(t.Edges) > 0 {
+		first := t.Edges[0]
+		if first.Layer.Name != "" {
+			rootR += stack.ViaStackR(0, first.Layer.Index)
+		}
+	}
+
+	elmore := make([]float64, n)
+	elmore[t.DriverNode] = rootR * down[t.DriverNode]
+	for _, u := range order {
+		for _, v := range children[u] {
+			e := edgeOf[v]
+			lenUm := float64(e.LenNm) / 1000.0
+			r := 0.3 * lenUm
+			if e.Layer.Name != "" {
+				r = e.Layer.RPerUm * lenUm
+			}
+			r += float64(e.Vias) * stack.ViaRKOhm
+			elmore[v] = elmore[u] + r*down[v]
+		}
+	}
+	_ = hasEdge
+
+	for node, ids := range sinksHere {
+		// Sink escape: via stack back down to the pin.
+		descend := 0.0
+		if hasEdge[node] && edgeOf[node].Layer.Name != "" {
+			descend = stack.ViaStackR(edgeOf[node].Layer.Index, 0)
+		}
+		for _, id := range ids {
+			d := elmore[node] + (opt.PinStubRKOhm+descend)*(in.SinkCaps[id]+opt.PinStubCfF)
+			if prev, ok := out.ElmorePs[id]; !ok || d > prev {
+				out.ElmorePs[id] = d
+			}
+		}
+	}
+}
+
+// bfsOrder returns nodes reachable from root in BFS order.
+func bfsOrder(children [][]int, root, n int) []int {
+	order := make([]int, 0, n)
+	queue := []int{root}
+	seen := make([]bool, n)
+	seen[root] = true
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		order = append(order, u)
+		for _, v := range children[u] {
+			if !seen[v] {
+				seen[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+	return order
+}
+
+// SlewDegrade approximates output-transition degradation along a wire with
+// the given Elmore delay (Bakoglu-style RMS blend).
+func SlewDegrade(slewPs, elmorePs float64) float64 {
+	return math.Sqrt(slewPs*slewPs + (2.2*elmorePs)*(2.2*elmorePs))
+}

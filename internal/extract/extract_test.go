@@ -1,0 +1,112 @@
+package extract
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/route"
+	"repro/internal/tech"
+)
+
+var st = tech.NewFFET()
+
+// lineTree builds a 3-node path: driver - n1 - n2, 1µm per edge on FM2.
+func lineTree(layer tech.Layer) *route.Tree {
+	return &route.Tree{
+		Name:  "n",
+		Nodes: []geom.Point{geom.Pt(0, 0), geom.Pt(1000, 0), geom.Pt(2000, 0)},
+		Edges: []route.TreeEdge{
+			{From: 0, To: 1, Layer: layer, LenNm: 1000},
+			{From: 1, To: 2, Layer: layer, LenNm: 1000},
+		},
+		PinNode:    map[string]int{"d/Z": 0, "a/I": 1, "b/I": 2},
+		DriverNode: 0,
+		WirelenNm:  2000,
+	}
+}
+
+func TestElmoreOrdering(t *testing.T) {
+	fm2 := st.MustLayer("FM2")
+	rc := Extract(st, NetInput{
+		Name:     "n",
+		Front:    lineTree(fm2),
+		DriverID: "d/Z",
+		SinkCaps: map[string]float64{"a/I": 0.2, "b/I": 0.2},
+	}, DefaultOptions())
+	if rc.ElmorePs["a/I"] <= 0 {
+		t.Fatal("zero Elmore at near sink")
+	}
+	if !(rc.ElmorePs["b/I"] > rc.ElmorePs["a/I"]) {
+		t.Errorf("far sink %.3f must exceed near sink %.3f",
+			rc.ElmorePs["b/I"], rc.ElmorePs["a/I"])
+	}
+	// Total cap: 2µm wire + 2 sinks + stubs.
+	wantWire := 2 * fm2.CPerUm
+	if rc.WireCapFF < wantWire || rc.WireCapFF > wantWire+0.2 {
+		t.Errorf("wire cap = %.3f, want ≈ %.3f", rc.WireCapFF, wantWire)
+	}
+	if rc.TotalCapFF <= rc.WireCapFF {
+		t.Error("total cap must include sink pins")
+	}
+}
+
+func TestUpperLayerIsFaster(t *testing.T) {
+	lo := Extract(st, NetInput{Name: "n", Front: lineTree(st.MustLayer("FM2")),
+		DriverID: "d/Z", SinkCaps: map[string]float64{"a/I": 0.2, "b/I": 0.2}}, DefaultOptions())
+	hi := Extract(st, NetInput{Name: "n", Front: lineTree(st.MustLayer("FM10")),
+		DriverID: "d/Z", SinkCaps: map[string]float64{"a/I": 0.2, "b/I": 0.2}}, DefaultOptions())
+	if !(hi.ElmorePs["b/I"] < lo.ElmorePs["b/I"]) {
+		t.Errorf("FM10 (%.3f ps) must beat FM2 (%.3f ps)",
+			hi.ElmorePs["b/I"], lo.ElmorePs["b/I"])
+	}
+}
+
+func TestDualSidedJoinsAtDriver(t *testing.T) {
+	fm2, bm2 := st.MustLayer("FM2"), st.MustLayer("BM2")
+	front := lineTree(fm2)
+	back := lineTree(bm2)
+	back.PinNode = map[string]int{"d/Z": 0, "c/I": 2}
+	rc := Extract(st, NetInput{
+		Name: "n", Front: front, Back: back, DriverID: "d/Z",
+		SinkCaps: map[string]float64{"a/I": 0.2, "b/I": 0.2, "c/I": 0.2},
+	}, DefaultOptions())
+	if len(rc.ElmorePs) != 3 {
+		t.Fatalf("sinks extracted = %d, want 3 across both sides", len(rc.ElmorePs))
+	}
+	if rc.WirelenNm != 4000 {
+		t.Errorf("wirelength = %d, want 4000 (both sides)", rc.WirelenNm)
+	}
+}
+
+func TestUnroutedSinkGetsStub(t *testing.T) {
+	rc := Extract(st, NetInput{
+		Name: "n", DriverID: "d/Z",
+		SinkCaps: map[string]float64{"a/I": 0.3},
+	}, DefaultOptions())
+	if rc.ElmorePs["a/I"] <= 0 {
+		t.Error("unrouted sink needs a stub delay")
+	}
+}
+
+func TestEscapeCrowdingRaisesDelay(t *testing.T) {
+	mk := func(crowd float64) float64 {
+		tr := lineTree(st.MustLayer("FM2"))
+		tr.EscapeCrowding = crowd
+		rc := Extract(st, NetInput{Name: "n", Front: tr, DriverID: "d/Z",
+			SinkCaps: map[string]float64{"a/I": 0.2, "b/I": 0.2}}, DefaultOptions())
+		return rc.ElmorePs["b/I"]
+	}
+	if !(mk(1.0) > mk(0.0)) {
+		t.Error("pin crowding must increase driver escape delay")
+	}
+}
+
+func TestSlewDegrade(t *testing.T) {
+	if got := SlewDegrade(10, 0); math.Abs(got-10) > 1e-9 {
+		t.Errorf("no wire -> unchanged slew, got %v", got)
+	}
+	if !(SlewDegrade(10, 5) > 10) {
+		t.Error("wire delay must degrade slew")
+	}
+}

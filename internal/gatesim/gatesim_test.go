@@ -1,0 +1,227 @@
+package gatesim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/netlist"
+	"repro/internal/tech"
+)
+
+var lib = cell.NewLibrary(tech.NewFFET())
+
+func TestCombinationalEval(t *testing.T) {
+	nl := netlist.New("comb", lib)
+	nl.AddPort("a", netlist.In)
+	nl.AddPort("b", netlist.In)
+	nl.AddPort("y", netlist.Out)
+	nl.MustAdd("g1", lib.MustCell("NAND2D1"), map[string]string{"A1": "a", "A2": "b", "ZN": "n1"})
+	nl.MustAdd("g2", lib.MustCell("INVD1"), map[string]string{"I": "n1", "ZN": "y"})
+	sim, err := New(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []struct{ a, b, want bool }{
+		{false, false, false}, {true, false, false}, {false, true, false}, {true, true, true},
+	} {
+		sim.SetPort("a", c.a)
+		sim.SetPort("b", c.b)
+		sim.Eval()
+		got, err := sim.Port("y")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("AND(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDFFStep(t *testing.T) {
+	nl := netlist.New("ff", lib)
+	nl.AddPort("d", netlist.In)
+	nl.AddPort("clk", netlist.In)
+	nl.AddPort("q", netlist.Out)
+	nl.MarkClock("clk")
+	nl.MustAdd("ff", lib.MustCell("DFFD1"), map[string]string{"D": "d", "CP": "clk", "Q": "q"})
+	sim, err := New(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.SetPort("d", true)
+	sim.Eval()
+	if q, _ := sim.Port("q"); q {
+		t.Error("q should still be 0 before the clock edge")
+	}
+	sim.Step()
+	sim.Eval()
+	if q, _ := sim.Port("q"); !q {
+		t.Error("q should be 1 after the edge")
+	}
+	sim.SetPort("d", false)
+	sim.Cycle()
+	if q, _ := sim.Port("q"); q {
+		t.Error("q should be 0 after second edge")
+	}
+}
+
+func TestDFFRSOverrides(t *testing.T) {
+	nl := netlist.New("ffrs", lib)
+	for _, p := range []string{"d", "clk", "rn", "sn"} {
+		nl.AddPort(p, netlist.In)
+	}
+	nl.AddPort("q", netlist.Out)
+	nl.MustAdd("ff", lib.MustCell("DFFRSD1"), map[string]string{
+		"D": "d", "CP": "clk", "RN": "rn", "SN": "sn", "Q": "q",
+	})
+	sim, err := New(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := func(d, rn, sn bool) {
+		sim.SetPort("d", d)
+		sim.SetPort("rn", rn)
+		sim.SetPort("sn", sn)
+	}
+	// Set wins over D.
+	set(false, true, false)
+	sim.Cycle()
+	if q, _ := sim.Port("q"); !q {
+		t.Error("SN low should set q=1")
+	}
+	// Reset wins over set.
+	set(true, false, false)
+	sim.Cycle()
+	if q, _ := sim.Port("q"); q {
+		t.Error("RN low should reset q=0 (reset dominant)")
+	}
+	// Normal capture with both inactive.
+	set(true, true, true)
+	sim.Cycle()
+	if q, _ := sim.Port("q"); !q {
+		t.Error("normal capture failed")
+	}
+}
+
+func TestRejectsCombinationalCycle(t *testing.T) {
+	nl := netlist.New("cyc", lib)
+	nl.AddPort("a", netlist.In)
+	nl.MustAdd("u1", lib.MustCell("NAND2D1"), map[string]string{"A1": "a", "A2": "n2", "ZN": "n1"})
+	nl.MustAdd("u2", lib.MustCell("NAND2D1"), map[string]string{"A1": "a", "A2": "n1", "ZN": "n2"})
+	if _, err := New(nl); err == nil {
+		t.Fatal("combinational cycle must be rejected")
+	}
+}
+
+func TestShiftRegister(t *testing.T) {
+	nl := netlist.New("sr", lib)
+	nl.AddPort("d", netlist.In)
+	nl.AddPort("clk", netlist.In)
+	nl.MarkClock("clk")
+	prev := "d"
+	for i := 0; i < 4; i++ {
+		out := "q" + string(rune('0'+i))
+		nl.MustAdd("ff"+string(rune('0'+i)), lib.MustCell("DFFD1"),
+			map[string]string{"D": prev, "CP": "clk", "Q": out})
+		prev = out
+	}
+	sim, err := New(nl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pattern := []bool{true, false, true, true, false, false, true, false}
+	var got []bool
+	for _, bit := range pattern {
+		sim.SetPort("d", bit)
+		sim.Cycle()
+		v, _ := sim.Net("q3")
+		got = append(got, v)
+	}
+	// After cycle i, q3 holds the bit sampled 3 cycles earlier.
+	for i := 3; i < len(pattern); i++ {
+		if got[i] != pattern[i-3] {
+			t.Errorf("cycle %d: q3 = %v, want %v", i, got[i], pattern[i-3])
+		}
+	}
+}
+
+// Property test: a random DAG of library gates simulated by gatesim matches
+// direct functional evaluation of the same DAG.
+func TestRandomDAGMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	bases := []string{"NAND2D1", "NOR2D1", "AND2D1", "OR2D1", "INVD1", "MUX2D1", "AOI21D1", "OAI22D1"}
+	for trial := 0; trial < 25; trial++ {
+		nl := netlist.New("rnd", lib)
+		const numIn = 5
+		type node struct {
+			c   *cell.Cell
+			ins []int // indices into signal list
+		}
+		var nodes []node
+		nSignals := numIn
+		for i := 0; i < numIn; i++ {
+			nl.AddPort(sigName(i), netlist.In)
+		}
+		nGates := 3 + rng.Intn(30)
+		for g := 0; g < nGates; g++ {
+			c := lib.MustCell(bases[rng.Intn(len(bases))])
+			n := node{c: c}
+			conns := map[string]string{}
+			for _, p := range c.Inputs {
+				k := rng.Intn(nSignals)
+				n.ins = append(n.ins, k)
+				conns[p.Name] = sigName(k)
+			}
+			conns[c.Out.Name] = sigName(nSignals)
+			nl.MustAdd(gName(g), c, conns)
+			nodes = append(nodes, n)
+			nSignals++
+		}
+		sim, err := New(nl)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for vec := 0; vec < 16; vec++ {
+			vals := make([]bool, nSignals)
+			for i := 0; i < numIn; i++ {
+				vals[i] = rng.Intn(2) == 1
+				sim.SetPort(sigName(i), vals[i])
+			}
+			sim.Eval()
+			// Reference evaluation in creation order (a topological order).
+			for g, n := range nodes {
+				ins := make([]bool, len(n.ins))
+				for k, idx := range n.ins {
+					ins[k] = vals[idx]
+				}
+				vals[numIn+g] = n.c.Fn.Eval(ins)
+			}
+			for g := range nodes {
+				got, err := sim.Net(sigName(numIn + g))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != vals[numIn+g] {
+					t.Fatalf("trial %d vec %d: gate %d (%s) = %v, want %v",
+						trial, vec, g, nodes[g].c.Name, got, vals[numIn+g])
+				}
+			}
+		}
+	}
+}
+
+func sigName(i int) string { return "s" + itoa(i) }
+func gName(i int) string   { return "g" + itoa(i) }
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b []byte
+	for i > 0 {
+		b = append([]byte{byte('0' + i%10)}, b...)
+		i /= 10
+	}
+	return string(b)
+}

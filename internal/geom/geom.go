@@ -1,0 +1,231 @@
+// Package geom provides integer-nanometer geometry primitives shared by the
+// physical-design substrates: points, rectangles, closed intervals and
+// Manhattan metrics. All coordinates are in database units of 1 nm.
+package geom
+
+import "fmt"
+
+// Point is a location on one side of the wafer, in nanometers.
+type Point struct {
+	X, Y int64
+}
+
+// Pt is shorthand for Point{x, y}.
+func Pt(x, y int64) Point { return Point{x, y} }
+
+// Add returns p translated by q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Sub returns p translated by -q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// ManhattanDist returns the L1 distance between p and q.
+func (p Point) ManhattanDist(q Point) int64 {
+	return Abs64(p.X-q.X) + Abs64(p.Y-q.Y)
+}
+
+func (p Point) String() string { return fmt.Sprintf("(%d,%d)", p.X, p.Y) }
+
+// Abs64 returns |v|.
+func Abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Min64 returns the smaller of a and b.
+func Min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Max64 returns the larger of a and b.
+func Max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Clamp64 limits v to [lo, hi].
+func Clamp64(v, lo, hi int64) int64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Rect is an axis-aligned rectangle with inclusive lower-left and exclusive
+// upper-right corners, in nanometers. A Rect with Lo == Hi is empty.
+type Rect struct {
+	Lo, Hi Point
+}
+
+// R builds a Rect from coordinates, normalizing the corner order.
+func R(x0, y0, x1, y1 int64) Rect {
+	if x0 > x1 {
+		x0, x1 = x1, x0
+	}
+	if y0 > y1 {
+		y0, y1 = y1, y0
+	}
+	return Rect{Point{x0, y0}, Point{x1, y1}}
+}
+
+// W returns the rectangle width.
+func (r Rect) W() int64 { return r.Hi.X - r.Lo.X }
+
+// H returns the rectangle height.
+func (r Rect) H() int64 { return r.Hi.Y - r.Lo.Y }
+
+// Area returns the rectangle area in nm².
+func (r Rect) Area() int64 { return r.W() * r.H() }
+
+// Empty reports whether the rectangle has zero area.
+func (r Rect) Empty() bool { return r.W() <= 0 || r.H() <= 0 }
+
+// Center returns the rectangle center (rounded down).
+func (r Rect) Center() Point {
+	return Point{(r.Lo.X + r.Hi.X) / 2, (r.Lo.Y + r.Hi.Y) / 2}
+}
+
+// Contains reports whether p lies inside r (half-open on the high edges).
+func (r Rect) Contains(p Point) bool {
+	return p.X >= r.Lo.X && p.X < r.Hi.X && p.Y >= r.Lo.Y && p.Y < r.Hi.Y
+}
+
+// Overlaps reports whether r and s share interior area.
+func (r Rect) Overlaps(s Rect) bool {
+	return r.Lo.X < s.Hi.X && s.Lo.X < r.Hi.X && r.Lo.Y < s.Hi.Y && s.Lo.Y < r.Hi.Y
+}
+
+// Intersect returns the shared area of r and s (possibly empty).
+func (r Rect) Intersect(s Rect) Rect {
+	out := Rect{
+		Point{Max64(r.Lo.X, s.Lo.X), Max64(r.Lo.Y, s.Lo.Y)},
+		Point{Min64(r.Hi.X, s.Hi.X), Min64(r.Hi.Y, s.Hi.Y)},
+	}
+	if out.Empty() {
+		return Rect{}
+	}
+	return out
+}
+
+// Union returns the bounding box of r and s. Empty rectangles are ignored.
+func (r Rect) Union(s Rect) Rect {
+	if r.Empty() {
+		return s
+	}
+	if s.Empty() {
+		return r
+	}
+	return Rect{
+		Point{Min64(r.Lo.X, s.Lo.X), Min64(r.Lo.Y, s.Lo.Y)},
+		Point{Max64(r.Hi.X, s.Hi.X), Max64(r.Hi.Y, s.Hi.Y)},
+	}
+}
+
+// Translate returns r shifted by d.
+func (r Rect) Translate(d Point) Rect {
+	return Rect{r.Lo.Add(d), r.Hi.Add(d)}
+}
+
+// Expand grows the rectangle by m on every edge (shrinks for negative m).
+func (r Rect) Expand(m int64) Rect {
+	return Rect{Point{r.Lo.X - m, r.Lo.Y - m}, Point{r.Hi.X + m, r.Hi.Y + m}}
+}
+
+func (r Rect) String() string {
+	return fmt.Sprintf("[%s %s]", r.Lo, r.Hi)
+}
+
+// BBox returns the bounding box of the given points. It returns an empty
+// Rect when pts is empty.
+func BBox(pts []Point) Rect {
+	if len(pts) == 0 {
+		return Rect{}
+	}
+	r := Rect{pts[0], pts[0]}
+	for _, p := range pts[1:] {
+		r.Lo.X = Min64(r.Lo.X, p.X)
+		r.Lo.Y = Min64(r.Lo.Y, p.Y)
+		r.Hi.X = Max64(r.Hi.X, p.X)
+		r.Hi.Y = Max64(r.Hi.Y, p.Y)
+	}
+	return r
+}
+
+// HPWL returns the half-perimeter wirelength of the points' bounding box.
+func HPWL(pts []Point) int64 {
+	if len(pts) < 2 {
+		return 0
+	}
+	b := BBox(pts)
+	return b.W() + b.H()
+}
+
+// Interval is a 1-D closed-open range [Lo, Hi).
+type Interval struct {
+	Lo, Hi int64
+}
+
+// Len returns the interval length.
+func (iv Interval) Len() int64 { return iv.Hi - iv.Lo }
+
+// Empty reports whether the interval covers nothing.
+func (iv Interval) Empty() bool { return iv.Hi <= iv.Lo }
+
+// Overlaps reports whether two intervals share interior length.
+func (iv Interval) Overlaps(o Interval) bool { return iv.Lo < o.Hi && o.Lo < iv.Hi }
+
+// Intersect clips iv to o.
+func (iv Interval) Intersect(o Interval) Interval {
+	out := Interval{Max64(iv.Lo, o.Lo), Min64(iv.Hi, o.Hi)}
+	if out.Empty() {
+		return Interval{}
+	}
+	return out
+}
+
+// Contains reports whether v lies in [Lo, Hi).
+func (iv Interval) Contains(v int64) bool { return v >= iv.Lo && v < iv.Hi }
+
+// SnapDown rounds v down to the nearest multiple of step at or below v,
+// relative to origin. step must be positive.
+func SnapDown(v, origin, step int64) int64 {
+	d := v - origin
+	q := d / step
+	if d < 0 && d%step != 0 {
+		q--
+	}
+	return origin + q*step
+}
+
+// SnapNearest rounds v to the nearest multiple of step relative to origin.
+func SnapNearest(v, origin, step int64) int64 {
+	lo := SnapDown(v, origin, step)
+	if v-lo >= step-(v-lo) {
+		return lo + step
+	}
+	return lo
+}
+
+// NmToUm converts nanometers to micrometers.
+func NmToUm(nm int64) float64 { return float64(nm) / 1000.0 }
+
+// UmToNm converts micrometers to nanometers (rounded to nearest).
+func UmToNm(um float64) int64 {
+	if um >= 0 {
+		return int64(um*1000.0 + 0.5)
+	}
+	return -int64(-um*1000.0 + 0.5)
+}
+
+// Um2 converts an nm² area to µm².
+func Um2(nm2 int64) float64 { return float64(nm2) / 1e6 }

@@ -1,0 +1,247 @@
+package geom
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPointOps(t *testing.T) {
+	p := Pt(3, -4)
+	q := Pt(-1, 2)
+	if got := p.Add(q); got != Pt(2, -2) {
+		t.Errorf("Add = %v, want (2,-2)", got)
+	}
+	if got := p.Sub(q); got != Pt(4, -6) {
+		t.Errorf("Sub = %v, want (4,-6)", got)
+	}
+	if got := p.ManhattanDist(q); got != 10 {
+		t.Errorf("ManhattanDist = %d, want 10", got)
+	}
+	if got := p.ManhattanDist(p); got != 0 {
+		t.Errorf("self distance = %d, want 0", got)
+	}
+}
+
+func TestRectNormalization(t *testing.T) {
+	r := R(10, 20, 4, 6)
+	if r.Lo != Pt(4, 6) || r.Hi != Pt(10, 20) {
+		t.Fatalf("R did not normalize: %v", r)
+	}
+	if r.W() != 6 || r.H() != 14 {
+		t.Errorf("W,H = %d,%d want 6,14", r.W(), r.H())
+	}
+	if r.Area() != 84 {
+		t.Errorf("Area = %d want 84", r.Area())
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := R(0, 0, 10, 10)
+	cases := []struct {
+		p    Point
+		want bool
+	}{
+		{Pt(0, 0), true},
+		{Pt(9, 9), true},
+		{Pt(10, 10), false}, // high edge exclusive
+		{Pt(-1, 5), false},
+		{Pt(5, 10), false},
+	}
+	for _, c := range cases {
+		if got := r.Contains(c.p); got != c.want {
+			t.Errorf("Contains(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestRectOverlapIntersect(t *testing.T) {
+	a := R(0, 0, 10, 10)
+	b := R(5, 5, 15, 15)
+	c := R(10, 0, 20, 10) // touching edge, no interior overlap
+	if !a.Overlaps(b) {
+		t.Error("a should overlap b")
+	}
+	if a.Overlaps(c) {
+		t.Error("edge-touching rects must not overlap")
+	}
+	got := a.Intersect(b)
+	if got != R(5, 5, 10, 10) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if !a.Intersect(c).Empty() {
+		t.Error("Intersect of touching rects should be empty")
+	}
+}
+
+func TestRectUnion(t *testing.T) {
+	a := R(0, 0, 4, 4)
+	b := R(10, 10, 12, 12)
+	if got := a.Union(b); got != R(0, 0, 12, 12) {
+		t.Errorf("Union = %v", got)
+	}
+	var empty Rect
+	if got := empty.Union(b); got != b {
+		t.Errorf("empty union = %v, want %v", got, b)
+	}
+	if got := b.Union(empty); got != b {
+		t.Errorf("union empty = %v, want %v", got, b)
+	}
+}
+
+func TestBBoxHPWL(t *testing.T) {
+	pts := []Point{Pt(1, 1), Pt(5, 3), Pt(2, 8)}
+	b := BBox(pts)
+	if b != R(1, 1, 5, 8) {
+		t.Errorf("BBox = %v", b)
+	}
+	if got := HPWL(pts); got != 4+7 {
+		t.Errorf("HPWL = %d want 11", got)
+	}
+	if HPWL(nil) != 0 || HPWL(pts[:1]) != 0 {
+		t.Error("HPWL of <2 points must be 0")
+	}
+}
+
+func TestSnap(t *testing.T) {
+	if got := SnapDown(107, 0, 50); got != 100 {
+		t.Errorf("SnapDown = %d want 100", got)
+	}
+	if got := SnapDown(-7, 0, 50); got != -50 {
+		t.Errorf("SnapDown(-7) = %d want -50", got)
+	}
+	if got := SnapDown(100, 0, 50); got != 100 {
+		t.Errorf("SnapDown exact = %d want 100", got)
+	}
+	if got := SnapNearest(126, 0, 50); got != 150 {
+		t.Errorf("SnapNearest = %d want 150", got)
+	}
+	if got := SnapNearest(124, 0, 50); got != 100 {
+		t.Errorf("SnapNearest = %d want 100", got)
+	}
+	if got := SnapDown(107, 7, 50); got != 107 {
+		t.Errorf("SnapDown w/ origin = %d want 107", got)
+	}
+}
+
+func TestInterval(t *testing.T) {
+	a := Interval{0, 10}
+	b := Interval{10, 20}
+	if a.Overlaps(b) {
+		t.Error("touching intervals must not overlap")
+	}
+	c := Interval{5, 15}
+	if !a.Overlaps(c) {
+		t.Error("a should overlap c")
+	}
+	if got := a.Intersect(c); got != (Interval{5, 10}) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if !a.Contains(0) || a.Contains(10) {
+		t.Error("Contains must be half-open")
+	}
+	if a.Len() != 10 {
+		t.Errorf("Len = %d", a.Len())
+	}
+}
+
+func TestUnitConversions(t *testing.T) {
+	if got := NmToUm(1500); got != 1.5 {
+		t.Errorf("NmToUm = %v", got)
+	}
+	if got := UmToNm(1.5); got != 1500 {
+		t.Errorf("UmToNm = %v", got)
+	}
+	if got := UmToNm(-1.5); got != -1500 {
+		t.Errorf("UmToNm(-1.5) = %v", got)
+	}
+	if got := Um2(3_000_000); got != 3.0 {
+		t.Errorf("Um2 = %v", got)
+	}
+}
+
+// Property: Manhattan distance is a metric (symmetry + triangle inequality).
+func TestManhattanMetricProperties(t *testing.T) {
+	small := func(v int64) int64 { return v % 1_000_000 }
+	sym := func(x1, y1, x2, y2 int64) bool {
+		p, q := Pt(small(x1), small(y1)), Pt(small(x2), small(y2))
+		return p.ManhattanDist(q) == q.ManhattanDist(p)
+	}
+	if err := quick.Check(sym, nil); err != nil {
+		t.Error(err)
+	}
+	tri := func(x1, y1, x2, y2, x3, y3 int64) bool {
+		p, q, r := Pt(small(x1), small(y1)), Pt(small(x2), small(y2)), Pt(small(x3), small(y3))
+		return p.ManhattanDist(r) <= p.ManhattanDist(q)+q.ManhattanDist(r)
+	}
+	if err := quick.Check(tri, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Intersect result is contained in both inputs and Overlaps is
+// consistent with a non-empty intersection.
+func TestIntersectProperties(t *testing.T) {
+	mk := func(a, b, c, d int64) Rect {
+		m := int64(10000)
+		return R(a%m, b%m, c%m, d%m)
+	}
+	prop := func(a, b, c, d, e, f, g, h int64) bool {
+		r1, r2 := mk(a, b, c, d), mk(e, f, g, h)
+		in := r1.Intersect(r2)
+		if r1.Overlaps(r2) != !in.Empty() {
+			// Degenerate (zero-area) inputs never overlap.
+			if r1.Empty() || r2.Empty() {
+				return in.Empty()
+			}
+			return false
+		}
+		if in.Empty() {
+			return true
+		}
+		return in.Lo.X >= r1.Lo.X && in.Hi.X <= r1.Hi.X &&
+			in.Lo.X >= r2.Lo.X && in.Hi.X <= r2.Hi.X &&
+			in.Lo.Y >= r1.Lo.Y && in.Hi.Y <= r1.Hi.Y &&
+			in.Lo.Y >= r2.Lo.Y && in.Hi.Y <= r2.Hi.Y
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Union contains both inputs.
+func TestUnionContainsInputs(t *testing.T) {
+	prop := func(a, b, c, d, e, f, g, h int64) bool {
+		m := int64(10000)
+		r1 := R(a%m, b%m, c%m, d%m)
+		r2 := R(e%m, f%m, g%m, h%m)
+		u := r1.Union(r2)
+		within := func(inner, outer Rect) bool {
+			if inner.Empty() {
+				return true
+			}
+			return inner.Lo.X >= outer.Lo.X && inner.Lo.Y >= outer.Lo.Y &&
+				inner.Hi.X <= outer.Hi.X && inner.Hi.Y <= outer.Hi.Y
+		}
+		return within(r1, u) && within(r2, u)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SnapDown lands on-grid and within one step below v.
+func TestSnapDownProperties(t *testing.T) {
+	prop := func(v, origin int64, stepRaw uint16) bool {
+		step := int64(stepRaw%1000) + 1
+		v %= 1_000_000_000
+		origin %= 1_000_000
+		s := SnapDown(v, origin, step)
+		if (s-origin)%step != 0 {
+			return false
+		}
+		return s <= v && v-s < step
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}

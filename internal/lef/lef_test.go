@@ -1,0 +1,183 @@
+package lef
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/tech"
+)
+
+var (
+	ffetLib = cell.NewLibrary(tech.NewFFET())
+	cfetLib = cell.NewLibrary(tech.NewCFET())
+)
+
+func TestWriteParseRoundTripFFET(t *testing.T) {
+	sides := SideConfig{}
+	sides.Set("INVD1", "I", SideBack)
+	sides.Set("NAND2D1", "A2", SideBack)
+	var buf bytes.Buffer
+	if err := Write(&buf, ffetLib, sides); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"SITE ffet_site", "MACRO INVD1", "SIDE BACK ;", "SIDE BOTH ;",
+		"SIZE 0.100 BY 0.105 ;",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("LEF missing %q", want)
+		}
+	}
+	lib, err := Parse(&buf)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if got := len(lib.Macros); got != 28 {
+		t.Fatalf("parsed %d macros, want 28", got)
+	}
+	inv := lib.Macro("INVD1")
+	if inv == nil {
+		t.Fatal("INVD1 missing")
+	}
+	if inv.WidthNm != 100 || inv.HeightNm != 105 {
+		t.Errorf("INVD1 size = %dx%d, want 100x105", inv.WidthNm, inv.HeightNm)
+	}
+	var iPin, zPin *MacroPin
+	for i := range inv.Pins {
+		switch inv.Pins[i].Name {
+		case "I":
+			iPin = &inv.Pins[i]
+		case "ZN":
+			zPin = &inv.Pins[i]
+		}
+	}
+	if iPin == nil || zPin == nil {
+		t.Fatalf("pins = %+v", inv.Pins)
+	}
+	if iPin.Side != SideBack {
+		t.Errorf("I side = %v, want BACK (redistributed)", iPin.Side)
+	}
+	if iPin.Layer != "BM0" {
+		t.Errorf("I layer = %q, want BM0 for a backside pin", iPin.Layer)
+	}
+	if zPin.Side != SideBoth {
+		t.Errorf("ZN side = %v, want BOTH (Drain Merge)", zPin.Side)
+	}
+	nand := lib.Macro("NAND2D1")
+	for _, p := range nand.Pins {
+		want := SideFront
+		switch p.Name {
+		case "A2":
+			want = SideBack
+		case "ZN":
+			want = SideBoth
+		}
+		if p.Side != want {
+			t.Errorf("NAND2D1/%s side = %v, want %v", p.Name, p.Side, want)
+		}
+	}
+	if lib.SiteWidth != 50 || lib.SiteHeight != 105 {
+		t.Errorf("site = %dx%d", lib.SiteWidth, lib.SiteHeight)
+	}
+}
+
+func TestCFETPinsAreFrontOnly(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, cfetLib, SideConfig{}); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	lib, err := Parse(&buf)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	for _, m := range lib.Macros {
+		for _, p := range m.Pins {
+			if p.Side != SideFront {
+				t.Errorf("CFET %s/%s side = %v, want FRONT", m.Name, p.Name, p.Side)
+			}
+		}
+	}
+}
+
+func TestCFETRejectsBacksideConfig(t *testing.T) {
+	sides := SideConfig{}
+	sides.Set("INVD1", "I", SideBack)
+	var buf bytes.Buffer
+	if err := Write(&buf, cfetLib, sides); err == nil {
+		t.Fatal("backside pin on CFET must be rejected")
+	}
+}
+
+func TestClockPinUse(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, ffetLib, SideConfig{}); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	lib, err := Parse(&buf)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	dff := lib.Macro("DFFD1")
+	found := false
+	for _, p := range dff.Pins {
+		if p.Name == "CP" {
+			found = true
+			if p.Use != "CLOCK" {
+				t.Errorf("CP use = %q, want CLOCK", p.Use)
+			}
+		}
+	}
+	if !found {
+		t.Error("DFFD1 has no CP pin")
+	}
+}
+
+func TestSideConfigDefaults(t *testing.T) {
+	sc := SideConfig{}
+	if got := sc.Get("INVD1", "I"); got != SideFront {
+		t.Errorf("default side = %v, want FRONT", got)
+	}
+	sc.Set("INVD1", "I", SideBack)
+	if got := sc.Get("INVD1", "I"); got != SideBack {
+		t.Errorf("side = %v after Set", got)
+	}
+	if got := sc.Get("INVD1", "ZN"); got != SideFront {
+		t.Errorf("unset pin side = %v", got)
+	}
+}
+
+func TestParseSide(t *testing.T) {
+	for s, want := range map[string]PinSide{"FRONT": SideFront, "BACK": SideBack, "BOTH": SideBoth} {
+		got, err := ParseSide(s)
+		if err != nil || got != want {
+			t.Errorf("ParseSide(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseSide("SIDEWAYS"); err == nil {
+		t.Error("invalid side must error")
+	}
+}
+
+func TestAllMacroPinCounts(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Write(&buf, ffetLib, SideConfig{}); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	lib, err := Parse(&buf)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	for _, c := range ffetLib.Cells() {
+		m := lib.Macro(c.Name)
+		if m == nil {
+			t.Errorf("macro %s missing", c.Name)
+			continue
+		}
+		if got, want := len(m.Pins), len(c.Inputs)+1; got != want {
+			t.Errorf("%s pin count = %d, want %d", c.Name, got, want)
+		}
+	}
+}

@@ -1,0 +1,455 @@
+// Package netlist models gate-level netlists: standard-cell instances,
+// nets with a single driver and multiple sinks, and top-level ports. It is
+// the common currency between synthesis, placement, routing, timing and
+// power analysis, and can be serialized to/from structural Verilog.
+package netlist
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cell"
+	"repro/internal/geom"
+)
+
+// PortDir is the direction of a top-level port.
+type PortDir int
+
+// Port directions.
+const (
+	In PortDir = iota
+	Out
+)
+
+// Port is a top-level interface pin of the block.
+type Port struct {
+	Name string
+	Dir  PortDir
+	Net  *Net
+	// Pos is the port's placed location on the core boundary (filled by
+	// floorplanning/IO placement).
+	Pos geom.Point
+}
+
+// PinRef identifies one endpoint of a net: either an instance pin or a
+// top-level port.
+type PinRef struct {
+	Inst *Instance // nil when the endpoint is a port
+	Pin  string    // pin name on the instance ("" for ports)
+	Port *Port     // nil when the endpoint is an instance pin
+}
+
+// IsPort reports whether the endpoint is a top-level port.
+func (p PinRef) IsPort() bool { return p.Port != nil }
+
+// String renders the endpoint as inst/pin or port name.
+func (p PinRef) String() string {
+	if p.IsPort() {
+		return p.Port.Name
+	}
+	return p.Inst.Name + "/" + p.Pin
+}
+
+// Net is a signal net: exactly one driver, zero or more sinks.
+type Net struct {
+	Name    string
+	Driver  PinRef
+	Sinks   []PinRef
+	IsClock bool
+}
+
+// Fanout returns the number of sinks.
+func (n *Net) Fanout() int { return len(n.Sinks) }
+
+// Instance is a placed (or yet-unplaced) standard-cell instance.
+type Instance struct {
+	Name string
+	Cell *cell.Cell
+	// conns maps pin name -> net.
+	conns map[string]*Net
+
+	// Physical state, managed by floorplan/placement.
+	Pos   geom.Point // lower-left corner
+	Fixed bool       // true for power tap cells and other pre-placed cells
+}
+
+// Conn returns the net bound to the named pin (nil if unconnected).
+func (i *Instance) Conn(pin string) *Net { return i.conns[pin] }
+
+// PinNames returns the instance pin names in canonical cell order
+// (inputs first, then the output).
+func (i *Instance) PinNames() []string {
+	var out []string
+	for _, p := range i.Cell.Inputs {
+		out = append(out, p.Name)
+	}
+	out = append(out, i.Cell.Out.Name)
+	return out
+}
+
+// InputNets returns the nets on the instance's input pins, canonical order.
+func (i *Instance) InputNets() []*Net {
+	out := make([]*Net, 0, len(i.Cell.Inputs))
+	for _, p := range i.Cell.Inputs {
+		out = append(out, i.conns[p.Name])
+	}
+	return out
+}
+
+// OutputNet returns the net driven by the instance (nil if unconnected).
+func (i *Instance) OutputNet() *Net { return i.conns[i.Cell.Out.Name] }
+
+// Center returns the instance center point given its library stack height.
+func (i *Instance) Center() geom.Point {
+	// Width is resolved lazily by callers holding the stack; the X center
+	// uses the cell's CPP width at 50nm/CPP which is constant across archs.
+	return i.Pos
+}
+
+// Netlist is a flat gate-level design.
+type Netlist struct {
+	Name string
+	Lib  *cell.Library
+
+	Instances []*Instance
+	Nets      []*Net
+	Ports     []*Port
+
+	instByName map[string]*Instance
+	netByName  map[string]*Net
+	portByName map[string]*Port
+}
+
+// New creates an empty netlist bound to a library.
+func New(name string, lib *cell.Library) *Netlist {
+	return &Netlist{
+		Name:       name,
+		Lib:        lib,
+		instByName: make(map[string]*Instance),
+		netByName:  make(map[string]*Net),
+		portByName: make(map[string]*Port),
+	}
+}
+
+// AddPort declares a top-level port and its bound net (created if needed).
+func (nl *Netlist) AddPort(name string, dir PortDir) *Port {
+	if p, ok := nl.portByName[name]; ok {
+		return p
+	}
+	p := &Port{Name: name, Dir: dir}
+	n := nl.EnsureNet(name)
+	p.Net = n
+	if dir == In {
+		n.Driver = PinRef{Port: p}
+	} else {
+		n.Sinks = append(n.Sinks, PinRef{Port: p})
+	}
+	nl.Ports = append(nl.Ports, p)
+	nl.portByName[name] = p
+	return p
+}
+
+// Port returns the named port, or nil.
+func (nl *Netlist) Port(name string) *Port { return nl.portByName[name] }
+
+// EnsureNet returns the named net, creating it if absent.
+func (nl *Netlist) EnsureNet(name string) *Net {
+	if n, ok := nl.netByName[name]; ok {
+		return n
+	}
+	n := &Net{Name: name}
+	nl.Nets = append(nl.Nets, n)
+	nl.netByName[name] = n
+	return n
+}
+
+// Net returns the named net, or nil.
+func (nl *Netlist) Net(name string) *Net { return nl.netByName[name] }
+
+// Instance returns the named instance, or nil.
+func (nl *Netlist) Instance(name string) *Instance { return nl.instByName[name] }
+
+// AddInstance creates an instance of c with pin connections given as
+// pin name -> net name. Nets are created on demand. The output pin
+// connection establishes the net driver.
+func (nl *Netlist) AddInstance(name string, c *cell.Cell, conns map[string]string) (*Instance, error) {
+	if _, dup := nl.instByName[name]; dup {
+		return nil, fmt.Errorf("netlist: duplicate instance %q", name)
+	}
+	inst := &Instance{Name: name, Cell: c, conns: make(map[string]*Net, len(conns))}
+	for pin, netName := range conns {
+		isOut := pin == c.Out.Name
+		if !isOut {
+			if _, ok := c.InputPin(pin); !ok {
+				return nil, fmt.Errorf("netlist: %s has no pin %q", c.Name, pin)
+			}
+		}
+		n := nl.EnsureNet(netName)
+		inst.conns[pin] = n
+		ref := PinRef{Inst: inst, Pin: pin}
+		if isOut {
+			if n.Driver != (PinRef{}) {
+				return nil, fmt.Errorf("netlist: net %q already driven by %s", netName, n.Driver)
+			}
+			n.Driver = ref
+		} else {
+			n.Sinks = append(n.Sinks, ref)
+		}
+	}
+	nl.Instances = append(nl.Instances, inst)
+	nl.instByName[name] = inst
+	return inst, nil
+}
+
+// MustAdd is AddInstance that panics on error; for generator code building
+// netlists from trusted templates.
+func (nl *Netlist) MustAdd(name string, c *cell.Cell, conns map[string]string) *Instance {
+	inst, err := nl.AddInstance(name, c, conns)
+	if err != nil {
+		panic(err)
+	}
+	return inst
+}
+
+// MarkClock flags the named net (and its name) as the clock.
+func (nl *Netlist) MarkClock(netName string) {
+	if n := nl.netByName[netName]; n != nil {
+		n.IsClock = true
+	}
+}
+
+// ClockNet returns the first net marked as clock, or nil.
+func (nl *Netlist) ClockNet() *Net {
+	for _, n := range nl.Nets {
+		if n.IsClock {
+			return n
+		}
+	}
+	return nil
+}
+
+// Flops returns all sequential instances in deterministic order.
+func (nl *Netlist) Flops() []*Instance {
+	var out []*Instance
+	for _, i := range nl.Instances {
+		if i.Cell.IsSeq() {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// CellAreaNm2 sums the footprint area of all instances.
+func (nl *Netlist) CellAreaNm2() int64 {
+	var sum int64
+	for _, i := range nl.Instances {
+		sum += i.Cell.AreaNm2(nl.Lib.Stack)
+	}
+	return sum
+}
+
+// CellAreaUm2 is CellAreaNm2 in µm².
+func (nl *Netlist) CellAreaUm2() float64 { return float64(nl.CellAreaNm2()) / 1e6 }
+
+// Stats summarizes a netlist.
+type Stats struct {
+	Instances int
+	Nets      int
+	Ports     int
+	Flops     int
+	AreaUm2   float64
+	ByBase    map[string]int
+}
+
+// Stats computes summary statistics.
+func (nl *Netlist) Stats() Stats {
+	s := Stats{
+		Instances: len(nl.Instances),
+		Nets:      len(nl.Nets),
+		Ports:     len(nl.Ports),
+		AreaUm2:   nl.CellAreaUm2(),
+		ByBase:    make(map[string]int),
+	}
+	for _, i := range nl.Instances {
+		s.ByBase[i.Cell.Base]++
+		if i.Cell.IsSeq() {
+			s.Flops++
+		}
+	}
+	return s
+}
+
+// Validate checks structural invariants: every net has a driver, every
+// sink refers to an existing pin, no instance input is dangling, and pin
+// connection tables are consistent with net endpoint lists.
+func (nl *Netlist) Validate() error {
+	for _, n := range nl.Nets {
+		if n.Driver == (PinRef{}) {
+			return fmt.Errorf("netlist: net %q has no driver", n.Name)
+		}
+		if !n.Driver.IsPort() {
+			if n.Driver.Inst.conns[n.Driver.Pin] != n {
+				return fmt.Errorf("netlist: net %q driver back-reference broken", n.Name)
+			}
+		}
+		for _, s := range n.Sinks {
+			if s.IsPort() {
+				continue
+			}
+			if s.Inst.conns[s.Pin] != n {
+				return fmt.Errorf("netlist: net %q sink %s back-reference broken", n.Name, s)
+			}
+		}
+	}
+	for _, i := range nl.Instances {
+		for _, p := range i.Cell.Inputs {
+			if i.conns[p.Name] == nil {
+				return fmt.Errorf("netlist: %s input %s dangling", i.Name, p.Name)
+			}
+		}
+		if i.OutputNet() == nil {
+			return fmt.Errorf("netlist: %s output dangling", i.Name)
+		}
+	}
+	return nil
+}
+
+// Remap returns a deep copy of the netlist bound to another library. Cell
+// names must exist in the target library (the FFET and CFET libraries are
+// name-compatible, enabling the paper's like-for-like block comparison).
+func (nl *Netlist) Remap(lib *cell.Library) (*Netlist, error) {
+	out := New(nl.Name, lib)
+	for _, p := range nl.Ports {
+		out.AddPort(p.Name, p.Dir)
+	}
+	for _, i := range nl.Instances {
+		c := lib.Cell(i.Cell.Name)
+		if c == nil {
+			return nil, fmt.Errorf("netlist: target library lacks %s", i.Cell.Name)
+		}
+		conns := make(map[string]string, len(i.conns))
+		for pin, n := range i.conns {
+			conns[pin] = n.Name
+		}
+		if _, err := out.AddInstance(i.Name, c, conns); err != nil {
+			return nil, err
+		}
+	}
+	for _, n := range nl.Nets {
+		if n.IsClock {
+			out.MarkClock(n.Name)
+		}
+	}
+	return out, nil
+}
+
+// Clone returns a deep copy bound to the same library.
+func (nl *Netlist) Clone() *Netlist {
+	out, err := nl.Remap(nl.Lib)
+	if err != nil {
+		panic("netlist: clone failed: " + err.Error())
+	}
+	return out
+}
+
+// TopoLevels returns instances in topological order of the combinational
+// graph (flip-flop outputs and ports are level-0 sources; flip-flop data
+// inputs are sinks). The second return lists any instances caught in
+// combinational cycles (empty for well-formed designs).
+func (nl *Netlist) TopoLevels() ([][]*Instance, []*Instance) {
+	indeg := make(map[*Instance]int, len(nl.Instances))
+	for _, i := range nl.Instances {
+		if i.Cell.IsSeq() {
+			continue // flops break the graph
+		}
+		deg := 0
+		for _, n := range i.InputNets() {
+			if n == nil || n.Driver.IsPort() {
+				continue
+			}
+			if d := n.Driver.Inst; d != nil && !d.Cell.IsSeq() {
+				deg++
+			}
+		}
+		indeg[i] = deg
+	}
+	var levels [][]*Instance
+	frontier := make([]*Instance, 0)
+	for _, i := range nl.Instances { // deterministic order
+		if !i.Cell.IsSeq() && indeg[i] == 0 {
+			frontier = append(frontier, i)
+		}
+	}
+	seen := 0
+	for len(frontier) > 0 {
+		levels = append(levels, frontier)
+		seen += len(frontier)
+		var next []*Instance
+		for _, i := range frontier {
+			out := i.OutputNet()
+			if out == nil {
+				continue
+			}
+			for _, s := range out.Sinks {
+				if s.IsPort() || s.Inst.Cell.IsSeq() {
+					continue
+				}
+				indeg[s.Inst]--
+				if indeg[s.Inst] == 0 {
+					next = append(next, s.Inst)
+				}
+			}
+		}
+		frontier = next
+	}
+	var cyclic []*Instance
+	if seen < len(indeg) {
+		for _, i := range nl.Instances {
+			if !i.Cell.IsSeq() && indeg[i] > 0 {
+				cyclic = append(cyclic, i)
+			}
+		}
+	}
+	return levels, cyclic
+}
+
+// SortNetsByName orders the net list deterministically (useful before
+// emitting artifacts).
+func (nl *Netlist) SortNetsByName() {
+	sort.Slice(nl.Nets, func(i, j int) bool { return nl.Nets[i].Name < nl.Nets[j].Name })
+}
+
+// Reconnect moves an instance input pin from its current net to another
+// net, updating both sink lists. Used by buffering and clock tree
+// construction.
+func (nl *Netlist) Reconnect(inst *Instance, pin string, to *Net) error {
+	if _, ok := inst.Cell.InputPin(pin); !ok {
+		return fmt.Errorf("netlist: %s has no input pin %q", inst.Cell.Name, pin)
+	}
+	from := inst.conns[pin]
+	if from == to {
+		return nil
+	}
+	if from != nil {
+		for i, s := range from.Sinks {
+			if s.Inst == inst && s.Pin == pin {
+				from.Sinks = append(from.Sinks[:i], from.Sinks[i+1:]...)
+				break
+			}
+		}
+	}
+	inst.conns[pin] = to
+	to.Sinks = append(to.Sinks, PinRef{Inst: inst, Pin: pin})
+	return nil
+}
+
+// Resize swaps an instance to a different drive strength of the same base
+// cell (pin names must be identical).
+func (nl *Netlist) Resize(inst *Instance, to *cell.Cell) error {
+	if to.Base != inst.Cell.Base {
+		return fmt.Errorf("netlist: resize %s: %s -> %s is not a drive change",
+			inst.Name, inst.Cell.Name, to.Name)
+	}
+	inst.Cell = to
+	return nil
+}

@@ -1,0 +1,213 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/cell"
+)
+
+// WriteVerilog emits the netlist as flat structural Verilog. Instances are
+// written in creation order; pin connections use named association.
+func (nl *Netlist) WriteVerilog(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	var portNames []string
+	for _, p := range nl.Ports {
+		portNames = append(portNames, p.Name)
+	}
+	fmt.Fprintf(bw, "module %s (%s);\n", nl.Name, strings.Join(portNames, ", "))
+	for _, p := range nl.Ports {
+		dir := "input"
+		if p.Dir == Out {
+			dir = "output"
+		}
+		fmt.Fprintf(bw, "  %s %s;\n", dir, p.Name)
+	}
+	// Wires: every net that is not a port net.
+	var wires []string
+	for _, n := range nl.Nets {
+		if nl.portByName[n.Name] == nil {
+			wires = append(wires, n.Name)
+		}
+	}
+	sort.Strings(wires)
+	for _, wname := range wires {
+		fmt.Fprintf(bw, "  wire %s;\n", wname)
+	}
+	for _, inst := range nl.Instances {
+		var conns []string
+		for _, pin := range inst.PinNames() {
+			if n := inst.Conn(pin); n != nil {
+				conns = append(conns, fmt.Sprintf(".%s(%s)", pin, n.Name))
+			}
+		}
+		fmt.Fprintf(bw, "  %s %s (%s);\n", inst.Cell.Name, inst.Name, strings.Join(conns, ", "))
+	}
+	fmt.Fprintln(bw, "endmodule")
+	return bw.Flush()
+}
+
+// ParseVerilog reads a flat structural Verilog module written in the
+// subset produced by WriteVerilog and binds it to lib.
+func ParseVerilog(r io.Reader, lib *cell.Library) (*Netlist, error) {
+	toks, err := tokenize(r)
+	if err != nil {
+		return nil, err
+	}
+	p := &vParser{toks: toks, lib: lib}
+	return p.parseModule()
+}
+
+type vParser struct {
+	toks []string
+	pos  int
+	lib  *cell.Library
+}
+
+func tokenize(r io.Reader) ([]string, error) {
+	var toks []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 64*1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.Index(line, "//"); i >= 0 {
+			line = line[:i]
+		}
+		for _, sym := range []string{"(", ")", ";", ",", "."} {
+			line = strings.ReplaceAll(line, sym, " "+sym+" ")
+		}
+		toks = append(toks, strings.Fields(line)...)
+	}
+	return toks, sc.Err()
+}
+
+func (p *vParser) peek() string {
+	if p.pos >= len(p.toks) {
+		return ""
+	}
+	return p.toks[p.pos]
+}
+
+func (p *vParser) next() string {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *vParser) expect(t string) error {
+	if got := p.next(); got != t {
+		return fmt.Errorf("verilog: expected %q, got %q (token %d)", t, got, p.pos-1)
+	}
+	return nil
+}
+
+func (p *vParser) parseModule() (*Netlist, error) {
+	if err := p.expect("module"); err != nil {
+		return nil, err
+	}
+	name := p.next()
+	if name == "" {
+		return nil, fmt.Errorf("verilog: missing module name")
+	}
+	nl := New(name, p.lib)
+	if err := p.expect("("); err != nil {
+		return nil, err
+	}
+	// Header port list (names only); directions come from declarations.
+	for p.peek() != ")" && p.peek() != "" {
+		tok := p.next()
+		if tok == "," {
+			continue
+		}
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	if err := p.expect(";"); err != nil {
+		return nil, err
+	}
+	for {
+		switch tok := p.peek(); tok {
+		case "endmodule":
+			p.next()
+			if err := nl.Validate(); err != nil {
+				return nil, err
+			}
+			return nl, nil
+		case "":
+			return nil, fmt.Errorf("verilog: unexpected EOF")
+		case "input", "output":
+			p.next()
+			dir := In
+			if tok == "output" {
+				dir = Out
+			}
+			for {
+				n := p.next()
+				if n == ";" {
+					break
+				}
+				if n == "," {
+					continue
+				}
+				nl.AddPort(n, dir)
+			}
+		case "wire":
+			p.next()
+			for {
+				n := p.next()
+				if n == ";" {
+					break
+				}
+				if n == "," {
+					continue
+				}
+				nl.EnsureNet(n)
+			}
+		default:
+			if err := p.parseInstance(nl); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+func (p *vParser) parseInstance(nl *Netlist) error {
+	cellName := p.next()
+	c := p.lib.Cell(cellName)
+	if c == nil {
+		return fmt.Errorf("verilog: unknown cell %q", cellName)
+	}
+	instName := p.next()
+	if err := p.expect("("); err != nil {
+		return err
+	}
+	conns := make(map[string]string)
+	for p.peek() != ")" {
+		if p.peek() == "," {
+			p.next()
+			continue
+		}
+		if err := p.expect("."); err != nil {
+			return err
+		}
+		pin := p.next()
+		if err := p.expect("("); err != nil {
+			return err
+		}
+		net := p.next()
+		if err := p.expect(")"); err != nil {
+			return err
+		}
+		conns[pin] = net
+	}
+	p.next() // ")"
+	if err := p.expect(";"); err != nil {
+		return err
+	}
+	_, err := nl.AddInstance(instName, c, conns)
+	return err
+}

@@ -1,0 +1,616 @@
+// Package place implements standard-cell placement for the evaluation
+// flow: a force-directed global placement with density spreading, followed
+// by row legalization that honors the Power Tap Cell blockages from the
+// powerplan. Legalization failure at high utilization is the "placement
+// violations between standard cells and Power Tap Cells" mechanism that
+// caps FFET utilization in the paper's Fig. 8(a).
+package place
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/floorplan"
+	"repro/internal/geom"
+	"repro/internal/netlist"
+)
+
+// Options tunes placement.
+type Options struct {
+	Seed        int64
+	GlobalIters int
+	// BinCount is the density grid resolution per axis.
+	BinCount int
+	// MaxAttractFanout excludes huge nets (pre-CTS clock, reset) from the
+	// attraction model.
+	MaxAttractFanout int
+}
+
+// DefaultOptions returns flow defaults.
+func DefaultOptions() Options {
+	return Options{Seed: 1, GlobalIters: 24, BinCount: 28, MaxAttractFanout: 48}
+}
+
+// Result summarizes a placement.
+type Result struct {
+	HPWLNm    int64
+	Rows      int
+	Legalized int
+}
+
+// Place runs global placement and legalization in sequence. Blockages maps
+// row index to blocked X intervals (tap cells + halos).
+func Place(nl *netlist.Netlist, fp *floorplan.Plan, blockages map[int][]geom.Interval, opt Options) (*Result, error) {
+	if opt.GlobalIters <= 0 {
+		opt = DefaultOptions()
+	}
+	Global(nl, fp, opt)
+	if err := Legalize(nl, fp, blockages); err != nil {
+		return nil, err
+	}
+	Refine(nl, fp, blockages, 3)
+	return &Result{
+		HPWLNm:    HPWL(nl, fp),
+		Rows:      len(fp.Rows),
+		Legalized: len(nl.Instances),
+	}, nil
+}
+
+// center returns the instance center for wirelength models.
+func center(inst *netlist.Instance, fp *floorplan.Plan) geom.Point {
+	w := inst.Cell.WidthNm(fp.Stack)
+	return geom.Pt(inst.Pos.X+w/2, inst.Pos.Y+fp.Stack.CellHeightNm()/2)
+}
+
+// pinPoint returns a net endpoint position.
+func pinPoint(ref netlist.PinRef, fp *floorplan.Plan) geom.Point {
+	if ref.IsPort() {
+		return ref.Port.Pos
+	}
+	return center(ref.Inst, fp)
+}
+
+// HPWL computes the total half-perimeter wirelength of all signal nets.
+func HPWL(nl *netlist.Netlist, fp *floorplan.Plan) int64 {
+	var total int64
+	pts := make([]geom.Point, 0, 16)
+	for _, n := range nl.Nets {
+		pts = pts[:0]
+		if n.Driver != (netlist.PinRef{}) {
+			pts = append(pts, pinPoint(n.Driver, fp))
+		}
+		for _, s := range n.Sinks {
+			pts = append(pts, pinPoint(s, fp))
+		}
+		total += geom.HPWL(pts)
+	}
+	return total
+}
+
+// Global computes rough overlapping positions: seeded scatter, then
+// alternating attraction (move to connected centroid) and density
+// spreading passes. Fixed instances are never moved.
+func Global(nl *netlist.Netlist, fp *floorplan.Plan, opt Options) {
+	rng := rand.New(rand.NewSource(opt.Seed))
+	W, H := fp.Core.W(), fp.Core.H()
+	for _, inst := range nl.Instances {
+		if inst.Fixed {
+			continue
+		}
+		inst.Pos = geom.Pt(rng.Int63n(W+1), rng.Int63n(H+1))
+	}
+	fp.PlaceIOPorts(nl)
+
+	for it := 0; it < opt.GlobalIters; it++ {
+		attract(nl, fp, opt)
+		attract(nl, fp, opt)
+		if it%2 == 1 || it == opt.GlobalIters-1 {
+			rankSpread(nl, fp)
+		}
+	}
+	// Local density cleanup then a last pull.
+	spread(nl, fp, opt)
+	attract(nl, fp, opt)
+}
+
+// rankSpread redistributes cells uniformly along each axis by rank,
+// preserving relative order (Gordian-style linear scaling). It undoes the
+// central collapse of pure attraction while keeping neighborhoods intact.
+func rankSpread(nl *netlist.Netlist, fp *floorplan.Plan) {
+	var cells []*netlist.Instance
+	for _, inst := range nl.Instances {
+		if !inst.Fixed {
+			cells = append(cells, inst)
+		}
+	}
+	if len(cells) < 2 {
+		return
+	}
+	W, H := fp.Core.W(), fp.Core.H()
+	sort.SliceStable(cells, func(i, j int) bool {
+		if cells[i].Pos.X != cells[j].Pos.X {
+			return cells[i].Pos.X < cells[j].Pos.X
+		}
+		return cells[i].Name < cells[j].Name
+	})
+	n := int64(len(cells) - 1)
+	for i, inst := range cells {
+		x := int64(i) * W / n
+		// Blend: 60% rank position, 40% attracted position.
+		inst.Pos = geom.Pt((x*3+inst.Pos.X*2)/5, inst.Pos.Y)
+	}
+	sort.SliceStable(cells, func(i, j int) bool {
+		if cells[i].Pos.Y != cells[j].Pos.Y {
+			return cells[i].Pos.Y < cells[j].Pos.Y
+		}
+		return cells[i].Name < cells[j].Name
+	})
+	for i, inst := range cells {
+		y := int64(i) * H / n
+		inst.Pos = geom.Pt(inst.Pos.X, (y*3+inst.Pos.Y*2)/5)
+	}
+}
+
+// attract moves each movable instance toward the centroid of everything
+// it connects to.
+func attract(nl *netlist.Netlist, fp *floorplan.Plan, opt Options) {
+	sumX := make(map[*netlist.Instance]int64, len(nl.Instances))
+	sumY := make(map[*netlist.Instance]int64, len(nl.Instances))
+	cnt := make(map[*netlist.Instance]int64, len(nl.Instances))
+	add := func(inst *netlist.Instance, p geom.Point) {
+		sumX[inst] += p.X
+		sumY[inst] += p.Y
+		cnt[inst]++
+	}
+	for _, n := range nl.Nets {
+		if n.IsClock || n.Fanout() > opt.MaxAttractFanout {
+			continue
+		}
+		var pts []geom.Point
+		var insts []*netlist.Instance
+		if n.Driver != (netlist.PinRef{}) {
+			pts = append(pts, pinPoint(n.Driver, fp))
+			if n.Driver.Inst != nil {
+				insts = append(insts, n.Driver.Inst)
+			} else {
+				insts = append(insts, nil)
+			}
+		}
+		for _, s := range n.Sinks {
+			pts = append(pts, pinPoint(s, fp))
+			if s.Inst != nil {
+				insts = append(insts, s.Inst)
+			} else {
+				insts = append(insts, nil)
+			}
+		}
+		// Each endpoint is pulled toward the centroid of the others.
+		var cx, cy int64
+		for _, p := range pts {
+			cx += p.X
+			cy += p.Y
+		}
+		n64 := int64(len(pts))
+		for i, inst := range insts {
+			if inst == nil || inst.Fixed {
+				continue
+			}
+			// Centroid excluding self.
+			ox := (cx - pts[i].X) / (n64 - 1 + boolTo64(n64 == 1))
+			oy := (cy - pts[i].Y) / (n64 - 1 + boolTo64(n64 == 1))
+			add(inst, geom.Pt(ox, oy))
+		}
+	}
+	for _, inst := range nl.Instances {
+		if inst.Fixed || cnt[inst] == 0 {
+			continue
+		}
+		tx := sumX[inst] / cnt[inst]
+		ty := sumY[inst] / cnt[inst]
+		// Damped move.
+		inst.Pos = geom.Pt(
+			geom.Clamp64(inst.Pos.X+(tx-inst.Pos.X)*3/4, fp.Core.Lo.X, fp.Core.Hi.X),
+			geom.Clamp64(inst.Pos.Y+(ty-inst.Pos.Y)*3/4, fp.Core.Lo.Y, fp.Core.Hi.Y),
+		)
+	}
+}
+
+func boolTo64(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// spread relieves overfull density bins by pushing cells toward the least
+// loaded neighbor bin.
+func spread(nl *netlist.Netlist, fp *floorplan.Plan, opt Options) {
+	nb := opt.BinCount
+	if nb < 4 {
+		nb = 4
+	}
+	W, H := fp.Core.W(), fp.Core.H()
+	binW := (W + int64(nb) - 1) / int64(nb)
+	binH := (H + int64(nb) - 1) / int64(nb)
+	if binW == 0 || binH == 0 {
+		return
+	}
+	bins := make([]densityBin, nb*nb)
+	idx := func(p geom.Point) int {
+		bx := int(geom.Clamp64(p.X/binW, 0, int64(nb-1)))
+		by := int(geom.Clamp64(p.Y/binH, 0, int64(nb-1)))
+		return by*nb + bx
+	}
+	for _, inst := range nl.Instances {
+		if inst.Fixed {
+			continue
+		}
+		i := idx(inst.Pos)
+		bins[i].area += inst.Cell.AreaNm2(fp.Stack)
+		bins[i].cells = append(bins[i].cells, inst)
+	}
+	capArea := binW * binH // 100% local density budget
+	for by := 0; by < nb; by++ {
+		for bx := 0; bx < nb; bx++ {
+			b := &bins[by*nb+bx]
+			if b.area <= capArea {
+				continue
+			}
+			// Push the overflow (cells beyond capacity) to the least-dense
+			// of the 4 neighbors, deterministically.
+			sort.Slice(b.cells, func(i, j int) bool { return b.cells[i].Name < b.cells[j].Name })
+			over := b.area - capArea
+			for _, inst := range b.cells {
+				if over <= 0 {
+					break
+				}
+				tx, ty := bestNeighbor(bins, nb, bx, by)
+				nx := geom.Clamp64(int64(tx)*binW+binW/2, 0, W)
+				ny := geom.Clamp64(int64(ty)*binH+binH/2, 0, H)
+				inst.Pos = geom.Pt((inst.Pos.X+nx)/2, (inst.Pos.Y+ny)/2)
+				over -= inst.Cell.AreaNm2(fp.Stack)
+			}
+		}
+	}
+}
+
+type densityBin struct {
+	area  int64
+	cells []*netlist.Instance
+}
+
+func bestNeighbor(bins []densityBin, nb, bx, by int) (int, int) {
+	bestA := int64(1) << 62
+	tx, ty := bx, by
+	for _, d := range [][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}, {1, 1}, {-1, -1}, {1, -1}, {-1, 1}} {
+		x, y := bx+d[0], by+d[1]
+		if x < 0 || y < 0 || x >= nb || y >= nb {
+			continue
+		}
+		if a := bins[y*nb+x].area; a < bestA {
+			bestA = a
+			tx, ty = x, y
+		}
+	}
+	return tx, ty
+}
+
+// Legalize snaps every movable instance onto row sites without overlaps,
+// avoiding blocked intervals. It fails when the design cannot be legalized
+// (e.g. utilization above the tap-cell cap).
+func Legalize(nl *netlist.Netlist, fp *floorplan.Plan, blockages map[int][]geom.Interval) error {
+	cpp := fp.Stack.CPPNm
+	rowH := fp.Stack.CellHeightNm()
+
+	// Free intervals per row.
+	free := make([][]geom.Interval, len(fp.Rows))
+	for i, r := range fp.Rows {
+		ivs := []geom.Interval{{Lo: r.X0, Hi: r.X1}}
+		blocked := append([]geom.Interval(nil), blockages[i]...)
+		sort.Slice(blocked, func(a, b int) bool { return blocked[a].Lo < blocked[b].Lo })
+		for _, b := range blocked {
+			var next []geom.Interval
+			for _, f := range ivs {
+				if !f.Overlaps(b) {
+					next = append(next, f)
+					continue
+				}
+				if b.Lo > f.Lo {
+					next = append(next, geom.Interval{Lo: f.Lo, Hi: b.Lo})
+				}
+				if b.Hi < f.Hi {
+					next = append(next, geom.Interval{Lo: b.Hi, Hi: f.Hi})
+				}
+			}
+			ivs = next
+		}
+		free[i] = ivs
+	}
+
+	// Place wide cells first within global-X order bands for stability.
+	movable := make([]*netlist.Instance, 0, len(nl.Instances))
+	for _, inst := range nl.Instances {
+		if !inst.Fixed {
+			movable = append(movable, inst)
+		}
+	}
+	sort.Slice(movable, func(i, j int) bool {
+		a, b := movable[i], movable[j]
+		if a.Pos.X != b.Pos.X {
+			return a.Pos.X < b.Pos.X
+		}
+		if a.Cell.WidthCPP != b.Cell.WidthCPP {
+			return a.Cell.WidthCPP > b.Cell.WidthCPP
+		}
+		return a.Name < b.Name
+	})
+
+	for _, inst := range movable {
+		w := inst.Cell.WidthNm(fp.Stack)
+		targetRow := int(geom.Clamp64(inst.Pos.Y/rowH, 0, int64(len(fp.Rows)-1)))
+		placed := false
+		// Jointly minimize X displacement and row distance over windows of
+		// increasing size, so a full local row spills to a neighbor row
+		// instead of teleporting along its own row.
+		for _, window := range []int{3, 8, len(fp.Rows)} {
+			bestCost := int64(1) << 62
+			bestRow, bestX := -1, int64(0)
+			for d := 0; d <= window; d++ {
+				rowPenalty := int64(d) * rowH
+				if rowPenalty >= bestCost {
+					break
+				}
+				for _, ri := range []int{targetRow - d, targetRow + d} {
+					if ri < 0 || ri >= len(fp.Rows) || (d == 0 && ri != targetRow) {
+						continue
+					}
+					if x, cost, ok := probe(free[ri], inst.Pos.X, w, cpp); ok {
+						if total := cost + rowPenalty; total < bestCost {
+							bestCost = total
+							bestRow, bestX = ri, x
+						}
+					}
+				}
+			}
+			if bestRow >= 0 {
+				take(&free[bestRow], bestX, w)
+				inst.Pos = geom.Pt(bestX, fp.Rows[bestRow].Y)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			return fmt.Errorf("place: cannot legalize %s (%d sites): placement violation",
+				inst.Name, inst.Cell.WidthCPP)
+		}
+	}
+	return nil
+}
+
+// probe finds the best slot in a row's free list without committing.
+func probe(free []geom.Interval, target, w, cpp int64) (int64, int64, bool) {
+	bestCost := int64(1) << 62
+	var bestX int64
+	found := false
+	for _, f := range free {
+		lo := geom.SnapDown(f.Lo+cpp-1, 0, cpp)
+		hi := f.Hi - w
+		if hi < lo {
+			continue
+		}
+		x := geom.Clamp64(target, lo, hi)
+		x = geom.SnapDown(x, 0, cpp)
+		if x < lo {
+			x = lo
+		}
+		if cost := geom.Abs64(x - target); cost < bestCost {
+			bestCost, bestX, found = cost, x, true
+		}
+	}
+	return bestX, bestCost, found
+}
+
+// take commits a slot previously returned by probe.
+func take(free *[]geom.Interval, x, w int64) {
+	for i, f := range *free {
+		if x >= f.Lo && x+w <= f.Hi {
+			var repl []geom.Interval
+			if x > f.Lo {
+				repl = append(repl, geom.Interval{Lo: f.Lo, Hi: x})
+			}
+			if x+w < f.Hi {
+				repl = append(repl, geom.Interval{Lo: x + w, Hi: f.Hi})
+			}
+			out := append([]geom.Interval{}, (*free)[:i]...)
+			out = append(out, repl...)
+			out = append(out, (*free)[i+1:]...)
+			*free = out
+			return
+		}
+	}
+	panic("place: take without matching probe")
+}
+
+// allocate finds a site-aligned slot of width w in the free list closest
+// to target, removes it from the list, and returns its position.
+func allocate(free *[]geom.Interval, target, w, cpp int64) (int64, bool) {
+	bestCost := int64(1) << 62
+	bestIdx := -1
+	var bestX int64
+	for i, f := range *free {
+		lo := geom.SnapDown(f.Lo+cpp-1, 0, cpp) // first site boundary inside
+		hi := f.Hi - w
+		if hi < lo {
+			continue
+		}
+		x := geom.Clamp64(target, lo, hi)
+		x = geom.SnapDown(x, 0, cpp)
+		if x < lo {
+			x = lo
+		}
+		cost := geom.Abs64(x - target)
+		if cost < bestCost {
+			bestCost = cost
+			bestIdx = i
+			bestX = x
+		}
+	}
+	if bestIdx < 0 {
+		return 0, false
+	}
+	f := (*free)[bestIdx]
+	var repl []geom.Interval
+	if bestX > f.Lo {
+		repl = append(repl, geom.Interval{Lo: f.Lo, Hi: bestX})
+	}
+	if bestX+w < f.Hi {
+		repl = append(repl, geom.Interval{Lo: bestX + w, Hi: f.Hi})
+	}
+	out := append([]geom.Interval{}, (*free)[:bestIdx]...)
+	out = append(out, repl...)
+	out = append(out, (*free)[bestIdx+1:]...)
+	*free = out
+	return bestX, true
+}
+
+// CheckLegal verifies that no two instances overlap, that all instances
+// sit on rows inside the core, and that no instance intersects a blockage.
+func CheckLegal(nl *netlist.Netlist, fp *floorplan.Plan, blockages map[int][]geom.Interval) error {
+	rowH := fp.Stack.CellHeightNm()
+	type span struct {
+		lo, hi int64
+		name   string
+	}
+	rows := make(map[int][]span)
+	for _, inst := range nl.Instances {
+		if inst.Fixed {
+			continue
+		}
+		if inst.Pos.Y%rowH != 0 {
+			return fmt.Errorf("place: %s not on a row (y=%d)", inst.Name, inst.Pos.Y)
+		}
+		ri := int(inst.Pos.Y / rowH)
+		if ri < 0 || ri >= len(fp.Rows) {
+			return fmt.Errorf("place: %s outside core rows", inst.Name)
+		}
+		w := inst.Cell.WidthNm(fp.Stack)
+		if inst.Pos.X < fp.Rows[ri].X0 || inst.Pos.X+w > fp.Rows[ri].X1 {
+			return fmt.Errorf("place: %s outside row span", inst.Name)
+		}
+		s := span{inst.Pos.X, inst.Pos.X + w, inst.Name}
+		for _, b := range blockages[ri] {
+			if s.lo < b.Hi && b.Lo < s.hi {
+				return fmt.Errorf("place: %s overlaps tap blockage in row %d", inst.Name, ri)
+			}
+		}
+		rows[ri] = append(rows[ri], s)
+	}
+	for ri, spans := range rows {
+		sort.Slice(spans, func(i, j int) bool { return spans[i].lo < spans[j].lo })
+		for i := 1; i < len(spans); i++ {
+			if spans[i].lo < spans[i-1].hi {
+				return fmt.Errorf("place: %s overlaps %s in row %d",
+					spans[i].name, spans[i-1].name, ri)
+			}
+		}
+	}
+	return nil
+}
+
+// Refine improves a legal placement without breaking legality: cells slide
+// within their row gaps toward the median X of their connected pins.
+// Typical detailed-placement cleanup after legalization. Blockages are
+// honored by clamping each slide against the row's blocked intervals.
+func Refine(nl *netlist.Netlist, fp *floorplan.Plan, blockages map[int][]geom.Interval, passes int) {
+	rowH := fp.Stack.CellHeightNm()
+	type rowCells struct {
+		cells []*netlist.Instance
+	}
+	rows := make(map[int64]*rowCells)
+	for _, inst := range nl.Instances {
+		if inst.Fixed {
+			continue
+		}
+		r, ok := rows[inst.Pos.Y]
+		if !ok {
+			r = &rowCells{}
+			rows[inst.Pos.Y] = r
+		}
+		r.cells = append(r.cells, inst)
+	}
+	desired := func(inst *netlist.Instance) int64 {
+		var xs []int64
+		consider := func(n *netlist.Net) {
+			if n == nil || n.Fanout() > 24 {
+				return
+			}
+			if n.Driver != (netlist.PinRef{}) && n.Driver.Inst != inst {
+				xs = append(xs, pinPoint(n.Driver, fp).X)
+			}
+			for _, s := range n.Sinks {
+				if s.Inst != inst {
+					xs = append(xs, pinPoint(s, fp).X)
+				}
+			}
+		}
+		for _, n := range inst.InputNets() {
+			consider(n)
+		}
+		consider(inst.OutputNet())
+		if len(xs) == 0 {
+			return inst.Pos.X
+		}
+		sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+		return xs[len(xs)/2]
+	}
+	cpp := fp.Stack.CPPNm
+	var rowYs []int64
+	for y := range rows {
+		rowYs = append(rowYs, y)
+	}
+	sort.Slice(rowYs, func(i, j int) bool { return rowYs[i] < rowYs[j] })
+	for pass := 0; pass < passes; pass++ {
+		for _, y := range rowYs {
+			r := rows[y]
+			sort.Slice(r.cells, func(i, j int) bool { return r.cells[i].Pos.X < r.cells[j].Pos.X })
+			for i, inst := range r.cells {
+				w := inst.Cell.WidthNm(fp.Stack)
+				lo := fp.Core.Lo.X
+				if i > 0 {
+					prev := r.cells[i-1]
+					lo = prev.Pos.X + prev.Cell.WidthNm(fp.Stack)
+				}
+				hi := fp.Core.Hi.X - w
+				if i+1 < len(r.cells) {
+					hi = r.cells[i+1].Pos.X - w
+				}
+				if hi < lo {
+					continue
+				}
+				// Clamp the slide span against tap blockages in this row.
+				ri := int(inst.Pos.Y / rowH)
+				for _, b := range blockages[ri] {
+					if b.Hi <= inst.Pos.X && b.Hi > lo {
+						lo = b.Hi
+					}
+					if b.Lo >= inst.Pos.X+w && b.Lo-w < hi {
+						hi = b.Lo - w
+					}
+				}
+				if hi < lo {
+					continue
+				}
+				want := geom.Clamp64(desired(inst)-w/2, lo, hi)
+				want = geom.SnapDown(want, 0, cpp)
+				if want < lo {
+					want += cpp
+				}
+				if want >= lo && want <= hi {
+					inst.Pos = geom.Pt(want, inst.Pos.Y)
+				}
+			}
+		}
+	}
+	_ = rowH
+}

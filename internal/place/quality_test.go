@@ -1,0 +1,36 @@
+package place
+
+import (
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/floorplan"
+	"repro/internal/riscv"
+	"repro/internal/synth"
+	"repro/internal/tech"
+)
+
+func TestPlacementHPWLQuality(t *testing.T) {
+	lib2 := cell.NewLibrary(tech.NewFFET())
+	nl, _, _ := riscv.Generate(lib2, riscv.Config{Name: "q", Registers: 32})
+	syn, _ := synth.Run(nl, synth.DefaultOptions(1.5))
+	nl = syn.Netlist
+	fp, _ := floorplan.New(lib2.Stack, nl.CellAreaNm2(), 0.76, 1.0)
+	Global(nl, fp, DefaultOptions())
+	h := HPWL(nl, fp)
+	t.Logf("global HPWL = %.0f um (%.2f um/net), core %.1f um2",
+		float64(h)/1000, float64(h)/1000/float64(len(nl.Nets)), fp.CoreAreaUm2())
+	if err := Legalize(nl, fp, nil); err != nil {
+		t.Fatal(err)
+	}
+	h2 := HPWL(nl, fp)
+	t.Logf("legal HPWL = %.0f um (%.2f um/net), blowup %.2fx",
+		float64(h2)/1000, float64(h2)/1000/float64(len(nl.Nets)), float64(h2)/float64(h))
+	Refine(nl, fp, nil, 3)
+	if err := CheckLegal(nl, fp, nil); err != nil {
+		t.Fatalf("Refine broke legality: %v", err)
+	}
+	h3 := HPWL(nl, fp)
+	t.Logf("refined HPWL = %.0f um (%.2f um/net)",
+		float64(h3)/1000, float64(h3)/1000/float64(len(nl.Nets)))
+}

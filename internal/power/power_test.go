@@ -1,0 +1,68 @@
+package power
+
+import (
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/extract"
+	"repro/internal/netlist"
+	"repro/internal/tech"
+)
+
+var lib = cell.NewLibrary(tech.NewFFET())
+
+func design(t *testing.T) *netlist.Netlist {
+	t.Helper()
+	nl := netlist.New("p", lib)
+	nl.AddPort("clk", netlist.In)
+	nl.AddPort("a", netlist.In)
+	nl.MarkClock("clk")
+	nl.MustAdd("i1", lib.MustCell("INVD4"), map[string]string{"I": "a", "ZN": "n1"})
+	nl.MustAdd("ff", lib.MustCell("DFFD1"), map[string]string{"D": "n1", "CP": "clk", "Q": "q"})
+	nl.MustAdd("i2", lib.MustCell("INVD1"), map[string]string{"I": "q", "ZN": "y"})
+	return nl
+}
+
+func TestPowerScalesWithFrequency(t *testing.T) {
+	nl := design(t)
+	p1 := Analyze(nl, lib.Stack, nil, 1.0, DefaultOptions())
+	p2 := Analyze(nl, lib.Stack, nil, 2.0, DefaultOptions())
+	if !(p2.TotalUW > p1.TotalUW*1.8) {
+		t.Errorf("power should ~double with frequency: %.3f vs %.3f", p1.TotalUW, p2.TotalUW)
+	}
+	// Leakage is frequency independent.
+	if p1.LeakageUW != p2.LeakageUW {
+		t.Error("leakage must not scale with frequency")
+	}
+	if p1.TotalUW != p1.SwitchingUW+p1.InternalUW+p1.ClockUW+p1.LeakageUW {
+		t.Error("breakdown does not sum to total")
+	}
+}
+
+func TestWireCapAddsSwitching(t *testing.T) {
+	nl := design(t)
+	base := Analyze(nl, lib.Stack, nil, 1.0, DefaultOptions())
+	rc := map[string]*extract.NetRC{
+		"n1": {Name: "n1", TotalCapFF: 50},
+	}
+	loaded := Analyze(nl, lib.Stack, rc, 1.0, DefaultOptions())
+	if !(loaded.SwitchingUW > base.SwitchingUW) {
+		t.Errorf("extracted wire cap must raise switching power (%.3f vs %.3f)",
+			loaded.SwitchingUW, base.SwitchingUW)
+	}
+}
+
+func TestClockPowerCounted(t *testing.T) {
+	nl := design(t)
+	p := Analyze(nl, lib.Stack, nil, 1.0, DefaultOptions())
+	if p.ClockUW <= 0 {
+		t.Error("flop clock power missing")
+	}
+	if p.EfficiencyGHzPerW() <= 0 {
+		t.Error("efficiency must be positive")
+	}
+	var zero Result
+	if zero.EfficiencyGHzPerW() != 0 {
+		t.Error("zero power must not divide")
+	}
+}

@@ -1,0 +1,86 @@
+package riscv
+
+// Instruction encoders for the implemented RV32I subset. Registers are
+// plain uint32 indices; immediates are Go ints with the natural signed
+// ranges. These are used by tests, examples and the workload generator.
+
+func enc(op, rd, f3, rs1, rs2, f7 uint32) uint32 {
+	return op | rd<<7 | f3<<12 | rs1<<15 | rs2<<20 | f7<<25
+}
+
+func encI(op, rd, f3, rs1 uint32, imm int32) uint32 {
+	return op | rd<<7 | f3<<12 | rs1<<15 | uint32(imm)<<20
+}
+
+// LUI rd, imm20 (imm is the upper-20-bit value, not pre-shifted).
+func LUI(rd uint32, imm20 uint32) uint32 { return 0x37 | rd<<7 | (imm20&0xFFFFF)<<12 }
+
+// AUIPC rd, imm20.
+func AUIPC(rd uint32, imm20 uint32) uint32 { return 0x17 | rd<<7 | (imm20&0xFFFFF)<<12 }
+
+// JAL rd, offset (byte offset, ±1 MiB, multiple of 2).
+func JAL(rd uint32, off int32) uint32 {
+	u := uint32(off)
+	return 0x6F | rd<<7 |
+		((u>>12)&0xFF)<<12 | ((u>>11)&1)<<20 | ((u>>1)&0x3FF)<<21 | ((u>>20)&1)<<31
+}
+
+// JALR rd, rs1, imm.
+func JALR(rd, rs1 uint32, imm int32) uint32 { return encI(0x67, rd, 0, rs1, imm&0xFFF) }
+
+func encB(f3, rs1, rs2 uint32, off int32) uint32 {
+	u := uint32(off)
+	return 0x63 | f3<<12 | rs1<<15 | rs2<<20 |
+		((u>>11)&1)<<7 | ((u>>1)&0xF)<<8 | ((u>>5)&0x3F)<<25 | ((u>>12)&1)<<31
+}
+
+// Branches: offset is a byte offset from this instruction.
+func BEQ(rs1, rs2 uint32, off int32) uint32  { return encB(0, rs1, rs2, off) }
+func BNE(rs1, rs2 uint32, off int32) uint32  { return encB(1, rs1, rs2, off) }
+func BLT(rs1, rs2 uint32, off int32) uint32  { return encB(4, rs1, rs2, off) }
+func BGE(rs1, rs2 uint32, off int32) uint32  { return encB(5, rs1, rs2, off) }
+func BLTU(rs1, rs2 uint32, off int32) uint32 { return encB(6, rs1, rs2, off) }
+func BGEU(rs1, rs2 uint32, off int32) uint32 { return encB(7, rs1, rs2, off) }
+
+// Loads.
+func LB(rd, rs1 uint32, imm int32) uint32  { return encI(0x03, rd, 0, rs1, imm&0xFFF) }
+func LH(rd, rs1 uint32, imm int32) uint32  { return encI(0x03, rd, 1, rs1, imm&0xFFF) }
+func LW(rd, rs1 uint32, imm int32) uint32  { return encI(0x03, rd, 2, rs1, imm&0xFFF) }
+func LBU(rd, rs1 uint32, imm int32) uint32 { return encI(0x03, rd, 4, rs1, imm&0xFFF) }
+func LHU(rd, rs1 uint32, imm int32) uint32 { return encI(0x03, rd, 5, rs1, imm&0xFFF) }
+
+func encS(f3, rs1, rs2 uint32, imm int32) uint32 {
+	u := uint32(imm)
+	return 0x23 | f3<<12 | rs1<<15 | rs2<<20 | (u&0x1F)<<7 | ((u>>5)&0x7F)<<25
+}
+
+// Stores.
+func SB(rs2, rs1 uint32, imm int32) uint32 { return encS(0, rs1, rs2, imm) }
+func SH(rs2, rs1 uint32, imm int32) uint32 { return encS(1, rs1, rs2, imm) }
+func SW(rs2, rs1 uint32, imm int32) uint32 { return encS(2, rs1, rs2, imm) }
+
+// OP-IMM.
+func ADDI(rd, rs1 uint32, imm int32) uint32  { return encI(0x13, rd, 0, rs1, imm&0xFFF) }
+func SLTI(rd, rs1 uint32, imm int32) uint32  { return encI(0x13, rd, 2, rs1, imm&0xFFF) }
+func SLTIU(rd, rs1 uint32, imm int32) uint32 { return encI(0x13, rd, 3, rs1, imm&0xFFF) }
+func XORI(rd, rs1 uint32, imm int32) uint32  { return encI(0x13, rd, 4, rs1, imm&0xFFF) }
+func ORI(rd, rs1 uint32, imm int32) uint32   { return encI(0x13, rd, 6, rs1, imm&0xFFF) }
+func ANDI(rd, rs1 uint32, imm int32) uint32  { return encI(0x13, rd, 7, rs1, imm&0xFFF) }
+func SLLI(rd, rs1, sh uint32) uint32         { return enc(0x13, rd, 1, rs1, sh&31, 0) }
+func SRLI(rd, rs1, sh uint32) uint32         { return enc(0x13, rd, 5, rs1, sh&31, 0) }
+func SRAI(rd, rs1, sh uint32) uint32         { return enc(0x13, rd, 5, rs1, sh&31, 0x20) }
+
+// OP.
+func ADD(rd, rs1, rs2 uint32) uint32  { return enc(0x33, rd, 0, rs1, rs2, 0) }
+func SUB(rd, rs1, rs2 uint32) uint32  { return enc(0x33, rd, 0, rs1, rs2, 0x20) }
+func SLL(rd, rs1, rs2 uint32) uint32  { return enc(0x33, rd, 1, rs1, rs2, 0) }
+func SLT(rd, rs1, rs2 uint32) uint32  { return enc(0x33, rd, 2, rs1, rs2, 0) }
+func SLTU(rd, rs1, rs2 uint32) uint32 { return enc(0x33, rd, 3, rs1, rs2, 0) }
+func XOR(rd, rs1, rs2 uint32) uint32  { return enc(0x33, rd, 4, rs1, rs2, 0) }
+func SRL(rd, rs1, rs2 uint32) uint32  { return enc(0x33, rd, 5, rs1, rs2, 0) }
+func SRA(rd, rs1, rs2 uint32) uint32  { return enc(0x33, rd, 5, rs1, rs2, 0x20) }
+func OR(rd, rs1, rs2 uint32) uint32   { return enc(0x33, rd, 6, rs1, rs2, 0) }
+func AND(rd, rs1, rs2 uint32) uint32  { return enc(0x33, rd, 7, rs1, rs2, 0) }
+
+// NOP is ADDI x0, x0, 0.
+func NOP() uint32 { return ADDI(0, 0, 0) }

@@ -1,0 +1,116 @@
+package riscv
+
+import (
+	"fmt"
+
+	"repro/internal/gatesim"
+	"repro/internal/netlist"
+)
+
+// Harness drives the gate-level core in gatesim with instruction and data
+// memories, mirroring the single-cycle microarchitecture: the fetch address
+// is registered (PC), so one settle pass resolves the instruction, a second
+// resolves the data read, and the store (if any) commits at the clock edge.
+type Harness struct {
+	Sim  *gatesim.Simulator
+	Info *CoreInfo
+	IMem *Memory
+	DMem *Memory
+
+	Cycles int
+}
+
+// NewHarness wraps a generated core netlist.
+func NewHarness(nl *netlist.Netlist, info *CoreInfo, imem, dmem *Memory) (*Harness, error) {
+	sim, err := gatesim.New(nl)
+	if err != nil {
+		return nil, err
+	}
+	h := &Harness{Sim: sim, Info: info, IMem: imem, DMem: dmem}
+	return h, nil
+}
+
+func (h *Harness) setBus(prefix string, width int, v uint32) {
+	for i := 0; i < width; i++ {
+		// Port names are generated; errors would be programming bugs.
+		if err := h.Sim.SetPort(fmt.Sprintf("%s_%d", prefix, i), v&(1<<uint(i)) != 0); err != nil {
+			panic(err)
+		}
+	}
+}
+
+func (h *Harness) getBus(prefix string, width int) uint32 {
+	var v uint32
+	for i := 0; i < width; i++ {
+		b, err := h.Sim.Port(fmt.Sprintf("%s_%d", prefix, i))
+		if err != nil {
+			panic(err)
+		}
+		if b {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}
+
+// Reset asserts rst_n low for one cycle and releases it.
+func (h *Harness) Reset() {
+	h.Sim.SetPort("rst_n", false)
+	h.setBus("imem_rdata", 32, 0)
+	h.setBus("dmem_rdata", 32, 0)
+	h.Sim.Cycle()
+	h.Sim.SetPort("rst_n", true)
+	h.Sim.Eval()
+}
+
+// PC returns the current fetch address.
+func (h *Harness) PC() uint32 { return h.getBus("imem_addr", 32) }
+
+// Reg reads an architectural register from the register-file flops.
+func (h *Harness) Reg(r int) uint32 {
+	if r == 0 {
+		return 0
+	}
+	var v uint32
+	for bit := 0; bit < 32; bit++ {
+		set, err := h.Sim.State(h.Info.RegFlop[r][bit])
+		if err != nil {
+			panic(err)
+		}
+		if set {
+			v |= 1 << uint(bit)
+		}
+	}
+	return v
+}
+
+// StepCycle executes one clock cycle (one instruction).
+func (h *Harness) StepCycle() {
+	h.Sim.Eval()
+	pc := h.getBus("imem_addr", 32)
+	h.setBus("imem_rdata", 32, h.IMem.LoadWord(pc))
+	h.Sim.Eval()
+	daddr := h.getBus("dmem_addr", 32)
+	h.setBus("dmem_rdata", 32, h.DMem.LoadWord(daddr))
+	h.Sim.Eval()
+	// Capture the store lane before the edge.
+	we, err := h.Sim.Port("dmem_we")
+	if err != nil {
+		panic(err)
+	}
+	if we {
+		wdata := h.getBus("dmem_wdata", 32)
+		be := h.getBus("dmem_be", 4)
+		h.DMem.StoreWord(daddr, wdata, be)
+	}
+	h.Sim.Step()
+	h.Sim.Eval()
+	h.Cycles++
+}
+
+// Run executes n cycles.
+func (h *Harness) Run(n int) {
+	for i := 0; i < n; i++ {
+		h.StepCycle()
+	}
+}

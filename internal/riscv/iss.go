@@ -1,0 +1,237 @@
+package riscv
+
+import "fmt"
+
+// Memory is a sparse word-addressed memory with byte-enable writes, shared
+// by the ISS and the gate-level harness so both see identical contents.
+type Memory struct {
+	words map[uint32]uint32
+}
+
+// NewMemory returns an empty memory.
+func NewMemory() *Memory { return &Memory{words: make(map[uint32]uint32)} }
+
+// LoadWord reads the aligned 32-bit word containing addr.
+func (m *Memory) LoadWord(addr uint32) uint32 { return m.words[addr>>2] }
+
+// StoreWord writes the aligned word containing addr under a 4-bit byte
+// enable mask (bit k enables byte lane k).
+func (m *Memory) StoreWord(addr, data uint32, be uint32) {
+	idx := addr >> 2
+	old := m.words[idx]
+	var mask uint32
+	for k := uint32(0); k < 4; k++ {
+		if be&(1<<k) != 0 {
+			mask |= 0xFF << (8 * k)
+		}
+	}
+	m.words[idx] = (old &^ mask) | (data & mask)
+}
+
+// LoadProgram writes a sequence of instruction words starting at base.
+func (m *Memory) LoadProgram(base uint32, prog []uint32) {
+	for i, w := range prog {
+		m.StoreWord(base+uint32(4*i), w, 0xF)
+	}
+}
+
+// Clone deep-copies the memory.
+func (m *Memory) Clone() *Memory {
+	out := NewMemory()
+	for k, v := range m.words {
+		out.words[k] = v
+	}
+	return out
+}
+
+// Equal reports whether two memories hold identical contents.
+func (m *Memory) Equal(o *Memory) bool {
+	for k, v := range m.words {
+		if o.words[k] != v {
+			return false
+		}
+	}
+	for k, v := range o.words {
+		if m.words[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// ISS is the RV32I-subset instruction-set simulator, the golden reference
+// for the gate-level core.
+type ISS struct {
+	PC   uint32
+	Regs [32]uint32
+	IMem *Memory
+	DMem *Memory
+	// RegMask limits architectural registers (31 for RV32I; 7/15 for the
+	// reduced test cores, matching Config.Registers-1).
+	RegMask uint32
+}
+
+// NewISS creates a reset ISS over the given memories.
+func NewISS(imem, dmem *Memory, registers int) *ISS {
+	return &ISS{IMem: imem, DMem: dmem, RegMask: uint32(registers - 1)}
+}
+
+func (s *ISS) reg(i uint32) uint32 {
+	i &= s.RegMask
+	if i == 0 {
+		return 0
+	}
+	return s.Regs[i]
+}
+
+func (s *ISS) setReg(i, v uint32) {
+	i &= s.RegMask
+	// Note: like the gate-level core, the hardware register x0 has physical
+	// flops that are written but always read as zero.
+	s.Regs[i] = v
+}
+
+// Step executes one instruction. It returns an error for encodings outside
+// the implemented subset.
+func (s *ISS) Step() error {
+	ins := s.IMem.LoadWord(s.PC)
+	op := ins & 0x7F
+	rd := (ins >> 7) & 0x1F
+	f3 := (ins >> 12) & 0x7
+	rs1 := (ins >> 15) & 0x1F
+	rs2 := (ins >> 20) & 0x1F
+	f7 := ins >> 25
+
+	immI := int32(ins) >> 20
+	immS := (int32(ins)>>25)<<5 | int32((ins>>7)&0x1F)
+	immB := (int32(ins)>>31)<<12 | int32((ins>>7)&1)<<11 |
+		int32((ins>>25)&0x3F)<<5 | int32((ins>>8)&0xF)<<1
+	immU := int32(ins & 0xFFFFF000)
+	immJ := (int32(ins)>>31)<<20 | int32((ins>>12)&0xFF)<<12 |
+		int32((ins>>20)&1)<<11 | int32((ins>>21)&0x3FF)<<1
+
+	a := s.reg(rs1)
+	bv := s.reg(rs2)
+	nextPC := s.PC + 4
+
+	switch op {
+	case 0x37: // LUI
+		s.setReg(rd, uint32(immU))
+	case 0x17: // AUIPC
+		s.setReg(rd, s.PC+uint32(immU))
+	case 0x6F: // JAL
+		s.setReg(rd, s.PC+4)
+		nextPC = s.PC + uint32(immJ)
+	case 0x67: // JALR
+		s.setReg(rd, s.PC+4)
+		nextPC = (a + uint32(immI)) &^ 1
+	case 0x63: // branches
+		var take bool
+		switch f3 {
+		case 0:
+			take = a == bv
+		case 1:
+			take = a != bv
+		case 4:
+			take = int32(a) < int32(bv)
+		case 5:
+			take = int32(a) >= int32(bv)
+		case 6:
+			take = a < bv
+		case 7:
+			take = a >= bv
+		default:
+			return fmt.Errorf("iss: bad branch funct3 %d at pc=%#x", f3, s.PC)
+		}
+		if take {
+			nextPC = s.PC + uint32(immB)
+		}
+	case 0x03: // loads
+		addr := a + uint32(immI)
+		word := s.DMem.LoadWord(addr)
+		sh := (addr & 3) * 8
+		switch f3 {
+		case 0: // LB
+			s.setReg(rd, uint32(int32(int8(word>>sh))))
+		case 1: // LH
+			s.setReg(rd, uint32(int32(int16(word>>sh))))
+		case 2: // LW
+			s.setReg(rd, word)
+		case 4: // LBU
+			s.setReg(rd, (word>>sh)&0xFF)
+		case 5: // LHU
+			s.setReg(rd, (word>>sh)&0xFFFF)
+		default:
+			return fmt.Errorf("iss: bad load funct3 %d at pc=%#x", f3, s.PC)
+		}
+	case 0x23: // stores
+		addr := a + uint32(immS)
+		sh := (addr & 3) * 8
+		data := bv << sh
+		var be uint32
+		switch f3 {
+		case 0:
+			be = 1 << (addr & 3)
+		case 1:
+			be = 3 << (addr & 3)
+		case 2:
+			be = 0xF
+		default:
+			return fmt.Errorf("iss: bad store funct3 %d at pc=%#x", f3, s.PC)
+		}
+		s.DMem.StoreWord(addr, data, be)
+	case 0x13: // OP-IMM
+		s.setReg(rd, aluOp(f3, f7, a, uint32(immI), true))
+	case 0x33: // OP
+		s.setReg(rd, aluOp(f3, f7, a, bv, false))
+	default:
+		return fmt.Errorf("iss: unimplemented opcode %#x at pc=%#x", op, s.PC)
+	}
+	s.PC = nextPC & ^uint32(3)
+	return nil
+}
+
+// aluOp mirrors the gate-level ALU. For immediates the shift amount comes
+// from the low 5 bits and SRAI is flagged by bit 30 (f7 bit 5).
+func aluOp(f3, f7, a, b uint32, isImm bool) uint32 {
+	switch f3 {
+	case 0:
+		if !isImm && f7&0x20 != 0 {
+			return a - b
+		}
+		return a + b
+	case 1:
+		return a << (b & 31)
+	case 2:
+		if int32(a) < int32(b) {
+			return 1
+		}
+		return 0
+	case 3:
+		if a < b {
+			return 1
+		}
+		return 0
+	case 4:
+		return a ^ b
+	case 5:
+		if f7&0x20 != 0 {
+			return uint32(int32(a) >> (b & 31))
+		}
+		return a >> (b & 31)
+	case 6:
+		return a | b
+	default:
+		return a & b
+	}
+}
+
+// Run executes n instructions, stopping early on error.
+func (s *ISS) Run(n int) error {
+	for i := 0; i < n; i++ {
+		if err := s.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

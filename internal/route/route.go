@@ -1,0 +1,669 @@
+// Package route implements the global signal router of the evaluation
+// flow: a 2.5-D gcell-grid router with PathFinder-style negotiated
+// congestion, followed by layer assignment over the side's metal stack.
+//
+// The router works on one wafer side at a time; the dual-sided flow
+// (internal/core) partitions the netlist per Algorithm 1 and routes the
+// frontside and backside tasks independently, exactly as the paper
+// describes ("the global & detailed routing are performed independently on
+// both sides and two separate DEF files are generated").
+//
+// Congestion modeling reproduces the paper's routability mechanisms:
+//
+//   - edge capacity per gcell boundary = usable tracks summed over the
+//     side's routing layers in that direction (so fewer layers ⇒ less
+//     capacity, Figs. 12-13);
+//   - cell pins consume local capacity (pin-density blockage, which is why
+//     the smaller FFET cells congest the frontside when all signals stay
+//     on one side, Fig. 8(c));
+//   - unresolved overflow after negotiation counts as design-rule
+//     violations; a run is valid only if DRV < 10 (Section IV).
+package route
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/tech"
+)
+
+// Options tunes the router.
+type Options struct {
+	GCellNm int64 // gcell edge length
+	// Iterations bounds the rip-up-and-reroute negotiation rounds.
+	Iterations int
+	// CapacityFactor derates raw track counts to usable routing capacity
+	// (pitch DRCs, via landing, power rails).
+	CapacityFactor float64
+	// PinSaturation is the pin-access limit per gcell: local capacity is
+	// derated by (pins/PinSaturation)^PinCrowdingExp, collapsing as the
+	// gcell's pin count approaches the access limit. This is the paper's
+	// routability mechanism — dense single-sided pins (small FFET cells,
+	// or CFET's one-sided access) exhaust pin-access resources long
+	// before raw track counts do.
+	PinSaturation float64
+	// PinCrowdingExp sharpens the saturation knee (>= 1).
+	PinCrowdingExp float64
+	// PinAccessFactor scales effective pin weight per architecture: the
+	// CFET flow uses >1 because every pin must be reached from the single
+	// frontside through a 4T-tall cell whose drain supervias block access
+	// tracks; the FFET's symmetric structure removes them (Section II.B).
+	PinAccessFactor float64
+	// StaticDerate removes a fraction of every edge's capacity before
+	// routing (reserved; 0 by default).
+	StaticDerate float64
+	// HistoryGain scales the accumulated congestion history cost.
+	HistoryGain float64
+}
+
+// DefaultOptions returns flow defaults.
+func DefaultOptions() Options {
+	return Options{
+		GCellNm:         1000,
+		Iterations:      16,
+		CapacityFactor:  2.68,
+		PinSaturation:   97,
+		PinCrowdingExp:  6,
+		PinAccessFactor: 1.0,
+		StaticDerate:    0,
+		HistoryGain:     1.0,
+	}
+}
+
+// Pin is one net endpoint on this side.
+type Pin struct {
+	ID     string // "inst/pin" or "PIN/<port>"
+	At     geom.Point
+	CapFF  float64 // sink input capacitance (0 for the driver)
+	Driver bool
+}
+
+// Net is one routing task on this side.
+type Net struct {
+	Name string
+	Pins []Pin // exactly one Driver pin
+}
+
+// TreeEdge is one edge of a routed net's RC topology.
+type TreeEdge struct {
+	From, To int // node indices
+	Layer    tech.Layer
+	LenNm    int64
+	Vias     int // layer-change vias paid on this edge
+}
+
+// Tree is the routed result for one net.
+type Tree struct {
+	Name  string
+	Nodes []geom.Point
+	Edges []TreeEdge // tree edges, rooted at the driver node
+	// PinNode maps pin IDs to node indices.
+	PinNode map[string]int
+	// DriverNode is the root node index.
+	DriverNode int
+	WirelenNm  int64
+	// EscapeCrowding is the access-weighted pin crowding (pins_eff/limit,
+	// scaled by sqrt of the access factor) at the driver's gcell. RC
+	// extraction turns it into a driver escape resistance: crowded pin
+	// fields force long scenic M0/M1 escapes. Splitting pins across both
+	// wafer sides halves it — the paper's dual-sided timing gain.
+	EscapeCrowding float64
+}
+
+// Result is the outcome of routing one side.
+type Result struct {
+	Side        tech.Side
+	Trees       map[string]*Tree
+	WirelenNm   int64
+	ByLayerNm   map[string]int64
+	ViaCount    int
+	DRVs        int // overflowed gcell edges after negotiation
+	MaxOverflow int
+	GridW       int
+	GridH       int
+}
+
+// grid is the 2.5-D routing graph for one side.
+type grid struct {
+	w, h    int
+	gc      int64
+	capH    []float64 // [(w-1)*h] edges (x,y)-(x+1,y)
+	capV    []float64 // [w*(h-1)] edges (x,y)-(x,y+1)
+	useH    []float64
+	useV    []float64
+	histH   []float64
+	histV   []float64
+	hLayers []tech.Layer
+	vLayers []tech.Layer
+	// pinsEff holds the access-weighted pin count per gcell (set by
+	// applyPinBlockage) for escape-penalty decisions in layer assignment.
+	pinsEff []float64
+	pinSat  float64
+}
+
+// layerUsable is the usable fraction of a layer's raw tracks: M1 is
+// consumed by pin access and via ladders, M2 partially, upper layers are
+// nearly free for routing.
+func layerUsable(index int) float64 {
+	switch {
+	case index <= 1:
+		return 0.65
+	case index == 2:
+		return 0.70
+	case index <= 4:
+		return 0.90
+	default:
+		return 1.0
+	}
+}
+
+func (g *grid) hIdx(x, y int) int { return y*(g.w-1) + x }
+func (g *grid) vIdx(x, y int) int { return x*(g.h-1) + y }
+
+// Router routes one side.
+type Router struct {
+	opt    Options
+	side   tech.Side
+	layers []tech.Layer
+	core   geom.Rect
+	g      *grid
+}
+
+// NewRouter builds the routing grid for a side of the core area. layers
+// must be the side's signal routing layers (from tech.SideRoutingLayers).
+func NewRouter(core geom.Rect, side tech.Side, layers []tech.Layer, opt Options) (*Router, error) {
+	if opt.GCellNm <= 0 {
+		opt = DefaultOptions()
+	}
+	if len(layers) == 0 {
+		return nil, fmt.Errorf("route: no routing layers on side %v", side)
+	}
+	w := int((core.W() + opt.GCellNm - 1) / opt.GCellNm)
+	h := int((core.H() + opt.GCellNm - 1) / opt.GCellNm)
+	if w < 2 {
+		w = 2
+	}
+	if h < 2 {
+		h = 2
+	}
+	g := &grid{w: w, h: h, gc: opt.GCellNm}
+	var capHPer, capVPer float64
+	derate := 1 - opt.StaticDerate
+	if derate <= 0 {
+		derate = 1
+	}
+	for _, l := range layers {
+		tracks := float64(tech.TracksPerGCell(l, opt.GCellNm)) *
+			opt.CapacityFactor * derate * layerUsable(l.Index)
+		if l.Dir == tech.Horizontal {
+			capHPer += tracks
+			g.hLayers = append(g.hLayers, l)
+		} else {
+			capVPer += tracks
+			g.vLayers = append(g.vLayers, l)
+		}
+	}
+	g.capH = make([]float64, (w-1)*h)
+	g.useH = make([]float64, (w-1)*h)
+	g.histH = make([]float64, (w-1)*h)
+	for i := range g.capH {
+		g.capH[i] = capHPer
+	}
+	g.capV = make([]float64, w*(h-1))
+	g.useV = make([]float64, w*(h-1))
+	g.histV = make([]float64, w*(h-1))
+	for i := range g.capV {
+		g.capV[i] = capVPer
+	}
+	return &Router{opt: opt, side: side, layers: layers, core: core, g: g}, nil
+}
+
+// cellOf maps a point to its gcell.
+func (r *Router) cellOf(p geom.Point) (int, int) {
+	x := int(geom.Clamp64(p.X/r.opt.GCellNm, 0, int64(r.g.w-1)))
+	y := int(geom.Clamp64(p.Y/r.opt.GCellNm, 0, int64(r.g.h-1)))
+	return x, y
+}
+
+// applyPinBlockage derates local capacity around every pin cluster: each
+// gcell loses a (pins_eff/PinSaturation)^PinCrowdingExp fraction of the
+// capacity on its adjacent edges. Access collapses sharply as the local
+// pin count approaches the saturation limit — pin-dense gcells
+// (single-sided FFET, one-side-accessed CFET) congest first.
+func (r *Router) applyPinBlockage(nets []*Net) {
+	g := r.g
+	exp := r.opt.PinCrowdingExp
+	if exp < 1 {
+		exp = 1
+	}
+	sat := r.opt.PinSaturation
+	if sat <= 0 {
+		sat = 85
+	}
+	// Normalize the saturation limit to the gcell area (limit is per µm²).
+	sat *= float64(r.opt.GCellNm) / 1000 * float64(r.opt.GCellNm) / 1000
+	kappa := r.opt.PinAccessFactor
+	if kappa <= 0 {
+		kappa = 1
+	}
+	pins := make([]float64, g.w*g.h)
+	for _, n := range nets {
+		for _, p := range n.Pins {
+			x, y := r.cellOf(p.At)
+			pins[y*g.w+x]++
+		}
+	}
+	g.pinsEff = make([]float64, len(pins))
+	for i := range pins {
+		g.pinsEff[i] = pins[i] * kappa
+	}
+	g.pinSat = sat
+	derate := func(idx int, caps []float64, frac float64) {
+		caps[idx] = math.Max(0, caps[idx]*(1-frac))
+	}
+	for y := 0; y < g.h; y++ {
+		for x := 0; x < g.w; x++ {
+			c := pins[y*g.w+x] * kappa
+			if c == 0 {
+				continue
+			}
+			frac := math.Pow(c/sat, exp) / 2 // each of 4 edges carries half
+			// Deepest clusters keep some access; the floor is lower for
+			// architectures with harder pin access (kappa > 1).
+			ceil := 0.44 * math.Sqrt(kappa)
+			if ceil > 0.62 {
+				ceil = 0.62
+			}
+			if frac > ceil {
+				frac = ceil
+			}
+			if x > 0 {
+				derate(g.hIdx(x-1, y), g.capH, frac)
+			}
+			if x < g.w-1 {
+				derate(g.hIdx(x, y), g.capH, frac)
+			}
+			if y > 0 {
+				derate(g.vIdx(x, y-1), g.capV, frac)
+			}
+			if y < g.h-1 {
+				derate(g.vIdx(x, y), g.capV, frac)
+			}
+		}
+	}
+}
+
+// netRoute is internal per-net routing state.
+type netRoute struct {
+	net   *Net
+	edges map[[4]int]bool // (x1,y1,x2,y2) canonical grid edges
+	hpwl  int64
+}
+
+// Run routes all nets and returns the result with layer-assigned trees.
+func (r *Router) Run(nets []*Net) (*Result, error) {
+	for _, n := range nets {
+		drivers := 0
+		for _, p := range n.Pins {
+			if p.Driver {
+				drivers++
+			}
+		}
+		if drivers != 1 {
+			return nil, fmt.Errorf("route: net %s has %d drivers", n.Name, drivers)
+		}
+	}
+	r.applyPinBlockage(nets)
+
+	order := make([]*netRoute, 0, len(nets))
+	for _, n := range nets {
+		pts := make([]geom.Point, len(n.Pins))
+		for i, p := range n.Pins {
+			pts[i] = p.At
+		}
+		order = append(order, &netRoute{net: n, hpwl: geom.HPWL(pts)})
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		if order[i].hpwl != order[j].hpwl {
+			return order[i].hpwl < order[j].hpwl
+		}
+		return order[i].net.Name < order[j].net.Name
+	})
+
+	presFac := 1.0
+	for _, nr := range order {
+		r.routeNet(nr, presFac)
+	}
+	prevOver := 1 << 30
+	stale := 0
+	for it := 0; it < r.opt.Iterations; it++ {
+		over := r.overflowedEdges()
+		if len(over) == 0 {
+			break
+		}
+		// Abandon hopeless negotiations early: the run is invalid anyway
+		// once overflow stops improving.
+		if len(over) >= prevOver {
+			stale++
+			if stale >= 4 {
+				break
+			}
+		} else {
+			stale = 0
+		}
+		prevOver = len(over)
+		r.accumulateHistory()
+		presFac *= 1.7
+		// Rip up and reroute nets that cross overflowed edges.
+		for _, nr := range order {
+			if !r.crossesOverflow(nr) {
+				continue
+			}
+			r.unroute(nr)
+			r.routeNet(nr, presFac)
+		}
+	}
+
+	res := &Result{
+		Side:      r.side,
+		Trees:     make(map[string]*Tree, len(nets)),
+		ByLayerNm: make(map[string]int64),
+		GridW:     r.g.w,
+		GridH:     r.g.h,
+	}
+	for _, nr := range order {
+		t := r.buildTree(nr)
+		res.Trees[nr.net.Name] = t
+		res.WirelenNm += t.WirelenNm
+		for _, e := range t.Edges {
+			if e.Layer.Name != "" {
+				res.ByLayerNm[e.Layer.Name] += e.LenNm
+			}
+			res.ViaCount += e.Vias
+		}
+	}
+	res.DRVs, res.MaxOverflow = r.countOverflow()
+	return res, nil
+}
+
+// routeNet routes the net's MST topology with A*, updating usage.
+func (r *Router) routeNet(nr *netRoute, presFac float64) {
+	nr.edges = make(map[[4]int]bool)
+	n := nr.net
+	type cellPt struct{ x, y int }
+	cells := make([]cellPt, len(n.Pins))
+	for i, p := range n.Pins {
+		x, y := r.cellOf(p.At)
+		cells[i] = cellPt{x, y}
+	}
+	// Prim MST over pin gcells (Manhattan metric).
+	inTree := make([]bool, len(cells))
+	inTree[0] = true
+	connected := 1
+	for connected < len(cells) {
+		best, bestFrom, bestD := -1, -1, math.MaxInt64
+		for i := range cells {
+			if inTree[i] {
+				continue
+			}
+			for j := range cells {
+				if !inTree[j] {
+					continue
+				}
+				d := abs(cells[i].x-cells[j].x) + abs(cells[i].y-cells[j].y)
+				if d < bestD {
+					bestD, best, bestFrom = d, i, j
+				}
+			}
+		}
+		r.astar(nr, cells[bestFrom].x, cells[bestFrom].y, cells[best].x, cells[best].y, presFac)
+		inTree[best] = true
+		connected++
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// edgeKey canonicalizes a grid edge.
+func edgeKey(x1, y1, x2, y2 int) [4]int {
+	if x1 > x2 || (x1 == x2 && y1 > y2) {
+		x1, y1, x2, y2 = x2, y2, x1, y1
+	}
+	return [4]int{x1, y1, x2, y2}
+}
+
+// pqItem is the A* frontier entry.
+type pqItem struct {
+	x, y int
+	cost float64
+	est  float64
+}
+
+type pq []pqItem
+
+func (p pq) Len() int            { return len(p) }
+func (p pq) Less(i, j int) bool  { return p[i].est < p[j].est }
+func (p pq) Swap(i, j int)       { p[i], p[j] = p[j], p[i] }
+func (p *pq) Push(x interface{}) { *p = append(*p, x.(pqItem)) }
+func (p *pq) Pop() interface{} {
+	old := *p
+	n := len(old)
+	it := old[n-1]
+	*p = old[:n-1]
+	return it
+}
+
+// edgeCost is the negotiated-congestion cost of taking a grid edge.
+func (r *Router) edgeCost(horizontal bool, idx int, presFac float64) float64 {
+	g := r.g
+	var cap, use, hist float64
+	if horizontal {
+		cap, use, hist = g.capH[idx], g.useH[idx], g.histH[idx]
+	} else {
+		cap, use, hist = g.capV[idx], g.useV[idx], g.histV[idx]
+	}
+	cost := 1.0 + r.opt.HistoryGain*hist
+	if cap <= 0 {
+		return cost + 8*presFac
+	}
+	u := (use + 1) / cap
+	if u > 1 {
+		cost += presFac * (2 + 4*(u-1))
+	} else if u > 0.6 {
+		cost += 0.8 * (u - 0.6) / 0.4
+	}
+	return cost
+}
+
+// astar routes one 2-pin connection and commits its edges to the net.
+func (r *Router) astar(nr *netRoute, sx, sy, tx, ty int, presFac float64) {
+	g := r.g
+	if sx == tx && sy == ty {
+		return
+	}
+	const unvisited = math.MaxFloat64
+	dist := make([]float64, g.w*g.h)
+	for i := range dist {
+		dist[i] = unvisited
+	}
+	prev := make([]int32, g.w*g.h)
+	for i := range prev {
+		prev[i] = -1
+	}
+	id := func(x, y int) int { return y*g.w + x }
+	h := func(x, y int) float64 { return float64(abs(x-tx) + abs(y-ty)) }
+
+	frontier := &pq{{x: sx, y: sy, cost: 0, est: h(sx, sy)}}
+	dist[id(sx, sy)] = 0
+	for frontier.Len() > 0 {
+		cur := heap.Pop(frontier).(pqItem)
+		if cur.x == tx && cur.y == ty {
+			break
+		}
+		if cur.cost > dist[id(cur.x, cur.y)] {
+			continue
+		}
+		type step struct {
+			nx, ny int
+			horiz  bool
+			idx    int
+		}
+		var steps []step
+		if cur.x > 0 {
+			steps = append(steps, step{cur.x - 1, cur.y, true, g.hIdx(cur.x-1, cur.y)})
+		}
+		if cur.x < g.w-1 {
+			steps = append(steps, step{cur.x + 1, cur.y, true, g.hIdx(cur.x, cur.y)})
+		}
+		if cur.y > 0 {
+			steps = append(steps, step{cur.x, cur.y - 1, false, g.vIdx(cur.x, cur.y-1)})
+		}
+		if cur.y < g.h-1 {
+			steps = append(steps, step{cur.x, cur.y + 1, false, g.vIdx(cur.x, cur.y)})
+		}
+		for _, s := range steps {
+			// Edges already owned by this net are free (shared trunk).
+			var c float64
+			if nr.edges[edgeKey(cur.x, cur.y, s.nx, s.ny)] {
+				c = 0.05
+			} else {
+				c = r.edgeCost(s.horiz, s.idx, presFac)
+			}
+			nd := cur.cost + c
+			if nd < dist[id(s.nx, s.ny)] {
+				dist[id(s.nx, s.ny)] = nd
+				prev[id(s.nx, s.ny)] = int32(id(cur.x, cur.y))
+				heap.Push(frontier, pqItem{x: s.nx, y: s.ny, cost: nd, est: nd + h(s.nx, s.ny)})
+			}
+		}
+	}
+	// Walk back and commit edges.
+	cx, cy := tx, ty
+	for !(cx == sx && cy == sy) {
+		p := prev[id(cx, cy)]
+		if p < 0 {
+			return // unreachable; should not happen on a connected grid
+		}
+		px, py := int(p)%g.w, int(p)/g.w
+		k := edgeKey(px, py, cx, cy)
+		if !nr.edges[k] {
+			nr.edges[k] = true
+			if py == cy {
+				g.useH[g.hIdx(min(px, cx), cy)]++
+			} else {
+				g.useV[g.vIdx(cx, min(py, cy))]++
+			}
+		}
+		cx, cy = px, py
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// unroute removes the net's edges from usage.
+func (r *Router) unroute(nr *netRoute) {
+	g := r.g
+	for k := range nr.edges {
+		x1, y1, x2, y2 := k[0], k[1], k[2], k[3]
+		if y1 == y2 {
+			g.useH[g.hIdx(min(x1, x2), y1)]--
+		} else {
+			g.useV[g.vIdx(x1, min(y1, y2))]--
+		}
+	}
+	nr.edges = nil
+}
+
+// crossesOverflow reports whether the net uses an overflowed edge.
+func (r *Router) crossesOverflow(nr *netRoute) bool {
+	g := r.g
+	for k := range nr.edges {
+		x1, y1, x2, y2 := k[0], k[1], k[2], k[3]
+		if y1 == y2 {
+			i := g.hIdx(min(x1, x2), y1)
+			if g.useH[i] > g.capH[i] {
+				return true
+			}
+		} else {
+			i := g.vIdx(x1, min(y1, y2))
+			if g.useV[i] > g.capV[i] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (r *Router) overflowedEdges() []int {
+	g := r.g
+	var out []int
+	for i := range g.capH {
+		if g.useH[i] > g.capH[i] {
+			out = append(out, i)
+		}
+	}
+	for i := range g.capV {
+		if g.useV[i] > g.capV[i] {
+			out = append(out, len(g.capH)+i)
+		}
+	}
+	return out
+}
+
+func (r *Router) accumulateHistory() {
+	g := r.g
+	for i := range g.capH {
+		if g.useH[i] > g.capH[i] {
+			g.histH[i] += (g.useH[i] - g.capH[i]) / math.Max(g.capH[i], 1)
+		}
+	}
+	for i := range g.capV {
+		if g.useV[i] > g.capV[i] {
+			g.histV[i] += (g.useV[i] - g.capV[i]) / math.Max(g.capV[i], 1)
+		}
+	}
+}
+
+// drvThreshold is the overflow (in tracks) above which an edge counts as
+// a design-rule violation. Overflow at or below the threshold is assumed
+// recoverable by detailed routing (track swaps, off-grid jogs).
+const drvThreshold = 1.5
+
+// countOverflow returns (violating edge count, max overflow amount).
+func (r *Router) countOverflow() (int, int) {
+	g := r.g
+	n := 0
+	maxOv := 0.0
+	for i := range g.capH {
+		if ov := g.useH[i] - g.capH[i]; ov > drvThreshold {
+			n++
+		} else if ov > 0 {
+			// recoverable
+		}
+		if ov := g.useH[i] - g.capH[i]; ov > 0 {
+			maxOv = math.Max(maxOv, ov)
+		}
+	}
+	for i := range g.capV {
+		if ov := g.useV[i] - g.capV[i]; ov > drvThreshold {
+			n++
+		}
+		if ov := g.useV[i] - g.capV[i]; ov > 0 {
+			maxOv = math.Max(maxOv, ov)
+		}
+	}
+	return n, int(maxOv + 0.5)
+}

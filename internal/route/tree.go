@@ -1,0 +1,238 @@
+package route
+
+import (
+	"hash/fnv"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/tech"
+)
+
+// Layer assignment: nets are binned by total routed length; longer nets
+// ride higher (thicker, lower-R) layers, clamped to what the routing
+// pattern actually provides. Reducing the pattern's layer count therefore
+// forces long nets onto resistive low metals — the power/performance cost
+// mechanism of the paper's Figs. 12-13.
+const (
+	shortNetUm = 3.0
+	midNetUm   = 10.0
+	longNetUm  = 30.0
+)
+
+// classIndex returns the desired metal index band for a net length.
+func classIndex(lenUm float64) int {
+	switch {
+	case lenUm <= shortNetUm:
+		return 2
+	case lenUm <= midNetUm:
+		return 4
+	case lenUm <= longNetUm:
+		return 9
+	default:
+		return 12
+	}
+}
+
+// pickLayer selects the routing layer for a direction: the highest layer
+// with Index <= want, alternating between the top two candidates by net
+// hash for balance.
+func pickLayer(layers []tech.Layer, dir tech.Direction, want int, salt uint32) (tech.Layer, bool) {
+	var cands []tech.Layer
+	for _, l := range layers {
+		if l.Dir == dir && l.Index <= want {
+			cands = append(cands, l)
+		}
+	}
+	if len(cands) == 0 {
+		// Nothing at or below the class: take the lowest available in dir.
+		for _, l := range layers {
+			if l.Dir == dir {
+				if cands == nil || l.Index < cands[0].Index {
+					cands = []tech.Layer{l}
+				}
+			}
+		}
+		if len(cands) == 0 {
+			return tech.Layer{}, false
+		}
+		return cands[0], true
+	}
+	// cands are in ascending index order (stack order); take one of the two
+	// highest for load balance.
+	if len(cands) >= 2 && salt&1 == 1 {
+		return cands[len(cands)-2], true
+	}
+	return cands[len(cands)-1], true
+}
+
+func netSalt(name string) uint32 {
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	return h.Sum32()
+}
+
+// buildTree converts a net's committed grid edges into a rooted RC tree
+// with layer assignment.
+func (r *Router) buildTree(nr *netRoute) *Tree {
+	g := r.g
+	t := &Tree{Name: nr.net.Name, PinNode: make(map[string]int)}
+
+	cellID := func(x, y int) int { return y*g.w + x }
+	cellPos := func(x, y int) geom.Point {
+		return geom.Pt(int64(x)*g.gc+g.gc/2, int64(y)*g.gc+g.gc/2)
+	}
+	nodeOf := make(map[int]int)
+	ensureNode := func(x, y int) int {
+		id := cellID(x, y)
+		if n, ok := nodeOf[id]; ok {
+			return n
+		}
+		n := len(t.Nodes)
+		t.Nodes = append(t.Nodes, cellPos(x, y))
+		nodeOf[id] = n
+		return n
+	}
+
+	// Adjacency from committed edges.
+	adj := make(map[int][]int)
+	for k := range nr.edges {
+		a := cellID(k[0], k[1])
+		b := cellID(k[2], k[3])
+		adj[a] = append(adj[a], b)
+		adj[b] = append(adj[b], a)
+	}
+
+	// Driver cell is the BFS root.
+	var droot int
+	for _, p := range nr.net.Pins {
+		if p.Driver {
+			x, y := r.cellOf(p.At)
+			droot = cellID(x, y)
+			break
+		}
+	}
+	t.DriverNode = ensureNode(droot%g.w, droot/g.w)
+
+	// Deterministic BFS. Nets that route through congested regions are
+	// demoted one layer class: when upper tracks are contended the
+	// assignment falls back to lower, more resistive metals. This couples
+	// congestion to delay (and hence achieved frequency), the effect the
+	// paper's dual-sided routing relieves.
+	totalLenUm := float64(len(nr.edges)) * float64(g.gc) / 1000.0
+	want := classIndex(totalLenUm)
+	// Congestion demotion: heavy contention on the net's route pushes it
+	// off the upper tracks onto resistive low metals.
+	if r.congestedShare(nr) > 0.45 {
+		want = demote(want)
+	}
+	// Record driver-side pin crowding for the extraction escape model.
+	if g.pinsEff != nil && g.pinSat > 0 {
+		kappa := r.opt.PinAccessFactor
+		if kappa < 1 {
+			kappa = 1
+		}
+		t.EscapeCrowding = g.pinsEff[droot] / g.pinSat * math.Sqrt(kappa)
+	}
+	salt := netSalt(nr.net.Name)
+
+	visited := map[int]bool{droot: true}
+	queue := []int{droot}
+	parentDir := map[int]tech.Direction{}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		cx, cy := cur%g.w, cur/g.w
+		nbrs := adj[cur]
+		sortInts(nbrs)
+		for _, nb := range nbrs {
+			if visited[nb] {
+				continue
+			}
+			visited[nb] = true
+			nx, ny := nb%g.w, nb/g.w
+			dir := tech.Horizontal
+			if nx == cx {
+				dir = tech.Vertical
+			}
+			layer, ok := pickLayer(r.layers, dir, want, salt)
+			vias := 0
+			if pd, seen := parentDir[cur]; seen && pd != dir {
+				vias = 1 // bend between the two assigned layers
+			}
+			e := TreeEdge{
+				From:  ensureNode(cx, cy),
+				To:    ensureNode(nx, ny),
+				LenNm: g.gc,
+				Vias:  vias,
+			}
+			if ok {
+				e.Layer = layer
+			}
+			t.Edges = append(t.Edges, e)
+			t.WirelenNm += g.gc
+			parentDir[nb] = dir
+			queue = append(queue, nb)
+		}
+	}
+
+	// Bind pins to their gcell nodes.
+	for _, p := range nr.net.Pins {
+		x, y := r.cellOf(p.At)
+		t.PinNode[p.ID] = ensureNode(x, y)
+	}
+	return t
+}
+
+// demote drops one layer class.
+func demote(want int) int {
+	switch {
+	case want >= 12:
+		return 9
+	case want >= 9:
+		return 4
+	case want >= 4:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// congestedShare returns the fraction of the net's grid edges whose
+// utilization exceeds 80% of capacity.
+func (r *Router) congestedShare(nr *netRoute) float64 {
+	if len(nr.edges) == 0 {
+		return 0
+	}
+	g := r.g
+	hot := 0
+	for k := range nr.edges {
+		x1, y1, x2, y2 := k[0], k[1], k[2], k[3]
+		var use, cap float64
+		if y1 == y2 {
+			i := g.hIdx(minInt(x1, x2), y1)
+			use, cap = g.useH[i], g.capH[i]
+		} else {
+			i := g.vIdx(x1, minInt(y1, y2))
+			use, cap = g.useV[i], g.capV[i]
+		}
+		if cap <= 0 || use > 0.8*cap {
+			hot++
+		}
+	}
+	return float64(hot) / float64(len(nr.edges))
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func sortInts(v []int) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}

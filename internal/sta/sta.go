@@ -1,0 +1,246 @@
+// Package sta implements graph-based static timing analysis over the
+// placed-and-routed design: NLDM cell arcs with slew propagation, extracted
+// net Elmore delays, clock insertion delays from CTS, and setup checks at
+// the flops. Its headline output is the achieved clock frequency — the
+// metric the paper sweeps in Figs. 9-11 and Table III.
+package sta
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/extract"
+	"repro/internal/netlist"
+)
+
+// Options configures analysis.
+type Options struct {
+	InputSlewPs   float64 // slew at primary inputs and flop clock pins
+	PortLoadFF    float64 // load on output ports
+	ClockSlewPs   float64
+	DefaultSkewPs float64 // used when no CTS arrivals are provided
+}
+
+// DefaultOptions returns flow defaults.
+func DefaultOptions() Options {
+	return Options{InputSlewPs: 15, PortLoadFF: 1.0, ClockSlewPs: 12, DefaultSkewPs: 5}
+}
+
+// Input bundles the design view.
+type Input struct {
+	Netlist *netlist.Netlist
+	// NetRC maps net name -> extracted parasitics. Nets without an entry
+	// fall back to a lumped estimate from pin caps only.
+	NetRC map[string]*extract.NetRC
+	// ClockArrival maps flop instance name -> clock insertion delay (ps).
+	ClockArrival map[string]float64
+}
+
+// PathPoint is one hop of the reported critical path.
+type PathPoint struct {
+	Inst      string
+	ArrivalPs float64
+}
+
+// Result is the analysis outcome.
+type Result struct {
+	MinPeriodPs     float64
+	AchievedFreqGHz float64
+	CriticalPath    []PathPoint
+	MaxArrivalPs    float64
+	WorstSlewPs     float64
+	// RegToReg is the number of constrained endpoint checks.
+	RegToReg int
+}
+
+// Analyze runs STA and derives the minimum feasible clock period.
+func Analyze(in Input, opt Options) (*Result, error) {
+	nl := in.Netlist
+	levels, cyclic := nl.TopoLevels()
+	if len(cyclic) > 0 {
+		return nil, fmt.Errorf("sta: %d instances in combinational cycles", len(cyclic))
+	}
+
+	arr := make(map[*netlist.Net]float64, len(nl.Nets))
+	slew := make(map[*netlist.Net]float64, len(nl.Nets))
+	from := make(map[*netlist.Net]*netlist.Instance, len(nl.Nets))
+
+	clkArr := func(instName string) float64 {
+		if in.ClockArrival == nil {
+			return 0
+		}
+		return in.ClockArrival[instName]
+	}
+	loadOf := func(n *netlist.Net) float64 {
+		if rc, ok := in.NetRC[n.Name]; ok {
+			return rc.TotalCapFF
+		}
+		var c float64
+		for _, s := range n.Sinks {
+			if !s.IsPort() {
+				c += s.Inst.Cell.InputCap(s.Pin)
+			} else {
+				c += opt.PortLoadFF
+			}
+		}
+		return c
+	}
+	elmoreOf := func(n *netlist.Net, ref netlist.PinRef) float64 {
+		rc, ok := in.NetRC[n.Name]
+		if !ok {
+			return 0
+		}
+		return rc.ElmorePs[pinID(ref)]
+	}
+
+	// Sources: primary inputs and flop Q outputs.
+	for _, p := range nl.Ports {
+		if p.Dir == netlist.In && p.Net != nil && !p.Net.IsClock {
+			arr[p.Net] = 0
+			slew[p.Net] = opt.InputSlewPs
+		}
+	}
+	res := &Result{}
+	for _, ff := range nl.Flops() {
+		q := ff.OutputNet()
+		if q == nil {
+			continue
+		}
+		load := loadOf(q)
+		d := ff.Cell.Seq.ClkQWorst(opt.ClockSlewPs, load)
+		arr[q] = clkArr(ff.Name) + d
+		slew[q] = extract.SlewDegrade(opt.InputSlewPs, 0) // nominal Q slew
+		from[q] = ff
+	}
+
+	worstSlew := 0.0
+	// Topological propagation through combinational cells.
+	for _, level := range levels {
+		for _, inst := range level {
+			out := inst.OutputNet()
+			if out == nil || out.IsClock {
+				continue
+			}
+			load := loadOf(out)
+			bestArr := math.Inf(-1)
+			bestSlew := 0.0
+			for _, p := range inst.Cell.Inputs {
+				inNet := inst.Conn(p.Name)
+				if inNet == nil || inNet.IsClock {
+					continue
+				}
+				inArr, ok := arr[inNet]
+				if !ok {
+					continue // undriven or constant-like
+				}
+				inSlew := slew[inNet]
+				wire := elmoreOf(inNet, netlist.PinRef{Inst: inst, Pin: p.Name})
+				sinkSlew := extract.SlewDegrade(inSlew, wire)
+				a := inst.Cell.Arc(p.Name)
+				if a == nil {
+					continue
+				}
+				d := a.WorstDelay(sinkSlew, load)
+				cand := inArr + wire + d
+				if cand > bestArr {
+					bestArr = cand
+					outSlewR := a.SlewRise.Lookup(sinkSlew, load)
+					outSlewF := a.SlewFall.Lookup(sinkSlew, load)
+					bestSlew = math.Max(outSlewR, outSlewF)
+				}
+			}
+			if math.IsInf(bestArr, -1) {
+				continue
+			}
+			arr[out] = bestArr
+			slew[out] = bestSlew
+			from[out] = inst
+			if bestSlew > worstSlew {
+				worstSlew = bestSlew
+			}
+		}
+	}
+	res.WorstSlewPs = worstSlew
+
+	// Endpoint checks at flop D pins: period >= arrival + setup - capture
+	// clock arrival (launch arrival already includes its clock insertion).
+	minPeriod := 0.0
+	var critNet *netlist.Net
+	var critFF *netlist.Instance
+	for _, ff := range nl.Flops() {
+		dNet := ff.Conn(ff.Cell.Seq.DataPin)
+		if dNet == nil {
+			continue
+		}
+		a, ok := arr[dNet]
+		if !ok {
+			continue
+		}
+		wire := elmoreOf(dNet, netlist.PinRef{Inst: ff, Pin: ff.Cell.Seq.DataPin})
+		need := a + wire + ff.Cell.Seq.SetupPs - clkArr(ff.Name)
+		if in.ClockArrival == nil {
+			need += opt.DefaultSkewPs
+		}
+		res.RegToReg++
+		if need > minPeriod {
+			minPeriod = need
+			critNet = dNet
+			critFF = ff
+		}
+		if a > res.MaxArrivalPs {
+			res.MaxArrivalPs = a
+		}
+	}
+	if minPeriod <= 0 {
+		return nil, fmt.Errorf("sta: no constrained register-to-register paths")
+	}
+	res.MinPeriodPs = minPeriod
+	res.AchievedFreqGHz = 1000.0 / minPeriod
+
+	// Trace the critical path backwards.
+	if critFF != nil {
+		res.CriticalPath = append(res.CriticalPath, PathPoint{Inst: critFF.Name, ArrivalPs: minPeriod})
+		n := critNet
+		for n != nil {
+			drv := from[n]
+			if drv == nil {
+				break
+			}
+			res.CriticalPath = append(res.CriticalPath, PathPoint{Inst: drv.Name, ArrivalPs: arr[n]})
+			if drv.Cell.IsSeq() {
+				break
+			}
+			// Walk to the input that set the arrival (worst input).
+			var bestNet *netlist.Net
+			bestArr := math.Inf(-1)
+			for _, p := range drv.Cell.Inputs {
+				inNet := drv.Conn(p.Name)
+				if inNet == nil || inNet.IsClock {
+					continue
+				}
+				if v, ok := arr[inNet]; ok && v > bestArr {
+					bestArr = v
+					bestNet = inNet
+				}
+			}
+			n = bestNet
+		}
+		// Reverse for launch-to-capture order.
+		for i, j := 0, len(res.CriticalPath)-1; i < j; i, j = i+1, j-1 {
+			res.CriticalPath[i], res.CriticalPath[j] = res.CriticalPath[j], res.CriticalPath[i]
+		}
+	}
+	return res, nil
+}
+
+// pinID renders the extraction pin naming convention.
+func pinID(ref netlist.PinRef) string {
+	if ref.IsPort() {
+		return "PIN/" + ref.Port.Name
+	}
+	return ref.Inst.Name + "/" + ref.Pin
+}
+
+// PinID is the exported naming helper shared with the flow when building
+// route tasks.
+func PinID(ref netlist.PinRef) string { return pinID(ref) }

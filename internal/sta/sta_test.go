@@ -1,0 +1,123 @@
+package sta
+
+import (
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/extract"
+	"repro/internal/netlist"
+	"repro/internal/tech"
+)
+
+var lib = cell.NewLibrary(tech.NewFFET())
+
+// pipeline builds: ff1.Q -> inv chain (n stages) -> ff2.D, shared clock.
+func pipeline(t *testing.T, stages int) *netlist.Netlist {
+	t.Helper()
+	nl := netlist.New("pipe", lib)
+	nl.AddPort("clk", netlist.In)
+	nl.MarkClock("clk")
+	nl.MustAdd("ff1", lib.MustCell("DFFD1"), map[string]string{"D": "loop", "CP": "clk", "Q": "s0"})
+	prev := "s0"
+	for i := 0; i < stages; i++ {
+		out := "s" + string(rune('1'+i))
+		nl.MustAdd("inv"+out, lib.MustCell("INVD1"), map[string]string{"I": prev, "ZN": out})
+		prev = out
+	}
+	nl.MustAdd("ff2", lib.MustCell("DFFD1"), map[string]string{"D": prev, "CP": "clk", "Q": "loop"})
+	if err := nl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return nl
+}
+
+func TestAnalyzePipeline(t *testing.T) {
+	nl := pipeline(t, 4)
+	res, err := Analyze(Input{Netlist: nl}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MinPeriodPs <= 0 || res.AchievedFreqGHz <= 0 {
+		t.Fatalf("bad result: %+v", res)
+	}
+	if res.RegToReg != 2 {
+		t.Errorf("endpoints = %d, want 2", res.RegToReg)
+	}
+	// More stages -> longer period.
+	nl8 := pipeline(t, 8)
+	res8, err := Analyze(Input{Netlist: nl8}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(res8.MinPeriodPs > res.MinPeriodPs) {
+		t.Errorf("8-stage period %.1f must exceed 4-stage %.1f",
+			res8.MinPeriodPs, res.MinPeriodPs)
+	}
+	if len(res.CriticalPath) < 3 {
+		t.Errorf("critical path too short: %v", res.CriticalPath)
+	}
+}
+
+func TestNetRCSlowsPath(t *testing.T) {
+	nl := pipeline(t, 2)
+	base, err := Analyze(Input{Netlist: nl}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Attach heavy RC to the mid net.
+	rc := map[string]*extract.NetRC{
+		"s1": {
+			Name:       "s1",
+			TotalCapFF: 20,
+			ElmorePs:   map[string]float64{"invs2/I": 40},
+		},
+	}
+	slow, err := Analyze(Input{Netlist: nl, NetRC: rc}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(slow.MinPeriodPs > base.MinPeriodPs+30) {
+		t.Errorf("RC-loaded period %.1f should exceed unloaded %.1f by the wire delay",
+			slow.MinPeriodPs, base.MinPeriodPs)
+	}
+}
+
+func TestClockArrivalsBalance(t *testing.T) {
+	nl := pipeline(t, 4)
+	base, err := Analyze(Input{Netlist: nl, ClockArrival: map[string]float64{}}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A common insertion delay on both flops cancels exactly.
+	arr := map[string]float64{"ff1": 20, "ff2": 20}
+	res, err := Analyze(Input{Netlist: nl, ClockArrival: arr}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := res.MinPeriodPs - base.MinPeriodPs; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("balanced insertion delay must not change the period (%.2f vs %.2f)",
+			res.MinPeriodPs, base.MinPeriodPs)
+	}
+	// Skewing the capture flop of the long path moves the binding path to
+	// the loop-back check instead; the period must never beat the pure
+	// clk-q + setup bound.
+	skew, err := Analyze(Input{Netlist: nl,
+		ClockArrival: map[string]float64{"ff1": 0, "ff2": 15}}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The binding endpoint shifts to the loop-back check; with the two
+	// paths nearly balanced the period stays within a few ps of base.
+	if d := skew.MinPeriodPs - base.MinPeriodPs; d > 5 || d < -20 {
+		t.Errorf("skewed period %.2f implausible vs base %.2f", skew.MinPeriodPs, base.MinPeriodPs)
+	}
+}
+
+func TestNoEndpointsRejected(t *testing.T) {
+	nl := netlist.New("comb", lib)
+	nl.AddPort("a", netlist.In)
+	nl.MustAdd("i1", lib.MustCell("INVD1"), map[string]string{"I": "a", "ZN": "y"})
+	if _, err := Analyze(Input{Netlist: nl}, DefaultOptions()); err == nil {
+		t.Fatal("design without reg-to-reg paths must error")
+	}
+}

@@ -1,0 +1,160 @@
+package synth
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cell"
+	"repro/internal/netlist"
+	"repro/internal/riscv"
+	"repro/internal/tech"
+)
+
+var lib = cell.NewLibrary(tech.NewFFET())
+
+func fanoutNetlist(t *testing.T, fanout int) *netlist.Netlist {
+	t.Helper()
+	nl := netlist.New("fan", lib)
+	nl.AddPort("a", netlist.In)
+	nl.MustAdd("drv", lib.MustCell("INVD1"), map[string]string{"I": "a", "ZN": "big"})
+	for i := 0; i < fanout; i++ {
+		nl.MustAdd(fmt.Sprintf("s%d", i), lib.MustCell("INVD1"),
+			map[string]string{"I": "big", "ZN": fmt.Sprintf("o%d", i)})
+	}
+	if err := nl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return nl
+}
+
+func TestBufferInsertionCapsFanout(t *testing.T) {
+	nl := fanoutNetlist(t, 60)
+	res, err := Run(nl, DefaultOptions(1.0))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	out := res.Netlist
+	if err := out.Validate(); err != nil {
+		t.Fatalf("result invalid: %v", err)
+	}
+	if res.BuffersAdded == 0 {
+		t.Fatal("expected buffers on a fanout-60 net")
+	}
+	for _, n := range out.Nets {
+		if n.IsClock {
+			continue
+		}
+		if n.Fanout() > 8 {
+			t.Errorf("net %s fanout %d exceeds max 8", n.Name, n.Fanout())
+		}
+	}
+	// All 60 original sinks must still be combinationally reachable.
+	levels, cyclic := out.TopoLevels()
+	if len(cyclic) > 0 {
+		t.Fatal("buffering created cycles")
+	}
+	if len(levels) < 2 {
+		t.Error("expected buffer levels in the graph")
+	}
+}
+
+func TestSizingRespondsToTarget(t *testing.T) {
+	core, _, err := riscv.Generate(lib, riscv.Config{Name: "c", Registers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := Run(core, DefaultOptions(0.4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := Run(core, DefaultOptions(3.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(fast.AreaUm2 > slow.AreaUm2) {
+		t.Errorf("3 GHz target area (%.1f µm²) should exceed 0.4 GHz area (%.1f µm²)",
+			fast.AreaUm2, slow.AreaUm2)
+	}
+	if fast.Upsized <= slow.Upsized {
+		t.Errorf("fast target should upsize more cells (%d vs %d)",
+			fast.Upsized, slow.Upsized)
+	}
+	if err := fast.Netlist.Validate(); err != nil {
+		t.Fatalf("sized netlist invalid: %v", err)
+	}
+}
+
+func TestSynthesisPreservesFunction(t *testing.T) {
+	// Build the reduced core, synthesize at a high target, and check the
+	// sized netlist still executes a program correctly (sizing must be
+	// purely electrical).
+	core, info, err := riscv.Generate(lib, riscv.Config{Name: "c", Registers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(core, DefaultOptions(2.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	imem, dmem := riscv.NewMemory(), riscv.NewMemory()
+	prog := []uint32{
+		riscv.ADDI(1, 0, 21),
+		riscv.ADDI(2, 0, 2),
+		riscv.ADD(3, 1, 1),
+		riscv.SLL(4, 1, 2),
+	}
+	imem.LoadProgram(0, prog)
+	h, err := riscv.NewHarness(res.Netlist, info, imem, dmem)
+	if err != nil {
+		t.Fatalf("harness on synthesized netlist: %v", err)
+	}
+	h.Reset()
+	h.Run(len(prog))
+	if got := h.Reg(3); got != 42 {
+		t.Errorf("x3 = %d, want 42 after synthesis", got)
+	}
+	if got := h.Reg(4); got != 84 {
+		t.Errorf("x4 = %d, want 84 after synthesis", got)
+	}
+}
+
+func TestClockNetNotBuffered(t *testing.T) {
+	nl := netlist.New("clk", lib)
+	nl.AddPort("clk", netlist.In)
+	nl.AddPort("d", netlist.In)
+	nl.MarkClock("clk")
+	prev := "d"
+	for i := 0; i < 30; i++ {
+		q := fmt.Sprintf("q%d", i)
+		nl.MustAdd(fmt.Sprintf("ff%d", i), lib.MustCell("DFFD1"),
+			map[string]string{"D": prev, "CP": "clk", "Q": q})
+		prev = q
+	}
+	res, err := Run(nl, DefaultOptions(1.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck := res.Netlist.Net("clk")
+	if ck.Fanout() != 30 {
+		t.Errorf("clock fanout = %d, want 30 untouched (CTS owns the clock)", ck.Fanout())
+	}
+}
+
+func TestInvalidTargetRejected(t *testing.T) {
+	nl := fanoutNetlist(t, 3)
+	if _, err := Run(nl, DefaultOptions(0)); err == nil {
+		t.Fatal("zero target must be rejected")
+	}
+}
+
+func TestOriginalUntouched(t *testing.T) {
+	nl := fanoutNetlist(t, 60)
+	before := nl.Stats()
+	if _, err := Run(nl, DefaultOptions(2.0)); err != nil {
+		t.Fatal(err)
+	}
+	after := nl.Stats()
+	if before.Instances != after.Instances || before.AreaUm2 != after.AreaUm2 {
+		t.Error("Run must not mutate its input netlist")
+	}
+}
