@@ -2,6 +2,9 @@ package core
 
 import (
 	"fmt"
+	"slices"
+	"strings"
+	"sync"
 
 	"repro/internal/cts"
 	"repro/internal/def"
@@ -200,29 +203,47 @@ func RunFlow(nl *netlist.Netlist, cfg FlowConfig) (*FlowResult, error) {
 		// FFET's symmetric structure removes these (Section II.B).
 		ropt.PinAccessFactor = 1.5
 	}
-	var frontRes, backRes *route.Result
-	if len(sides.Front) > 0 {
-		layers := st.SideRoutingLayers(cfg.Pattern, tech.Front)
-		r, err := route.NewRouter(fp.Core, tech.Front, layers, ropt)
+	// The two sides route concurrently: Algorithm 1 already split the
+	// nets into disjoint per-side tasks over independent grids ("the
+	// global & detailed routing are performed independently on both
+	// sides"), so dual-sided routing is embarrassingly parallel and the
+	// results are identical to routing the sides back to back.
+	var (
+		frontRes, backRes *route.Result
+		frontErr, backErr error
+		wg                sync.WaitGroup
+	)
+	runSide := func(side tech.Side, nets []*route.Net, out **route.Result, errOut *error) {
+		defer wg.Done()
+		layers := st.SideRoutingLayers(cfg.Pattern, side)
+		r, err := route.NewRouter(fp.Core, side, layers, ropt)
 		if err != nil {
-			return nil, err
+			*errOut = err
+			return
 		}
-		if frontRes, err = r.Run(sides.Front); err != nil {
-			return nil, err
-		}
+		*out, *errOut = r.Run(nets)
+	}
+	if len(sides.Front) > 0 {
+		wg.Add(1)
+		go runSide(tech.Front, sides.Front, &frontRes, &frontErr)
+	}
+	if len(sides.Back) > 0 {
+		wg.Add(1)
+		go runSide(tech.Back, sides.Back, &backRes, &backErr)
+	}
+	wg.Wait()
+	if frontErr != nil {
+		return nil, frontErr
+	}
+	if backErr != nil {
+		return nil, backErr
+	}
+	if frontRes != nil {
 		res.DRVsFront = frontRes.DRVs
 		res.WirelenFrontUm = float64(frontRes.WirelenNm) / 1000
 		res.Vias += frontRes.ViaCount
 	}
-	if len(sides.Back) > 0 {
-		layers := st.SideRoutingLayers(cfg.Pattern, tech.Back)
-		r, err := route.NewRouter(fp.Core, tech.Back, layers, ropt)
-		if err != nil {
-			return nil, err
-		}
-		if backRes, err = r.Run(sides.Back); err != nil {
-			return nil, err
-		}
+	if backRes != nil {
 		res.DRVsBack = backRes.DRVs
 		res.WirelenBackUm = float64(backRes.WirelenNm) / 1000
 		res.Vias += backRes.ViaCount
@@ -246,6 +267,7 @@ func RunFlow(nl *netlist.Netlist, cfg FlowConfig) (*FlowResult, error) {
 	// --- Dual-sided RC extraction ----------------------------------------------------------
 	eopt := extract.DefaultOptions()
 	netRC := make(map[string]*extract.NetRC, len(work.Nets))
+	ex := extract.NewExtractor()
 	for _, n := range work.Nets {
 		var ft, bt *route.Tree
 		if frontRes != nil {
@@ -254,7 +276,7 @@ func RunFlow(nl *netlist.Netlist, cfg FlowConfig) (*FlowResult, error) {
 		if backRes != nil {
 			bt = backRes.Trees[n.Name]
 		}
-		netRC[n.Name] = extract.Extract(st, extract.NetInput{
+		netRC[n.Name] = ex.Extract(st, extract.NetInput{
 			Name:     n.Name,
 			Front:    ft,
 			Back:     bt,
@@ -317,6 +339,9 @@ func pinLocation(ref netlist.PinRef, fp *floorplan.Plan) geom.Point {
 func buildDEF(nl *netlist.Netlist, fp *floorplan.Plan, pp *powerplan.Result, rr *route.Result, side tech.Side, cfg FlowConfig) *def.Design {
 	d := def.New(nl.Name + "_" + sideSuffix(side))
 	d.Die = fp.Core
+	d.Rows = make([]def.Row, 0, len(fp.Rows))
+	d.Components = make([]*def.Component, 0, len(nl.Instances)+len(pp.TapComponents()))
+	d.Pins = make([]*def.IOPin, 0, len(nl.Ports))
 	for _, r := range fp.Rows {
 		d.Rows = append(d.Rows, def.Row{
 			Name:   fmt.Sprintf("row%d", r.Index),
@@ -353,8 +378,13 @@ func buildDEF(nl *netlist.Netlist, fp *floorplan.Plan, pp *powerplan.Result, rr 
 		d.AddComponent(c)
 	}
 	if rr != nil {
+		d.Nets = make([]*def.Net, 0, len(rr.Trees))
 		for _, tree := range rr.Trees {
-			dn := &def.Net{Name: tree.Name}
+			dn := &def.Net{
+				Name:  tree.Name,
+				Pins:  make([]def.NetPin, 0, len(tree.PinNode)),
+				Wires: make([]def.Wire, 0, len(tree.Edges)),
+			}
 			for id := range tree.PinNode {
 				dn.Pins = append(dn.Pins, splitPinID(id))
 			}
@@ -400,26 +430,21 @@ func splitPinID(id string) def.NetPin {
 	return def.NetPin{Comp: id}
 }
 
+// sortNetPins and sortNets canonicalize DEF ordering. Keys are unique
+// ((comp,pin) within a net; net names within a design), so any correct
+// sort produces the same result the seed's insertion sorts did — without
+// their O(n²) cost on thousands of nets.
 func sortNetPins(n *def.Net) {
-	for i := 1; i < len(n.Pins); i++ {
-		for j := i; j > 0 && less(n.Pins[j], n.Pins[j-1]); j-- {
-			n.Pins[j], n.Pins[j-1] = n.Pins[j-1], n.Pins[j]
+	slices.SortFunc(n.Pins, func(a, b def.NetPin) int {
+		if c := strings.Compare(a.Comp, b.Comp); c != 0 {
+			return c
 		}
-	}
-}
-
-func less(a, b def.NetPin) bool {
-	if a.Comp != b.Comp {
-		return a.Comp < b.Comp
-	}
-	return a.Pin < b.Pin
+		return strings.Compare(a.Pin, b.Pin)
+	})
 }
 
 func sortNets(d *def.Design) {
-	nets := d.Nets
-	for i := 1; i < len(nets); i++ {
-		for j := i; j > 0 && nets[j].Name < nets[j-1].Name; j-- {
-			nets[j], nets[j-1] = nets[j-1], nets[j]
-		}
-	}
+	slices.SortFunc(d.Nets, func(a, b *def.Net) int {
+		return strings.Compare(a.Name, b.Name)
+	})
 }

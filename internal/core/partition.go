@@ -167,6 +167,12 @@ func Partition(nl *netlist.Netlist, pa *PinAssignment, pattern tech.Pattern, pin
 	if !frontOK && !backOK {
 		return nil, fmt.Errorf("core: pattern %v has no routing side", pattern)
 	}
+	// sideOf is reused across nets to remember each sink's resolved side,
+	// so the per-side pin slices can be allocated at exact size in one
+	// shot (nets are extremely numerous; per-net slice regrowth dominated
+	// this function's allocation profile).
+	var sideOf []tech.Side
+	var sinkIDs []string
 	for _, n := range nl.Nets {
 		if n.Driver == (netlist.PinRef{}) {
 			return nil, fmt.Errorf("core: net %s undriven", n.Name)
@@ -176,9 +182,12 @@ func Partition(nl *netlist.Netlist, pa *PinAssignment, pattern tech.Pattern, pin
 		caps := make(map[string]float64, len(n.Sinks))
 		out.SinkCaps[n.Name] = caps
 
-		var frontPins, backPins []route.Pin
+		sideOf = sideOf[:0]
+		sinkIDs = sinkIDs[:0]
+		nFront, nBack := 0, 0
 		for _, s := range n.Sinks {
 			id := pinIDOf(s)
+			sinkIDs = append(sinkIDs, id)
 			side := tech.Front
 			if !s.IsPort() {
 				caps[id] = s.Inst.Cell.InputCap(s.Pin)
@@ -195,28 +204,40 @@ func Partition(nl *netlist.Netlist, pa *PinAssignment, pattern tech.Pattern, pin
 				side = tech.Back
 				out.Rerouted++
 			}
-			p := route.Pin{ID: id, At: pinAt(s), CapFF: caps[id]}
 			if side == tech.Back {
-				backPins = append(backPins, p)
+				nBack++
 			} else {
-				frontPins = append(frontPins, p)
+				nFront++
 			}
+			sideOf = append(sideOf, side)
 		}
 		drv := route.Pin{ID: driverID, At: pinAt(n.Driver), Driver: true}
 		// The dual-sided output pin roots a sub-net on each side that has
 		// sinks ("each output signal can be placed on the frontside, the
 		// backside, or both").
-		if len(frontPins) > 0 {
-			out.Front = append(out.Front, &route.Net{
-				Name: n.Name,
-				Pins: append([]route.Pin{drv}, frontPins...),
-			})
+		var frontPins, backPins []route.Pin
+		if nFront > 0 {
+			frontPins = make([]route.Pin, 1, nFront+1)
+			frontPins[0] = drv
 		}
-		if len(backPins) > 0 {
-			out.Back = append(out.Back, &route.Net{
-				Name: n.Name,
-				Pins: append([]route.Pin{drv}, backPins...),
-			})
+		if nBack > 0 {
+			backPins = make([]route.Pin, 1, nBack+1)
+			backPins[0] = drv
+		}
+		for i, s := range n.Sinks {
+			id := sinkIDs[i]
+			p := route.Pin{ID: id, At: pinAt(s), CapFF: caps[id]}
+			if sideOf[i] == tech.Back {
+				backPins = append(backPins, p)
+			} else {
+				frontPins = append(frontPins, p)
+			}
+		}
+		if nFront > 0 {
+			out.Front = append(out.Front, &route.Net{Name: n.Name, Pins: frontPins})
+		}
+		if nBack > 0 {
+			out.Back = append(out.Back, &route.Net{Name: n.Name, Pins: backPins})
 		}
 	}
 	return out, nil

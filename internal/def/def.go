@@ -154,10 +154,21 @@ func (d *Design) WirelengthByLayerNm() map[string]int64 {
 // vias unioned; special nets are concatenated; the die is the union box.
 func Merge(name string, sides ...*Design) (*Design, error) {
 	out := New(name)
-	comps := make(map[string]*Component)
-	pins := make(map[string]*IOPin)
-	nets := make(map[string]*Net)
-	var netOrder []string
+	// Size everything for the usual two-side merge up front; the maps and
+	// slices otherwise rehash/regrow thousands of times per flow.
+	maxComps, maxPins, maxNets := 0, 0, 0
+	for _, d := range sides {
+		if d == nil {
+			continue
+		}
+		maxComps += len(d.Components)
+		maxPins += len(d.Pins)
+		maxNets += len(d.Nets)
+	}
+	comps := make(map[string]*Component, maxComps)
+	pins := make(map[string]*IOPin, maxPins)
+	nets := make(map[string]*Net, maxNets)
+	netOrder := make([]string, 0, maxNets)
 
 	for _, d := range sides {
 		if d == nil {
@@ -190,7 +201,11 @@ func Merge(name string, sides ...*Design) (*Design, error) {
 		for _, n := range d.Nets {
 			m, ok := nets[n.Name]
 			if !ok {
-				m = &Net{Name: n.Name}
+				m = &Net{
+					Name:  n.Name,
+					Pins:  make([]NetPin, 0, len(n.Pins)),
+					Wires: make([]Wire, 0, len(n.Wires)),
+				}
 				nets[n.Name] = m
 				netOrder = append(netOrder, n.Name)
 			}
@@ -203,22 +218,25 @@ func Merge(name string, sides ...*Design) (*Design, error) {
 			m.Vias = append(m.Vias, n.Vias...)
 		}
 	}
-	var compNames []string
+	compNames := make([]string, 0, len(comps))
 	for n := range comps {
 		compNames = append(compNames, n)
 	}
 	sort.Strings(compNames)
+	out.Components = make([]*Component, 0, len(compNames))
 	for _, n := range compNames {
 		out.Components = append(out.Components, comps[n])
 	}
-	var pinNames []string
+	pinNames := make([]string, 0, len(pins))
 	for n := range pins {
 		pinNames = append(pinNames, n)
 	}
 	sort.Strings(pinNames)
+	out.Pins = make([]*IOPin, 0, len(pinNames))
 	for _, n := range pinNames {
 		out.Pins = append(out.Pins, pins[n])
 	}
+	out.Nets = make([]*Net, 0, len(netOrder))
 	for _, n := range netOrder {
 		out.Nets = append(out.Nets, nets[n])
 	}

@@ -12,6 +12,7 @@ package extract
 
 import (
 	"math"
+	"slices"
 
 	"repro/internal/route"
 	"repro/internal/tech"
@@ -78,23 +79,53 @@ func (n *NetRC) MaxElmore() float64 {
 	return m
 }
 
+// Extractor owns reusable per-net scratch so extracting thousands of
+// nets in a flow allocates only the returned NetRC values. The zero
+// value is ready to use; an Extractor is not safe for concurrent use.
+type Extractor struct {
+	childStart []int32 // children of u: childList[childStart[u]:childStart[u+1]]
+	childList  []int32
+	cursor     []int32
+	edgeIdx    []int32 // index into t.Edges of the edge reaching the node, -1 at roots
+	nodeCap    []float64
+	down       []float64
+	elmore     []float64
+	order      []int32
+	ids        []string // sorted pin-id buffer for order-stable map walks
+}
+
+// NewExtractor returns an empty reusable extractor.
+func NewExtractor() *Extractor { return &Extractor{} }
+
 // Extract builds the RC view of one net.
 func Extract(stack *tech.Stack, in NetInput, opt Options) *NetRC {
+	return NewExtractor().Extract(stack, in, opt)
+}
+
+// Extract builds the RC view of one net, reusing the extractor scratch.
+func (x *Extractor) Extract(stack *tech.Stack, in NetInput, opt Options) *NetRC {
 	out := &NetRC{Name: in.Name, ElmorePs: make(map[string]float64, len(in.SinkCaps))}
 
-	type sideTree struct {
-		t *route.Tree
-	}
-	for _, st := range []sideTree{{in.Front}, {in.Back}} {
-		if st.t == nil {
+	for _, t := range [2]*route.Tree{in.Front, in.Back} {
+		if t == nil {
 			continue
 		}
-		extractSide(stack, st.t, in, opt, out)
-		out.WirelenNm += st.t.WirelenNm
+		x.extractSide(stack, t, in, opt, out)
+		out.WirelenNm += t.WirelenNm
 	}
 	// Sinks with no routed tree (same-gcell or unrouted): local stub only.
-	for id, c := range in.SinkCaps {
+	// Walk in sorted order: float accumulation into TotalCapFF must not
+	// depend on Go's randomized map iteration, or results drift by ULPs
+	// run to run.
+	ids := x.ids[:0]
+	for id := range in.SinkCaps {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	x.ids = ids
+	for _, id := range ids {
 		if _, ok := out.ElmorePs[id]; !ok {
+			c := in.SinkCaps[id]
 			out.ElmorePs[id] = opt.PinStubRKOhm * (c + opt.PinStubCfF)
 			out.TotalCapFF += c + opt.PinStubCfF
 			out.WireCapFF += opt.PinStubCfF
@@ -103,26 +134,60 @@ func Extract(stack *tech.Stack, in NetInput, opt Options) *NetRC {
 	return out
 }
 
+// ensure sizes the scratch for an n-node tree.
+func (x *Extractor) ensure(n int) {
+	if cap(x.childStart) < n+1 {
+		x.childStart = make([]int32, n+1)
+		x.childList = make([]int32, n)
+		x.edgeIdx = make([]int32, n)
+		x.nodeCap = make([]float64, n)
+		x.down = make([]float64, n)
+		x.elmore = make([]float64, n)
+		x.order = make([]int32, 0, n)
+	}
+	x.childStart = x.childStart[:n+1]
+	x.childList = x.childList[:n]
+	x.edgeIdx = x.edgeIdx[:n]
+	x.nodeCap = x.nodeCap[:n]
+	x.down = x.down[:n]
+	x.elmore = x.elmore[:n]
+}
+
 // extractSide runs Elmore analysis over one side's tree and merges the
 // results into out.
-func extractSide(stack *tech.Stack, t *route.Tree, in NetInput, opt Options, out *NetRC) {
+func (x *Extractor) extractSide(stack *tech.Stack, t *route.Tree, in NetInput, opt Options, out *NetRC) {
 	n := len(t.Nodes)
 	if n == 0 {
 		return
 	}
-	// children adjacency (edges are parent->child by construction).
-	children := make([][]int, n)
-	edgeOf := make([]route.TreeEdge, n) // edge reaching node i (To == i)
-	hasEdge := make([]bool, n)
+	x.ensure(n)
+	// Children adjacency (edges are parent->child by construction), as a
+	// counting-sorted flat list preserving t.Edges order per parent.
+	for i := 0; i <= n; i++ {
+		x.childStart[i] = 0
+	}
+	for i := range x.edgeIdx {
+		x.edgeIdx[i] = -1
+		x.nodeCap[i] = 0
+		x.elmore[i] = 0
+	}
 	for _, e := range t.Edges {
-		children[e.From] = append(children[e.From], e.To)
-		edgeOf[e.To] = e
-		hasEdge[e.To] = true
+		x.childStart[e.From+1]++
+	}
+	for i := 0; i < n; i++ {
+		x.childStart[i+1] += x.childStart[i]
+	}
+	cursor := x.cursor[:0]
+	cursor = append(cursor, x.childStart[:n]...)
+	x.cursor = cursor
+	for ei, e := range t.Edges {
+		x.childList[cursor[e.From]] = int32(e.To)
+		cursor[e.From]++
+		x.edgeIdx[e.To] = int32(ei)
 	}
 
 	// Node capacitance: edge wire cap lands at the child node; sink pin
 	// caps and stubs land at their pin node.
-	nodeCap := make([]float64, n)
 	for _, e := range t.Edges {
 		lenUm := float64(e.LenNm) / 1000.0
 		c := e.Layer.CPerUm * lenUm
@@ -130,12 +195,19 @@ func extractSide(stack *tech.Stack, t *route.Tree, in NetInput, opt Options, out
 			c = 0.2 * lenUm
 		}
 		c += float64(e.Vias) * stack.ViaCfF
-		nodeCap[e.To] += c
+		x.nodeCap[e.To] += c
 		out.WireCapFF += c
 		out.TotalCapFF += c
 	}
-	sinksHere := make(map[int][]string)
-	for id, node := range t.PinNode {
+	// Sorted walk: nodeCap/TotalCapFF are float accumulators, so the
+	// visit order must be canonical, not map order.
+	ids := x.ids[:0]
+	for id := range t.PinNode {
+		ids = append(ids, id)
+	}
+	slices.Sort(ids)
+	x.ids = ids
+	for _, id := range ids {
 		if id == in.DriverID {
 			continue
 		}
@@ -143,20 +215,29 @@ func extractSide(stack *tech.Stack, t *route.Tree, in NetInput, opt Options, out
 		if !isSink {
 			continue
 		}
-		nodeCap[node] += c + opt.PinStubCfF
+		node := t.PinNode[id]
+		x.nodeCap[node] += c + opt.PinStubCfF
 		out.TotalCapFF += c + opt.PinStubCfF
 		out.WireCapFF += opt.PinStubCfF
-		sinksHere[node] = append(sinksHere[node], id)
 	}
 
-	// Downstream capacitance (post-order via reverse BFS order).
-	order := bfsOrder(children, t.DriverNode, n)
-	down := make([]float64, n)
-	copy(down, nodeCap)
+	// Downstream capacitance (post-order via reverse BFS order). The
+	// children graph is a tree rooted at DriverNode, so plain BFS needs no
+	// visited set.
+	order := x.order[:0]
+	order = append(order, int32(t.DriverNode))
+	for qh := 0; qh < len(order); qh++ {
+		u := order[qh]
+		for _, v := range x.childList[x.childStart[u]:x.childStart[u+1]] {
+			order = append(order, v)
+		}
+	}
+	x.order = order
+	copy(x.down, x.nodeCap)
 	for i := len(order) - 1; i >= 0; i-- {
 		u := order[i]
-		for _, v := range children[u] {
-			down[u] += down[v]
+		for _, v := range x.childList[x.childStart[u]:x.childStart[u+1]] {
+			x.down[u] += x.down[v]
 		}
 	}
 
@@ -174,55 +255,39 @@ func extractSide(stack *tech.Stack, t *route.Tree, in NetInput, opt Options, out
 		}
 	}
 
-	elmore := make([]float64, n)
-	elmore[t.DriverNode] = rootR * down[t.DriverNode]
+	x.elmore[t.DriverNode] = rootR * x.down[t.DriverNode]
 	for _, u := range order {
-		for _, v := range children[u] {
-			e := edgeOf[v]
+		for _, v := range x.childList[x.childStart[u]:x.childStart[u+1]] {
+			e := t.Edges[x.edgeIdx[v]]
 			lenUm := float64(e.LenNm) / 1000.0
 			r := 0.3 * lenUm
 			if e.Layer.Name != "" {
 				r = e.Layer.RPerUm * lenUm
 			}
 			r += float64(e.Vias) * stack.ViaRKOhm
-			elmore[v] = elmore[u] + r*down[v]
+			x.elmore[v] = x.elmore[u] + r*x.down[v]
 		}
 	}
-	_ = hasEdge
 
-	for node, ids := range sinksHere {
+	for _, id := range ids {
+		if id == in.DriverID {
+			continue
+		}
+		c, isSink := in.SinkCaps[id]
+		if !isSink {
+			continue
+		}
+		node := t.PinNode[id]
 		// Sink escape: via stack back down to the pin.
 		descend := 0.0
-		if hasEdge[node] && edgeOf[node].Layer.Name != "" {
-			descend = stack.ViaStackR(edgeOf[node].Layer.Index, 0)
+		if ei := x.edgeIdx[node]; ei >= 0 && t.Edges[ei].Layer.Name != "" {
+			descend = stack.ViaStackR(t.Edges[ei].Layer.Index, 0)
 		}
-		for _, id := range ids {
-			d := elmore[node] + (opt.PinStubRKOhm+descend)*(in.SinkCaps[id]+opt.PinStubCfF)
-			if prev, ok := out.ElmorePs[id]; !ok || d > prev {
-				out.ElmorePs[id] = d
-			}
+		d := x.elmore[node] + (opt.PinStubRKOhm+descend)*(c+opt.PinStubCfF)
+		if prev, ok := out.ElmorePs[id]; !ok || d > prev {
+			out.ElmorePs[id] = d
 		}
 	}
-}
-
-// bfsOrder returns nodes reachable from root in BFS order.
-func bfsOrder(children [][]int, root, n int) []int {
-	order := make([]int, 0, n)
-	queue := []int{root}
-	seen := make([]bool, n)
-	seen[root] = true
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
-		order = append(order, u)
-		for _, v := range children[u] {
-			if !seen[v] {
-				seen[v] = true
-				queue = append(queue, v)
-			}
-		}
-	}
-	return order
 }
 
 // SlewDegrade approximates output-transition degradation along a wire with

@@ -26,13 +26,18 @@ func (p Point) ManhattanDist(q Point) int64 {
 
 func (p Point) String() string { return fmt.Sprintf("(%d,%d)", p.X, p.Y) }
 
-// Abs64 returns |v|.
-func Abs64(v int64) int64 {
+// Abs returns |v| for any signed-integer type. It is the shared
+// replacement for the hand-rolled abs helpers that used to live in the
+// consumer packages.
+func Abs[T ~int | ~int32 | ~int64](v T) T {
 	if v < 0 {
 		return -v
 	}
 	return v
 }
+
+// Abs64 returns |v|.
+func Abs64(v int64) int64 { return Abs(v) }
 
 // Min64 returns the smaller of a and b.
 func Min64(a, b int64) int64 {

@@ -6,6 +6,7 @@ package netlist
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"repro/internal/cell"
@@ -65,6 +66,11 @@ func (n *Net) Fanout() int { return len(n.Sinks) }
 type Instance struct {
 	Name string
 	Cell *cell.Cell
+	// Seq is the instance's position in Netlist.Instances, assigned at
+	// AddInstance time. Hot loops (placement attraction, refinement) use
+	// it to keep per-instance state in flat slices instead of
+	// pointer-keyed maps.
+	Seq int
 	// conns maps pin name -> net.
 	conns map[string]*Net
 
@@ -176,8 +182,19 @@ func (nl *Netlist) AddInstance(name string, c *cell.Cell, conns map[string]strin
 	if _, dup := nl.instByName[name]; dup {
 		return nil, fmt.Errorf("netlist: duplicate instance %q", name)
 	}
-	inst := &Instance{Name: name, Cell: c, conns: make(map[string]*Net, len(conns))}
-	for pin, netName := range conns {
+	inst := &Instance{Name: name, Cell: c, Seq: len(nl.Instances), conns: make(map[string]*Net, len(conns))}
+	// Process pins in sorted order, not map order: net creation order and
+	// per-net sink order must not depend on Go's randomized map iteration,
+	// or the whole flow downstream (placement, routing tie-breaks, PPA)
+	// becomes nondeterministic run to run.
+	var pinBuf [8]string // enough for every library cell; spills gracefully
+	pins := pinBuf[:0]
+	for pin := range conns {
+		pins = append(pins, pin)
+	}
+	slices.Sort(pins)
+	for _, pin := range pins {
+		netName := conns[pin]
 		isOut := pin == c.Out.Name
 		if !isOut {
 			if _, ok := c.InputPin(pin); !ok {
@@ -357,13 +374,16 @@ func (nl *Netlist) Clone() *Netlist {
 // inputs are sinks). The second return lists any instances caught in
 // combinational cycles (empty for well-formed designs).
 func (nl *Netlist) TopoLevels() ([][]*Instance, []*Instance) {
-	indeg := make(map[*Instance]int, len(nl.Instances))
+	indeg := make([]int, len(nl.Instances))
+	comb := 0
 	for _, i := range nl.Instances {
 		if i.Cell.IsSeq() {
 			continue // flops break the graph
 		}
+		comb++
 		deg := 0
-		for _, n := range i.InputNets() {
+		for _, p := range i.Cell.Inputs {
+			n := i.conns[p.Name]
 			if n == nil || n.Driver.IsPort() {
 				continue
 			}
@@ -371,12 +391,12 @@ func (nl *Netlist) TopoLevels() ([][]*Instance, []*Instance) {
 				deg++
 			}
 		}
-		indeg[i] = deg
+		indeg[i.Seq] = deg
 	}
 	var levels [][]*Instance
 	frontier := make([]*Instance, 0)
 	for _, i := range nl.Instances { // deterministic order
-		if !i.Cell.IsSeq() && indeg[i] == 0 {
+		if !i.Cell.IsSeq() && indeg[i.Seq] == 0 {
 			frontier = append(frontier, i)
 		}
 	}
@@ -394,8 +414,8 @@ func (nl *Netlist) TopoLevels() ([][]*Instance, []*Instance) {
 				if s.IsPort() || s.Inst.Cell.IsSeq() {
 					continue
 				}
-				indeg[s.Inst]--
-				if indeg[s.Inst] == 0 {
+				indeg[s.Inst.Seq]--
+				if indeg[s.Inst.Seq] == 0 {
 					next = append(next, s.Inst)
 				}
 			}
@@ -403,9 +423,9 @@ func (nl *Netlist) TopoLevels() ([][]*Instance, []*Instance) {
 		frontier = next
 	}
 	var cyclic []*Instance
-	if seen < len(indeg) {
+	if seen < comb {
 		for _, i := range nl.Instances {
-			if !i.Cell.IsSeq() && indeg[i] > 0 {
+			if !i.Cell.IsSeq() && indeg[i.Seq] > 0 {
 				cyclic = append(cyclic, i)
 			}
 		}

@@ -7,9 +7,12 @@
 package place
 
 import (
+	"cmp"
 	"fmt"
 	"math/rand"
+	"slices"
 	"sort"
+	"strings"
 
 	"repro/internal/floorplan"
 	"repro/internal/geom"
@@ -102,16 +105,21 @@ func Global(nl *netlist.Netlist, fp *floorplan.Plan, opt Options) {
 	}
 	fp.PlaceIOPorts(nl)
 
+	// One centroid workspace shared by every attraction pass: the
+	// accumulators are indexed by Instance.Seq, so the inner loop touches
+	// flat int64 slices instead of pointer-keyed maps (which dominated
+	// both allocation volume and GC time of the whole flow).
+	ws := newAttractWorkspace(len(nl.Instances))
 	for it := 0; it < opt.GlobalIters; it++ {
-		attract(nl, fp, opt)
-		attract(nl, fp, opt)
+		ws.attract(nl, fp, opt)
+		ws.attract(nl, fp, opt)
 		if it%2 == 1 || it == opt.GlobalIters-1 {
 			rankSpread(nl, fp)
 		}
 	}
 	// Local density cleanup then a last pull.
 	spread(nl, fp, opt)
-	attract(nl, fp, opt)
+	ws.attract(nl, fp, opt)
 }
 
 // rankSpread redistributes cells uniformly along each axis by rank,
@@ -128,11 +136,14 @@ func rankSpread(nl *netlist.Netlist, fp *floorplan.Plan) {
 		return
 	}
 	W, H := fp.Core.W(), fp.Core.H()
-	sort.SliceStable(cells, func(i, j int) bool {
-		if cells[i].Pos.X != cells[j].Pos.X {
-			return cells[i].Pos.X < cells[j].Pos.X
+	// The (position, name) keys are total orders, so the unstable pdqsort
+	// produces the same permutation the seed's stable merge sort did —
+	// without its O(n log² n) rotations.
+	slices.SortFunc(cells, func(a, b *netlist.Instance) int {
+		if a.Pos.X != b.Pos.X {
+			return cmp.Compare(a.Pos.X, b.Pos.X)
 		}
-		return cells[i].Name < cells[j].Name
+		return strings.Compare(a.Name, b.Name)
 	})
 	n := int64(len(cells) - 1)
 	for i, inst := range cells {
@@ -140,11 +151,11 @@ func rankSpread(nl *netlist.Netlist, fp *floorplan.Plan) {
 		// Blend: 60% rank position, 40% attracted position.
 		inst.Pos = geom.Pt((x*3+inst.Pos.X*2)/5, inst.Pos.Y)
 	}
-	sort.SliceStable(cells, func(i, j int) bool {
-		if cells[i].Pos.Y != cells[j].Pos.Y {
-			return cells[i].Pos.Y < cells[j].Pos.Y
+	slices.SortFunc(cells, func(a, b *netlist.Instance) int {
+		if a.Pos.Y != b.Pos.Y {
+			return cmp.Compare(a.Pos.Y, b.Pos.Y)
 		}
-		return cells[i].Name < cells[j].Name
+		return strings.Compare(a.Name, b.Name)
 	})
 	for i, inst := range cells {
 		y := int64(i) * H / n
@@ -152,39 +163,46 @@ func rankSpread(nl *netlist.Netlist, fp *floorplan.Plan) {
 	}
 }
 
+// attractWorkspace holds reusable centroid accumulators indexed by
+// Instance.Seq plus per-net endpoint buffers, so repeated attraction
+// passes allocate nothing.
+type attractWorkspace struct {
+	sumX, sumY, cnt []int64
+	pts             []geom.Point
+	insts           []*netlist.Instance
+}
+
+func newAttractWorkspace(n int) *attractWorkspace {
+	return &attractWorkspace{
+		sumX: make([]int64, n),
+		sumY: make([]int64, n),
+		cnt:  make([]int64, n),
+	}
+}
+
 // attract moves each movable instance toward the centroid of everything
 // it connects to.
-func attract(nl *netlist.Netlist, fp *floorplan.Plan, opt Options) {
-	sumX := make(map[*netlist.Instance]int64, len(nl.Instances))
-	sumY := make(map[*netlist.Instance]int64, len(nl.Instances))
-	cnt := make(map[*netlist.Instance]int64, len(nl.Instances))
-	add := func(inst *netlist.Instance, p geom.Point) {
-		sumX[inst] += p.X
-		sumY[inst] += p.Y
-		cnt[inst]++
+func (ws *attractWorkspace) attract(nl *netlist.Netlist, fp *floorplan.Plan, opt Options) {
+	for i := range ws.cnt {
+		ws.sumX[i] = 0
+		ws.sumY[i] = 0
+		ws.cnt[i] = 0
 	}
 	for _, n := range nl.Nets {
 		if n.IsClock || n.Fanout() > opt.MaxAttractFanout {
 			continue
 		}
-		var pts []geom.Point
-		var insts []*netlist.Instance
+		pts := ws.pts[:0]
+		insts := ws.insts[:0]
 		if n.Driver != (netlist.PinRef{}) {
 			pts = append(pts, pinPoint(n.Driver, fp))
-			if n.Driver.Inst != nil {
-				insts = append(insts, n.Driver.Inst)
-			} else {
-				insts = append(insts, nil)
-			}
+			insts = append(insts, n.Driver.Inst)
 		}
 		for _, s := range n.Sinks {
 			pts = append(pts, pinPoint(s, fp))
-			if s.Inst != nil {
-				insts = append(insts, s.Inst)
-			} else {
-				insts = append(insts, nil)
-			}
+			insts = append(insts, s.Inst)
 		}
+		ws.pts, ws.insts = pts, insts
 		// Each endpoint is pulled toward the centroid of the others.
 		var cx, cy int64
 		for _, p := range pts {
@@ -199,15 +217,17 @@ func attract(nl *netlist.Netlist, fp *floorplan.Plan, opt Options) {
 			// Centroid excluding self.
 			ox := (cx - pts[i].X) / (n64 - 1 + boolTo64(n64 == 1))
 			oy := (cy - pts[i].Y) / (n64 - 1 + boolTo64(n64 == 1))
-			add(inst, geom.Pt(ox, oy))
+			ws.sumX[inst.Seq] += ox
+			ws.sumY[inst.Seq] += oy
+			ws.cnt[inst.Seq]++
 		}
 	}
 	for _, inst := range nl.Instances {
-		if inst.Fixed || cnt[inst] == 0 {
+		if inst.Fixed || ws.cnt[inst.Seq] == 0 {
 			continue
 		}
-		tx := sumX[inst] / cnt[inst]
-		ty := sumY[inst] / cnt[inst]
+		tx := ws.sumX[inst.Seq] / ws.cnt[inst.Seq]
+		ty := ws.sumY[inst.Seq] / ws.cnt[inst.Seq]
 		// Damped move.
 		inst.Pos = geom.Pt(
 			geom.Clamp64(inst.Pos.X+(tx-inst.Pos.X)*3/4, fp.Core.Lo.X, fp.Core.Hi.X),
@@ -411,23 +431,29 @@ func probe(free []geom.Interval, target, w, cpp int64) (int64, int64, bool) {
 	return bestX, bestCost, found
 }
 
-// take commits a slot previously returned by probe.
+// take commits a slot previously returned by probe, splicing the free
+// list in place instead of rebuilding it.
 func take(free *[]geom.Interval, x, w int64) {
-	for i, f := range *free {
-		if x >= f.Lo && x+w <= f.Hi {
-			var repl []geom.Interval
-			if x > f.Lo {
-				repl = append(repl, geom.Interval{Lo: f.Lo, Hi: x})
-			}
-			if x+w < f.Hi {
-				repl = append(repl, geom.Interval{Lo: x + w, Hi: f.Hi})
-			}
-			out := append([]geom.Interval{}, (*free)[:i]...)
-			out = append(out, repl...)
-			out = append(out, (*free)[i+1:]...)
-			*free = out
-			return
+	f := *free
+	for i := range f {
+		iv := f[i]
+		if x < iv.Lo || x+w > iv.Hi {
+			continue
 		}
+		hasL := x > iv.Lo
+		hasR := x+w < iv.Hi
+		switch {
+		case hasL && hasR:
+			f[i] = geom.Interval{Lo: iv.Lo, Hi: x}
+			*free = slices.Insert(f, i+1, geom.Interval{Lo: x + w, Hi: iv.Hi})
+		case hasL:
+			f[i] = geom.Interval{Lo: iv.Lo, Hi: x}
+		case hasR:
+			f[i] = geom.Interval{Lo: x + w, Hi: iv.Hi}
+		default:
+			*free = append(f[:i], f[i+1:]...)
+		}
+		return
 	}
 	panic("place: take without matching probe")
 }
@@ -539,29 +565,48 @@ func Refine(nl *netlist.Netlist, fp *floorplan.Plan, blockages map[int][]geom.In
 		}
 		r.cells = append(r.cells, inst)
 	}
-	desired := func(inst *netlist.Instance) int64 {
-		var xs []int64
+	// Connectivity is static during refinement, so the "other endpoint"
+	// pin refs of every instance are collected once up front; only their
+	// positions are re-read per pass. The xs scratch is shared across all
+	// median computations.
+	others := make([][]netlist.PinRef, len(nl.Instances))
+	collect := func(inst *netlist.Instance) []netlist.PinRef {
+		refs := make([]netlist.PinRef, 0, 8)
 		consider := func(n *netlist.Net) {
 			if n == nil || n.Fanout() > 24 {
 				return
 			}
 			if n.Driver != (netlist.PinRef{}) && n.Driver.Inst != inst {
-				xs = append(xs, pinPoint(n.Driver, fp).X)
+				refs = append(refs, n.Driver)
 			}
 			for _, s := range n.Sinks {
 				if s.Inst != inst {
-					xs = append(xs, pinPoint(s, fp).X)
+					refs = append(refs, s)
 				}
 			}
 		}
-		for _, n := range inst.InputNets() {
-			consider(n)
+		for _, p := range inst.Cell.Inputs {
+			consider(inst.Conn(p.Name))
 		}
 		consider(inst.OutputNet())
+		return refs
+	}
+	for _, inst := range nl.Instances {
+		if !inst.Fixed {
+			others[inst.Seq] = collect(inst)
+		}
+	}
+	var xs []int64
+	desired := func(inst *netlist.Instance) int64 {
+		refs := others[inst.Seq]
+		xs = xs[:0]
+		for _, ref := range refs {
+			xs = append(xs, pinPoint(ref, fp).X)
+		}
 		if len(xs) == 0 {
 			return inst.Pos.X
 		}
-		sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+		slices.Sort(xs)
 		return xs[len(xs)/2]
 	}
 	cpp := fp.Stack.CPPNm

@@ -53,6 +53,8 @@ type Result struct {
 	// Blockages are row intervals consumed by tap cells + halos, used by
 	// the legalizer: Blockages[rowIndex] lists blocked X intervals.
 	Blockages map[int][]geom.Interval
+
+	tapComps []*def.Component // lazily built by TapComponents
 }
 
 // MaxUtilization returns the highest placement utilization the tap-cell
@@ -156,9 +158,14 @@ func (r *Result) SpecialNets(fp *floorplan.Plan) []*def.SNet {
 
 // TapComponents renders the tap cells as fixed DEF components.
 func (r *Result) TapComponents() []*def.Component {
-	out := make([]*def.Component, 0, len(r.Taps))
-	for _, t := range r.Taps {
-		out = append(out, &def.Component{Name: t.Name, Macro: "PWRTAP", Pos: t.Pos, Fixed: true})
+	// Taps are frozen once Plan returns, so the DEF components are built
+	// once and shared by every caller (both side DEFs reference the same
+	// read-only components; def.Merge copies them when combining).
+	if r.tapComps == nil {
+		r.tapComps = make([]*def.Component, 0, len(r.Taps))
+		for _, t := range r.Taps {
+			r.tapComps = append(r.tapComps, &def.Component{Name: t.Name, Macro: "PWRTAP", Pos: t.Pos, Fixed: true})
+		}
 	}
-	return out
+	return r.tapComps
 }

@@ -1,0 +1,153 @@
+package route
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/tech"
+)
+
+// benchNets builds a reproducible random 2-pin net population.
+func benchNets(n int, span int64, seed int64) []*Net {
+	rng := rand.New(rand.NewSource(seed))
+	nets := make([]*Net, 0, n)
+	for i := 0; i < n; i++ {
+		nets = append(nets, mkNet(fmt.Sprintf("n%d", i),
+			geom.Pt(rng.Int63n(span), rng.Int63n(span)),
+			geom.Pt(rng.Int63n(span), rng.Int63n(span))))
+	}
+	return nets
+}
+
+// BenchmarkAstarShortNet measures the steady-state cost of routing one
+// short 2-pin connection on a large, mostly idle grid — the windowed
+// zero-alloc A* fast path that dominates real netlists.
+func BenchmarkAstarShortNet(b *testing.B) {
+	core := geom.R(0, 0, 200_000, 200_000)
+	r, err := NewRouter(core, tech.Front, ffetFrontLayers(12), DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	net := mkNet("short", geom.Pt(100_500, 100_500), geom.Pt(106_500, 104_500))
+	nr := &netRoute{net: net}
+	r.nets = []*netRoute{nr}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.routeNet(nr, 1)
+		r.unroute(nr)
+	}
+}
+
+// BenchmarkRouterQuickCore measures a full Run (initial routing +
+// negotiation + tree building) at quick-core scale, including router
+// construction, as one benchmark unit of the evaluation flow.
+func BenchmarkRouterQuickCore(b *testing.B) {
+	core := geom.R(0, 0, 60_000, 60_000)
+	layers := ffetFrontLayers(6)
+	nets := benchNets(600, 60_000, 11)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := NewRouter(core, tech.Front, layers, DefaultOptions())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := r.Run(nets); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestAstarZeroAlloc pins the zero-allocation invariant of the A* core:
+// once the router's scratch arena and the net's edge slice have warmed
+// up, rip-up + reroute cycles must not allocate at all.
+func TestAstarZeroAlloc(t *testing.T) {
+	core := geom.R(0, 0, 100_000, 100_000)
+	r, err := NewRouter(core, tech.Front, ffetFrontLayers(12), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := mkNet("zn",
+		geom.Pt(20_500, 20_500), geom.Pt(44_500, 31_500), geom.Pt(28_500, 47_500))
+	nr := &netRoute{net: net}
+	r.nets = []*netRoute{nr}
+	// Warm up the scratch arena, frontier, edge slice and reverse index.
+	r.routeNet(nr, 1)
+	r.unroute(nr)
+	allocs := testing.AllocsPerRun(100, func() {
+		r.routeNet(nr, 1)
+		r.unroute(nr)
+	})
+	if allocs != 0 {
+		t.Errorf("rip-up+reroute allocates %v objects per run, want 0", allocs)
+	}
+}
+
+// TestRouterReuse guards the Run-reset contract: a router reused for a
+// second Run (fewer nets, stale reverse-index entries, leftover usage,
+// history and pin-blockage derates from the first population) must
+// behave exactly like a freshly built router.
+func TestRouterReuse(t *testing.T) {
+	core := geom.R(0, 0, 30_000, 4_000)
+	r, err := NewRouter(core, tech.Front, ffetFrontLayers(2), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First run: congested population that exercises rip-up.
+	var nets []*Net
+	for i := 0; i < 260; i++ {
+		y := int64(500 + (i%4)*1000)
+		nets = append(nets, mkNet(fmt.Sprintf("n%d", i), geom.Pt(500, y), geom.Pt(29500, y)))
+	}
+	if _, err := r.Run(nets); err != nil {
+		t.Fatal(err)
+	}
+	// Second run on the same router with far fewer nets: stale reverse
+	// index positions exceed the new net count.
+	small := benchNets(20, 4_000, 9)
+	reused, err := r.Run(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := NewRouter(core, tech.Front, ffetFrontLayers(2), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fresh.Run(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reused.WirelenNm != want.WirelenNm || reused.DRVs != want.DRVs ||
+		reused.ViaCount != want.ViaCount {
+		t.Errorf("reused router diverges from fresh: WL %d vs %d, DRVs %d vs %d, vias %d vs %d",
+			reused.WirelenNm, want.WirelenNm, reused.DRVs, want.DRVs,
+			reused.ViaCount, want.ViaCount)
+	}
+}
+
+// TestRunTwiceSameNetsDeterministic guards the determinism contract the
+// parallel dual-side flow relies on: routing the same nets on two fresh
+// routers yields identical wirelength and DRV counts.
+func TestRunTwiceSameNetsDeterministic(t *testing.T) {
+	core := geom.R(0, 0, 30_000, 8_000)
+	nets := benchNets(300, 8_000, 3)
+	run := func() (int64, int) {
+		r, err := NewRouter(core, tech.Front, ffetFrontLayers(3), DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := r.Run(nets)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.WirelenNm, res.DRVs
+	}
+	wl1, drv1 := run()
+	wl2, drv2 := run()
+	if wl1 != wl2 || drv1 != drv2 {
+		t.Errorf("two Run calls diverge: WL %d vs %d, DRVs %d vs %d", wl1, wl2, drv1, drv2)
+	}
+}

@@ -1,0 +1,74 @@
+package route
+
+// pqItem is one A* frontier entry. node is the packed gcell id (y*w+x),
+// cost the g-value at push time, est the f-value (cost + Manhattan h).
+type pqItem struct {
+	node int32
+	cost float64
+	est  float64
+}
+
+// frontier is a typed binary min-heap ordered by est.
+//
+// The sift implementations mirror container/heap's `up`/`down` exactly —
+// same comparison (`est <`), same swap pattern, same child selection — so
+// the pop order, including among equal-est ties, is identical to the
+// seed's interface-boxed container/heap frontier. That identity is what
+// keeps routed results bit-for-bit stable across the rewrite: equal-cost
+// L-shapes are committed in the same order, so congestion evolves the
+// same way net after net. (A 4-ary layout would pop ties in a different
+// order and perturb every downstream detour; the win here is removing
+// the interface{} boxing on every push/pop, which dominates the old
+// heap's cost, not the arity.)
+type frontier struct {
+	items []pqItem
+}
+
+func (f *frontier) reset()   { f.items = f.items[:0] }
+func (f *frontier) len() int { return len(f.items) }
+
+func (f *frontier) push(it pqItem) {
+	f.items = append(f.items, it)
+	f.up(len(f.items) - 1)
+}
+
+func (f *frontier) pop() pqItem {
+	n := len(f.items) - 1
+	f.items[0], f.items[n] = f.items[n], f.items[0]
+	f.down(0, n)
+	it := f.items[n]
+	f.items = f.items[:n]
+	return it
+}
+
+func (f *frontier) up(j int) {
+	items := f.items
+	for {
+		i := (j - 1) / 2 // parent
+		if i == j || !(items[j].est < items[i].est) {
+			break
+		}
+		items[i], items[j] = items[j], items[i]
+		j = i
+	}
+}
+
+func (f *frontier) down(i0, n int) {
+	items := f.items
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 { // j1 < 0 after int overflow
+			break
+		}
+		j := j1 // left child
+		if j2 := j1 + 1; j2 < n && items[j2].est < items[j1].est {
+			j = j2 // = 2*i + 2  // right child
+		}
+		if !(items[j].est < items[i].est) {
+			break
+		}
+		items[i], items[j] = items[j], items[i]
+		i = j
+	}
+}

@@ -18,10 +18,18 @@
 //     on one side, Fig. 8(c));
 //   - unresolved overflow after negotiation counts as design-rule
 //     violations; a run is valid only if DRV < 10 (Section IV).
+//
+// The inner engine is built for speed without changing routed results:
+// grid edges are flat int32 ids into combined capacity/usage/history
+// arrays, per-net edge sets are compact id slices with epoch-stamped
+// ownership marks, the A* core runs zero-allocation over a reusable
+// scratch arena (see scratch.go, heap.go), short nets search a pin
+// bounding-box window that provably expands to cover the unwindowed
+// optimum, and rip-up iterations use an edge→nets reverse index so only
+// nets touching overflow are revisited.
 package route
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"sort"
@@ -126,16 +134,20 @@ type Result struct {
 	GridH       int
 }
 
-// grid is the 2.5-D routing graph for one side.
+// grid is the 2.5-D routing graph for one side. Edges are addressed by
+// flat int32 ids: horizontal boundary (x,y)-(x+1,y) is id hIdx(x,y) in
+// [0,nH); vertical boundary (x,y)-(x,y+1) is id vIdx(x,y) in [nH,nE).
+// Capacity, usage, and congestion history live in single combined
+// arrays indexed by edge id, so every per-edge lookup in the hot path
+// is one bounds-checked load instead of a map probe.
 type grid struct {
 	w, h    int
 	gc      int64
-	capH    []float64 // [(w-1)*h] edges (x,y)-(x+1,y)
-	capV    []float64 // [w*(h-1)] edges (x,y)-(x,y+1)
-	useH    []float64
-	useV    []float64
-	histH   []float64
-	histV   []float64
+	nH      int // horizontal edge count; ids >= nH are vertical
+	cap     []float64
+	cap0    []float64 // pristine per-edge capacity, before pin blockage
+	use     []float64
+	hist    []float64
 	hLayers []tech.Layer
 	vLayers []tech.Layer
 	// pinsEff holds the access-weighted pin count per gcell (set by
@@ -160,8 +172,32 @@ func layerUsable(index int) float64 {
 	}
 }
 
-func (g *grid) hIdx(x, y int) int { return y*(g.w-1) + x }
-func (g *grid) vIdx(x, y int) int { return x*(g.h-1) + y }
+func (g *grid) hIdx(x, y int) int32 { return int32(y*(g.w-1) + x) }
+func (g *grid) vIdx(x, y int) int32 { return int32(g.nH + x*(g.h-1) + y) }
+func (g *grid) numEdges() int       { return g.nH + g.w*(g.h-1) }
+
+// edgeCells decodes an edge id into its canonical (x1,y1,x2,y2) cells.
+func (g *grid) edgeCells(eid int32) (x1, y1, x2, y2 int) {
+	if int(eid) < g.nH {
+		e := int(eid)
+		y := e / (g.w - 1)
+		x := e % (g.w - 1)
+		return x, y, x + 1, y
+	}
+	e := int(eid) - g.nH
+	x := e / (g.h - 1)
+	y := e % (g.h - 1)
+	return x, y, x, y + 1
+}
+
+// edgeOwner is one entry of the edge→nets reverse index: the net at
+// routing-order position pos owned this edge when its generation was
+// gen. Entries go stale when the net is ripped up (gen bump); stale
+// entries are pruned lazily whenever a list is touched.
+type edgeOwner struct {
+	pos int32
+	gen uint32
+}
 
 // Router routes one side.
 type Router struct {
@@ -170,6 +206,15 @@ type Router struct {
 	layers []tech.Layer
 	core   geom.Rect
 	g      *grid
+	sc     *scratch
+
+	// Negotiation state: nets in routing order, the edge→nets reverse
+	// index, per-order-position rip-up candidates, and the current sweep
+	// position (-1 outside a rip-up sweep).
+	nets     []*netRoute
+	edgeNets [][]edgeOwner
+	cand     []bool
+	sweepPos int
 }
 
 // NewRouter builds the routing grid for a side of the core area. layers
@@ -189,7 +234,7 @@ func NewRouter(core geom.Rect, side tech.Side, layers []tech.Layer, opt Options)
 	if h < 2 {
 		h = 2
 	}
-	g := &grid{w: w, h: h, gc: opt.GCellNm}
+	g := &grid{w: w, h: h, gc: opt.GCellNm, nH: (w - 1) * h}
 	var capHPer, capVPer float64
 	derate := 1 - opt.StaticDerate
 	if derate <= 0 {
@@ -206,19 +251,24 @@ func NewRouter(core geom.Rect, side tech.Side, layers []tech.Layer, opt Options)
 			g.vLayers = append(g.vLayers, l)
 		}
 	}
-	g.capH = make([]float64, (w-1)*h)
-	g.useH = make([]float64, (w-1)*h)
-	g.histH = make([]float64, (w-1)*h)
-	for i := range g.capH {
-		g.capH[i] = capHPer
+	nE := g.numEdges()
+	g.cap = make([]float64, nE)
+	g.cap0 = make([]float64, nE)
+	g.use = make([]float64, nE)
+	g.hist = make([]float64, nE)
+	for i := 0; i < g.nH; i++ {
+		g.cap0[i] = capHPer
 	}
-	g.capV = make([]float64, w*(h-1))
-	g.useV = make([]float64, w*(h-1))
-	g.histV = make([]float64, w*(h-1))
-	for i := range g.capV {
-		g.capV[i] = capVPer
+	for i := g.nH; i < nE; i++ {
+		g.cap0[i] = capVPer
 	}
-	return &Router{opt: opt, side: side, layers: layers, core: core, g: g}, nil
+	copy(g.cap, g.cap0)
+	return &Router{
+		opt: opt, side: side, layers: layers, core: core, g: g,
+		sc:       newScratch(w*h, nE),
+		edgeNets: make([][]edgeOwner, nE),
+		sweepPos: -1,
+	}, nil
 }
 
 // cellOf maps a point to its gcell.
@@ -261,8 +311,8 @@ func (r *Router) applyPinBlockage(nets []*Net) {
 		g.pinsEff[i] = pins[i] * kappa
 	}
 	g.pinSat = sat
-	derate := func(idx int, caps []float64, frac float64) {
-		caps[idx] = math.Max(0, caps[idx]*(1-frac))
+	derate := func(eid int32, frac float64) {
+		g.cap[eid] = math.Max(0, g.cap[eid]*(1-frac))
 	}
 	for y := 0; y < g.h; y++ {
 		for x := 0; x < g.w; x++ {
@@ -281,16 +331,16 @@ func (r *Router) applyPinBlockage(nets []*Net) {
 				frac = ceil
 			}
 			if x > 0 {
-				derate(g.hIdx(x-1, y), g.capH, frac)
+				derate(g.hIdx(x-1, y), frac)
 			}
 			if x < g.w-1 {
-				derate(g.hIdx(x, y), g.capH, frac)
+				derate(g.hIdx(x, y), frac)
 			}
 			if y > 0 {
-				derate(g.vIdx(x, y-1), g.capV, frac)
+				derate(g.vIdx(x, y-1), frac)
 			}
 			if y < g.h-1 {
-				derate(g.vIdx(x, y), g.capV, frac)
+				derate(g.vIdx(x, y), frac)
 			}
 		}
 	}
@@ -298,9 +348,14 @@ func (r *Router) applyPinBlockage(nets []*Net) {
 
 // netRoute is internal per-net routing state.
 type netRoute struct {
-	net   *Net
-	edges map[[4]int]bool // (x1,y1,x2,y2) canonical grid edges
+	net *Net
+	// edges holds the net's committed grid-edge ids in commit order,
+	// without duplicates (ownership marks in the scratch arena dedup
+	// commits). The slice is recycled across reroutes.
+	edges []int32
 	hpwl  int64
+	pos   int32  // position in the router's net order
+	gen   uint32 // bumped on every rip-up; stales reverse-index entries
 }
 
 // Run routes all nets and returns the result with layer-assigned trees.
@@ -316,22 +371,46 @@ func (r *Router) Run(nets []*Net) (*Result, error) {
 			return nil, fmt.Errorf("route: net %s has %d drivers", n.Name, drivers)
 		}
 	}
+	// Restore pristine grid state so a reused Router routes exactly like
+	// a fresh one: usage and history from a previous Run would otherwise
+	// act as phantom congestion, and pin blockage would derate capacity
+	// cumulatively.
+	g := r.g
+	copy(g.cap, g.cap0)
+	for i := range g.use {
+		g.use[i] = 0
+		g.hist[i] = 0
+	}
 	r.applyPinBlockage(nets)
 
 	order := make([]*netRoute, 0, len(nets))
+	var pts []geom.Point
 	for _, n := range nets {
-		pts := make([]geom.Point, len(n.Pins))
-		for i, p := range n.Pins {
-			pts[i] = p.At
+		pts = pts[:0]
+		for _, p := range n.Pins {
+			pts = append(pts, p.At)
 		}
 		order = append(order, &netRoute{net: n, hpwl: geom.HPWL(pts)})
 	}
-	sort.SliceStable(order, func(i, j int) bool {
+	// (hpwl, name) is a total order over a side's nets, so the unstable
+	// pdqsort yields the same routing order the seed's stable sort did.
+	sort.Slice(order, func(i, j int) bool {
 		if order[i].hpwl != order[j].hpwl {
 			return order[i].hpwl < order[j].hpwl
 		}
 		return order[i].net.Name < order[j].net.Name
 	})
+	for i, nr := range order {
+		nr.pos = int32(i)
+	}
+	r.nets = order
+	r.cand = make([]bool, len(order))
+	// Retire reverse-index entries from any previous Run on this router:
+	// their positions/generations refer to the old net order and would
+	// otherwise alias the fresh nets' generation 0.
+	for i := range r.edgeNets {
+		r.edgeNets[i] = r.edgeNets[i][:0]
+	}
 
 	presFac := 1.0
 	for _, nr := range order {
@@ -357,14 +436,35 @@ func (r *Router) Run(nets []*Net) (*Result, error) {
 		prevOver = len(over)
 		r.accumulateHistory()
 		presFac *= 1.7
-		// Rip up and reroute nets that cross overflowed edges.
-		for _, nr := range order {
+		// Rip up and reroute nets that cross overflowed edges. The
+		// reverse index narrows the sweep to nets actually touching
+		// overflow; the live crossesOverflow check below then makes the
+		// rip decision at the net's sweep position, exactly as a full
+		// scan over every net would (usage committed earlier in the same
+		// sweep is visible, and overflow created mid-sweep re-marks the
+		// not-yet-visited owners of the offending edge).
+		for i := range r.cand {
+			r.cand[i] = false
+		}
+		for _, eid := range over {
+			for _, o := range r.edgeNets[eid] {
+				if int(o.pos) < len(order) && order[o.pos].gen == o.gen {
+					r.cand[o.pos] = true
+				}
+			}
+		}
+		for i, nr := range order {
+			if !r.cand[i] {
+				continue
+			}
+			r.sweepPos = i
 			if !r.crossesOverflow(nr) {
 				continue
 			}
 			r.unroute(nr)
 			r.routeNet(nr, presFac)
 		}
+		r.sweepPos = -1
 	}
 
 	res := &Result{
@@ -391,85 +491,63 @@ func (r *Router) Run(nets []*Net) (*Result, error) {
 
 // routeNet routes the net's MST topology with A*, updating usage.
 func (r *Router) routeNet(nr *netRoute, presFac float64) {
-	nr.edges = make(map[[4]int]bool)
+	s := r.sc
+	s.beginNet()
+	nr.edges = nr.edges[:0]
 	n := nr.net
-	type cellPt struct{ x, y int }
-	cells := make([]cellPt, len(n.Pins))
+	k := len(n.Pins)
+	s.ensurePins(k)
 	for i, p := range n.Pins {
 		x, y := r.cellOf(p.At)
-		cells[i] = cellPt{x, y}
+		s.pinX[i], s.pinY[i] = int32(x), int32(y)
 	}
-	// Prim MST over pin gcells (Manhattan metric).
-	inTree := make([]bool, len(cells))
-	inTree[0] = true
-	connected := 1
-	for connected < len(cells) {
-		best, bestFrom, bestD := -1, -1, math.MaxInt64
-		for i := range cells {
-			if inTree[i] {
-				continue
+	// Prim MST over pin gcells (Manhattan metric), O(k²) via cached
+	// nearest-tree distances. Tie-breaking matches the seed's O(k³)
+	// scan exactly: the joining pin is the lowest index achieving the
+	// minimum distance, and its tree anchor the lowest index realizing
+	// that distance.
+	dist := func(i, j int) int32 {
+		return geom.Abs(s.pinX[i]-s.pinX[j]) + geom.Abs(s.pinY[i]-s.pinY[j])
+	}
+	s.inTree[0] = true
+	for i := 1; i < k; i++ {
+		s.minDist[i] = dist(i, 0)
+	}
+	for connected := 1; connected < k; connected++ {
+		best, bestD := -1, int32(math.MaxInt32)
+		for i := 1; i < k; i++ {
+			if !s.inTree[i] && s.minDist[i] < bestD {
+				bestD, best = s.minDist[i], i
 			}
-			for j := range cells {
-				if !inTree[j] {
-					continue
-				}
-				d := abs(cells[i].x-cells[j].x) + abs(cells[i].y-cells[j].y)
-				if d < bestD {
-					bestD, best, bestFrom = d, i, j
+		}
+		bestFrom := -1
+		for j := 0; j < k; j++ {
+			if s.inTree[j] && dist(best, j) == bestD {
+				bestFrom = j
+				break
+			}
+		}
+		r.astar(nr, int(s.pinX[bestFrom]), int(s.pinY[bestFrom]),
+			int(s.pinX[best]), int(s.pinY[best]), presFac)
+		s.inTree[best] = true
+		for i := 1; i < k; i++ {
+			if !s.inTree[i] {
+				if d := dist(i, best); d < s.minDist[i] {
+					s.minDist[i] = d
 				}
 			}
 		}
-		r.astar(nr, cells[bestFrom].x, cells[bestFrom].y, cells[best].x, cells[best].y, presFac)
-		inTree[best] = true
-		connected++
 	}
 }
 
-func abs(v int) int {
-	if v < 0 {
-		return -v
-	}
-	return v
-}
-
-// edgeKey canonicalizes a grid edge.
-func edgeKey(x1, y1, x2, y2 int) [4]int {
-	if x1 > x2 || (x1 == x2 && y1 > y2) {
-		x1, y1, x2, y2 = x2, y2, x1, y1
-	}
-	return [4]int{x1, y1, x2, y2}
-}
-
-// pqItem is the A* frontier entry.
-type pqItem struct {
-	x, y int
-	cost float64
-	est  float64
-}
-
-type pq []pqItem
-
-func (p pq) Len() int            { return len(p) }
-func (p pq) Less(i, j int) bool  { return p[i].est < p[j].est }
-func (p pq) Swap(i, j int)       { p[i], p[j] = p[j], p[i] }
-func (p *pq) Push(x interface{}) { *p = append(*p, x.(pqItem)) }
-func (p *pq) Pop() interface{} {
-	old := *p
-	n := len(old)
-	it := old[n-1]
-	*p = old[:n-1]
-	return it
-}
+// ownedEdgeCost is the near-free cost of re-riding an edge the net
+// already committed (shared trunk).
+const ownedEdgeCost = 0.05
 
 // edgeCost is the negotiated-congestion cost of taking a grid edge.
-func (r *Router) edgeCost(horizontal bool, idx int, presFac float64) float64 {
+func (r *Router) edgeCost(eid int32, presFac float64) float64 {
 	g := r.g
-	var cap, use, hist float64
-	if horizontal {
-		cap, use, hist = g.capH[idx], g.useH[idx], g.histH[idx]
-	} else {
-		cap, use, hist = g.capV[idx], g.useV[idx], g.histV[idx]
-	}
+	cap, use, hist := g.cap[eid], g.use[eid], g.hist[eid]
 	cost := 1.0 + r.opt.HistoryGain*hist
 	if cap <= 0 {
 		return cost + 8*presFac
@@ -483,156 +561,213 @@ func (r *Router) edgeCost(horizontal bool, idx int, presFac float64) float64 {
 	return cost
 }
 
+// astarWindowMargin is the initial bounding-box margin (in gcells) for
+// windowed 2-pin searches.
+const astarWindowMargin = 4
+
 // astar routes one 2-pin connection and commits its edges to the net.
+//
+// When the net owns no edges yet (every 2-pin net, and the first segment
+// of every multi-pin net) the search runs inside the pin bounding box
+// plus a margin, expanding until the result is provably identical to an
+// unwindowed search: with every non-owned edge costing ≥ 1 the Manhattan
+// heuristic is consistent, so the full search only pops cells v with
+// dist(s,v)+h(v) ≤ C*, i.e. cells at most (C*−manhattan)/2 outside the
+// pin bbox (and pushes one ring further). If the windowed cost C
+// satisfies C − manhattan ≤ 2·(margin−1), then C* ≤ C implies the window
+// already contained every cell the full search would have touched, hence
+// C = C* and the pop order — and committed path — are bit-identical.
+// Otherwise the margin grows and the search re-runs. Segments of nets
+// with owned (near-free) edges break the cost ≥ 1 premise and run
+// unwindowed.
 func (r *Router) astar(nr *netRoute, sx, sy, tx, ty int, presFac float64) {
-	g := r.g
+	g, s := r.g, r.sc
 	if sx == tx && sy == ty {
 		return
 	}
-	const unvisited = math.MaxFloat64
-	dist := make([]float64, g.w*g.h)
-	for i := range dist {
-		dist[i] = unvisited
-	}
-	prev := make([]int32, g.w*g.h)
-	for i := range prev {
-		prev[i] = -1
-	}
-	id := func(x, y int) int { return y*g.w + x }
-	h := func(x, y int) float64 { return float64(abs(x-tx) + abs(y-ty)) }
-
-	frontier := &pq{{x: sx, y: sy, cost: 0, est: h(sx, sy)}}
-	dist[id(sx, sy)] = 0
-	for frontier.Len() > 0 {
-		cur := heap.Pop(frontier).(pqItem)
-		if cur.x == tx && cur.y == ty {
+	manh := float64(geom.Abs(sx-tx) + geom.Abs(sy-ty))
+	lox, loy, hix, hiy := 0, 0, g.w-1, g.h-1
+	windowed := len(nr.edges) == 0
+	margin := astarWindowMargin
+	for {
+		if windowed {
+			lox = max(min(sx, tx)-margin, 0)
+			loy = max(min(sy, ty)-margin, 0)
+			hix = min(max(sx, tx)+margin, g.w-1)
+			hiy = min(max(sy, ty)+margin, g.h-1)
+		}
+		cost, found := r.search(nr, sx, sy, tx, ty, presFac, lox, loy, hix, hiy)
+		if !windowed {
 			break
 		}
-		if cur.cost > dist[id(cur.x, cur.y)] {
-			continue
+		full := lox == 0 && loy == 0 && hix == g.w-1 && hiy == g.h-1
+		if full || (found && cost-manh <= float64(2*(margin-1))) {
+			break
 		}
-		type step struct {
-			nx, ny int
-			horiz  bool
-			idx    int
-		}
-		var steps []step
-		if cur.x > 0 {
-			steps = append(steps, step{cur.x - 1, cur.y, true, g.hIdx(cur.x-1, cur.y)})
-		}
-		if cur.x < g.w-1 {
-			steps = append(steps, step{cur.x + 1, cur.y, true, g.hIdx(cur.x, cur.y)})
-		}
-		if cur.y > 0 {
-			steps = append(steps, step{cur.x, cur.y - 1, false, g.vIdx(cur.x, cur.y-1)})
-		}
-		if cur.y < g.h-1 {
-			steps = append(steps, step{cur.x, cur.y + 1, false, g.vIdx(cur.x, cur.y)})
-		}
-		for _, s := range steps {
-			// Edges already owned by this net are free (shared trunk).
-			var c float64
-			if nr.edges[edgeKey(cur.x, cur.y, s.nx, s.ny)] {
-				c = 0.05
-			} else {
-				c = r.edgeCost(s.horiz, s.idx, presFac)
-			}
-			nd := cur.cost + c
-			if nd < dist[id(s.nx, s.ny)] {
-				dist[id(s.nx, s.ny)] = nd
-				prev[id(s.nx, s.ny)] = int32(id(cur.x, cur.y))
-				heap.Push(frontier, pqItem{x: s.nx, y: s.ny, cost: nd, est: nd + h(s.nx, s.ny)})
-			}
+		need := int((cost-manh)/2) + 2
+		margin *= 2
+		if margin < need {
+			margin = need
 		}
 	}
+
 	// Walk back and commit edges.
 	cx, cy := tx, ty
 	for !(cx == sx && cy == sy) {
-		p := prev[id(cx, cy)]
-		if p < 0 {
+		cell := int32(cy*g.w + cx)
+		if s.visitEpoch[cell] != s.epoch {
 			return // unreachable; should not happen on a connected grid
 		}
+		p := s.prev[cell]
+		if p < 0 {
+			return
+		}
 		px, py := int(p)%g.w, int(p)/g.w
-		k := edgeKey(px, py, cx, cy)
-		if !nr.edges[k] {
-			nr.edges[k] = true
-			if py == cy {
-				g.useH[g.hIdx(min(px, cx), cy)]++
-			} else {
-				g.useV[g.vIdx(cx, min(py, cy))]++
+		var eid int32
+		if py == cy {
+			eid = g.hIdx(min(px, cx), cy)
+		} else {
+			eid = g.vIdx(cx, min(py, cy))
+		}
+		if s.ownEpoch[eid] != s.netEpoch {
+			s.ownEpoch[eid] = s.netEpoch
+			nr.edges = append(nr.edges, eid)
+			wasOver := g.use[eid] > g.cap[eid]
+			g.use[eid]++
+			r.addOwner(eid, nr)
+			if r.sweepPos >= 0 && !wasOver && g.use[eid] > g.cap[eid] {
+				// This commit just overflowed the edge mid-sweep: the
+				// edge's other owners later in the order must be
+				// re-examined, as a full rip-up scan would have done.
+				for _, o := range r.edgeNets[eid] {
+					if int(o.pos) > r.sweepPos && int(o.pos) < len(r.nets) &&
+						r.nets[o.pos].gen == o.gen {
+						r.cand[o.pos] = true
+					}
+				}
 			}
 		}
 		cx, cy = px, py
 	}
 }
 
-func min(a, b int) int {
-	if a < b {
-		return a
+// search runs one A* pass restricted to the [lox,hix]×[loy,hiy] window,
+// leaving dist/prev in the scratch arena, and returns the target's
+// g-cost. It allocates nothing once the frontier slice has warmed up.
+func (r *Router) search(nr *netRoute, sx, sy, tx, ty int, presFac float64, lox, loy, hix, hiy int) (float64, bool) {
+	g, s := r.g, r.sc
+	s.beginSearch()
+	s.pq.reset()
+	sid := int32(sy*g.w + sx)
+	tid := int32(ty*g.w + tx)
+	s.pq.push(pqItem{node: sid, cost: 0,
+		est: float64(geom.Abs(sx-tx) + geom.Abs(sy-ty))})
+	s.touch(sid)
+	s.dist[sid] = 0
+	for s.pq.len() > 0 {
+		cur := s.pq.pop()
+		if cur.node == tid {
+			return cur.cost, true
+		}
+		if cur.cost > s.dist[cur.node] {
+			continue
+		}
+		cx, cy := int(cur.node)%g.w, int(cur.node)/g.w
+		// Neighbors in the seed's relaxation order: -x, +x, -y, +y.
+		var nx, ny, eids [4]int32
+		steps := 0
+		if cx > lox {
+			nx[steps], ny[steps], eids[steps] = int32(cx-1), int32(cy), g.hIdx(cx-1, cy)
+			steps++
+		}
+		if cx < hix {
+			nx[steps], ny[steps], eids[steps] = int32(cx+1), int32(cy), g.hIdx(cx, cy)
+			steps++
+		}
+		if cy > loy {
+			nx[steps], ny[steps], eids[steps] = int32(cx), int32(cy-1), g.vIdx(cx, cy-1)
+			steps++
+		}
+		if cy < hiy {
+			nx[steps], ny[steps], eids[steps] = int32(cx), int32(cy+1), g.vIdx(cx, cy)
+			steps++
+		}
+		for i := 0; i < steps; i++ {
+			// Edges already owned by this net are free (shared trunk).
+			var c float64
+			if s.ownEpoch[eids[i]] == s.netEpoch {
+				c = ownedEdgeCost
+			} else {
+				c = r.edgeCost(eids[i], presFac)
+			}
+			nd := cur.cost + c
+			nid := ny[i]*int32(g.w) + nx[i]
+			s.touch(nid)
+			if nd < s.dist[nid] {
+				s.dist[nid] = nd
+				s.prev[nid] = cur.node
+				s.pq.push(pqItem{node: nid, cost: nd,
+					est: nd + float64(geom.Abs(int(nx[i])-tx)+geom.Abs(int(ny[i])-ty))})
+			}
+		}
 	}
-	return b
+	return math.MaxFloat64, false
+}
+
+// addOwner records the net as an owner of the edge in the reverse index,
+// pruning entries staled by rip-ups so lists stay bounded and the append
+// reuses capacity in steady state.
+func (r *Router) addOwner(eid int32, nr *netRoute) {
+	owners := r.edgeNets[eid]
+	kept := owners[:0]
+	for _, o := range owners {
+		if int(o.pos) < len(r.nets) && r.nets[o.pos].gen == o.gen {
+			kept = append(kept, o)
+		}
+	}
+	r.edgeNets[eid] = append(kept, edgeOwner{pos: nr.pos, gen: nr.gen})
 }
 
 // unroute removes the net's edges from usage.
 func (r *Router) unroute(nr *netRoute) {
 	g := r.g
-	for k := range nr.edges {
-		x1, y1, x2, y2 := k[0], k[1], k[2], k[3]
-		if y1 == y2 {
-			g.useH[g.hIdx(min(x1, x2), y1)]--
-		} else {
-			g.useV[g.vIdx(x1, min(y1, y2))]--
-		}
+	for _, eid := range nr.edges {
+		g.use[eid]--
 	}
-	nr.edges = nil
+	nr.edges = nr.edges[:0]
+	nr.gen++ // stales this net's reverse-index entries
 }
 
 // crossesOverflow reports whether the net uses an overflowed edge.
 func (r *Router) crossesOverflow(nr *netRoute) bool {
 	g := r.g
-	for k := range nr.edges {
-		x1, y1, x2, y2 := k[0], k[1], k[2], k[3]
-		if y1 == y2 {
-			i := g.hIdx(min(x1, x2), y1)
-			if g.useH[i] > g.capH[i] {
-				return true
-			}
-		} else {
-			i := g.vIdx(x1, min(y1, y2))
-			if g.useV[i] > g.capV[i] {
-				return true
-			}
+	for _, eid := range nr.edges {
+		if g.use[eid] > g.cap[eid] {
+			return true
 		}
 	}
 	return false
 }
 
-func (r *Router) overflowedEdges() []int {
+// overflowedEdges returns the ids of all currently overflowed edges,
+// reusing the scratch slice.
+func (r *Router) overflowedEdges() []int32 {
 	g := r.g
-	var out []int
-	for i := range g.capH {
-		if g.useH[i] > g.capH[i] {
-			out = append(out, i)
+	out := r.sc.over[:0]
+	for i := range g.cap {
+		if g.use[i] > g.cap[i] {
+			out = append(out, int32(i))
 		}
 	}
-	for i := range g.capV {
-		if g.useV[i] > g.capV[i] {
-			out = append(out, len(g.capH)+i)
-		}
-	}
+	r.sc.over = out
 	return out
 }
 
 func (r *Router) accumulateHistory() {
 	g := r.g
-	for i := range g.capH {
-		if g.useH[i] > g.capH[i] {
-			g.histH[i] += (g.useH[i] - g.capH[i]) / math.Max(g.capH[i], 1)
-		}
-	}
-	for i := range g.capV {
-		if g.useV[i] > g.capV[i] {
-			g.histV[i] += (g.useV[i] - g.capV[i]) / math.Max(g.capV[i], 1)
+	for i := range g.cap {
+		if g.use[i] > g.cap[i] {
+			g.hist[i] += (g.use[i] - g.cap[i]) / math.Max(g.cap[i], 1)
 		}
 	}
 }
@@ -647,22 +782,13 @@ func (r *Router) countOverflow() (int, int) {
 	g := r.g
 	n := 0
 	maxOv := 0.0
-	for i := range g.capH {
-		if ov := g.useH[i] - g.capH[i]; ov > drvThreshold {
-			n++
-		} else if ov > 0 {
-			// recoverable
-		}
-		if ov := g.useH[i] - g.capH[i]; ov > 0 {
-			maxOv = math.Max(maxOv, ov)
-		}
-	}
-	for i := range g.capV {
-		if ov := g.useV[i] - g.capV[i]; ov > drvThreshold {
+	for i := range g.cap {
+		ov := g.use[i] - g.cap[i]
+		if ov > drvThreshold {
 			n++
 		}
-		if ov := g.useV[i] - g.capV[i]; ov > 0 {
-			maxOv = math.Max(maxOv, ov)
+		if ov > maxOv {
+			maxOv = ov
 		}
 	}
 	return n, int(maxOv + 0.5)

@@ -213,8 +213,8 @@ func TestPinBlockageReducesCapacity(t *testing.T) {
 	r.applyPinBlockage(nets)
 	g := r.g
 	x, y := r.cellOf(geom.Pt(4100, 4100))
-	full := g.capH[g.hIdx(0, 0)]
-	local := g.capH[g.hIdx(x, y)]
+	full := g.cap[g.hIdx(0, 0)]
+	local := g.cap[g.hIdx(x, y)]
 	if !(local < full) {
 		t.Errorf("pin-dense gcell capacity %v should be below clean %v", local, full)
 	}

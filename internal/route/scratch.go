@@ -1,0 +1,135 @@
+package route
+
+import "math"
+
+// scratch is the router's reusable search workspace. Every array is
+// allocated once (sized to the grid when the Router is built) and
+// recycled across all 2-pin searches via epoch stamping: a cell's
+// dist/prev entries are valid only while visitEpoch[cell] equals the
+// current epoch, so each search starts from a logically cleared state
+// without an O(w·h) memset and without any per-call allocation. The
+// seed allocated and re-initialized two full-grid arrays per 2-pin
+// connection; on a quick-scale core that was the single largest source
+// of both allocation volume and wasted memory bandwidth in the flow.
+type scratch struct {
+	// A* state, one slot per gcell.
+	epoch      uint32
+	visitEpoch []uint32
+	dist       []float64 // g-cost, valid iff visitEpoch matches epoch
+	prev       []int32   // predecessor cell id, valid iff visitEpoch matches
+
+	// Per-net edge ownership, one slot per grid edge. An edge belongs to
+	// the net currently being routed iff ownEpoch[eid] == netEpoch; the
+	// epoch is bumped once per routeNet pass, which retires the previous
+	// net's marks for free.
+	netEpoch uint32
+	ownEpoch []uint32
+
+	pq frontier
+
+	// Prim workspace, sized to the largest pin count seen so far.
+	pinX, pinY []int32
+	inTree     []bool
+	minDist    []int32
+
+	// Reusable overflowed-edge id list for the negotiation loop.
+	over []int32
+
+	// Tree-building workspace (buildTree), one slot per gcell, epoch
+	// stamped like the A* state.
+	tEpoch     uint32
+	tStamp     []uint32
+	tNode      []int32 // tree node index of the cell, -1 if none yet
+	tAdj       []int32 // up to 4 neighbor cells, at cell*4
+	tAdjN      []uint8
+	tVisited   []bool
+	tParentDir []int8 // -1 none, 0 horizontal, 1 vertical
+	tQueue     []int32
+}
+
+func newScratch(cells, edges int) *scratch {
+	return &scratch{
+		visitEpoch: make([]uint32, cells),
+		dist:       make([]float64, cells),
+		prev:       make([]int32, cells),
+		ownEpoch:   make([]uint32, edges),
+		tStamp:     make([]uint32, cells),
+		tNode:      make([]int32, cells),
+		tAdj:       make([]int32, 4*cells),
+		tAdjN:      make([]uint8, cells),
+		tVisited:   make([]bool, cells),
+		tParentDir: make([]int8, cells),
+	}
+}
+
+// beginSearch opens a fresh A* epoch, lazily invalidating all dist/prev
+// state. On uint32 wraparound (once per ~4e9 searches) the stamp array
+// is hard-cleared so stale stamps can never alias the new epoch.
+func (s *scratch) beginSearch() {
+	s.epoch++
+	if s.epoch == 0 {
+		for i := range s.visitEpoch {
+			s.visitEpoch[i] = 0
+		}
+		s.epoch = 1
+	}
+}
+
+// beginNet opens a fresh net-ownership epoch (same wraparound care).
+func (s *scratch) beginNet() {
+	s.netEpoch++
+	if s.netEpoch == 0 {
+		for i := range s.ownEpoch {
+			s.ownEpoch[i] = 0
+		}
+		s.netEpoch = 1
+	}
+}
+
+// touch ensures a cell's dist/prev are initialized in the current epoch.
+func (s *scratch) touch(cell int32) {
+	if s.visitEpoch[cell] != s.epoch {
+		s.visitEpoch[cell] = s.epoch
+		s.dist[cell] = math.MaxFloat64
+		s.prev[cell] = -1
+	}
+}
+
+// beginTree opens a fresh tree-building epoch.
+func (s *scratch) beginTree() {
+	s.tEpoch++
+	if s.tEpoch == 0 {
+		for i := range s.tStamp {
+			s.tStamp[i] = 0
+		}
+		s.tEpoch = 1
+	}
+}
+
+// touchTree ensures a cell's tree-building state is initialized.
+func (s *scratch) touchTree(cell int32) {
+	if s.tStamp[cell] != s.tEpoch {
+		s.tStamp[cell] = s.tEpoch
+		s.tNode[cell] = -1
+		s.tAdjN[cell] = 0
+		s.tVisited[cell] = false
+		s.tParentDir[cell] = -1
+	}
+}
+
+// ensurePins sizes the Prim workspace for a k-pin net.
+func (s *scratch) ensurePins(k int) {
+	if cap(s.pinX) < k {
+		s.pinX = make([]int32, k)
+		s.pinY = make([]int32, k)
+		s.inTree = make([]bool, k)
+		s.minDist = make([]int32, k)
+	}
+	s.pinX = s.pinX[:k]
+	s.pinY = s.pinY[:k]
+	s.inTree = s.inTree[:k]
+	s.minDist = s.minDist[:k]
+	for i := 0; i < k; i++ {
+		s.inTree[i] = false
+	}
+}

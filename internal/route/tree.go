@@ -35,34 +35,37 @@ func classIndex(lenUm float64) int {
 
 // pickLayer selects the routing layer for a direction: the highest layer
 // with Index <= want, alternating between the top two candidates by net
-// hash for balance.
+// hash for balance. It tracks the last two matching layers in slice
+// order instead of materializing a candidate slice (this runs once per
+// routed tree edge).
 func pickLayer(layers []tech.Layer, dir tech.Direction, want int, salt uint32) (tech.Layer, bool) {
-	var cands []tech.Layer
+	var last, secondLast tech.Layer
+	count := 0
 	for _, l := range layers {
 		if l.Dir == dir && l.Index <= want {
-			cands = append(cands, l)
+			secondLast = last
+			last = l
+			count++
 		}
 	}
-	if len(cands) == 0 {
+	if count == 0 {
 		// Nothing at or below the class: take the lowest available in dir.
+		var lowest tech.Layer
+		found := false
 		for _, l := range layers {
-			if l.Dir == dir {
-				if cands == nil || l.Index < cands[0].Index {
-					cands = []tech.Layer{l}
-				}
+			if l.Dir == dir && (!found || l.Index < lowest.Index) {
+				lowest = l
+				found = true
 			}
 		}
-		if len(cands) == 0 {
-			return tech.Layer{}, false
-		}
-		return cands[0], true
+		return lowest, found
 	}
-	// cands are in ascending index order (stack order); take one of the two
-	// highest for load balance.
-	if len(cands) >= 2 && salt&1 == 1 {
-		return cands[len(cands)-2], true
+	// Matches are visited in ascending index order (stack order); take one
+	// of the two highest for load balance.
+	if count >= 2 && salt&1 == 1 {
+		return secondLast, true
 	}
-	return cands[len(cands)-1], true
+	return last, true
 }
 
 func netSalt(name string) uint32 {
@@ -72,46 +75,58 @@ func netSalt(name string) uint32 {
 }
 
 // buildTree converts a net's committed grid edges into a rooted RC tree
-// with layer assignment.
+// with layer assignment. All intermediate state (node ids, adjacency,
+// BFS bookkeeping) lives in the router's epoch-stamped scratch arrays;
+// only the returned Tree is allocated.
 func (r *Router) buildTree(nr *netRoute) *Tree {
-	g := r.g
-	t := &Tree{Name: nr.net.Name, PinNode: make(map[string]int)}
-
-	cellID := func(x, y int) int { return y*g.w + x }
-	cellPos := func(x, y int) geom.Point {
-		return geom.Pt(int64(x)*g.gc+g.gc/2, int64(y)*g.gc+g.gc/2)
+	g, s := r.g, r.sc
+	t := &Tree{
+		Name:    nr.net.Name,
+		Nodes:   make([]geom.Point, 0, len(nr.edges)+1),
+		Edges:   make([]TreeEdge, 0, len(nr.edges)),
+		PinNode: make(map[string]int, len(nr.net.Pins)),
 	}
-	nodeOf := make(map[int]int)
-	ensureNode := func(x, y int) int {
-		id := cellID(x, y)
-		if n, ok := nodeOf[id]; ok {
-			return n
+	s.beginTree()
+
+	cellPos := func(c int32) geom.Point {
+		x, y := int64(int(c)%g.w), int64(int(c)/g.w)
+		return geom.Pt(x*g.gc+g.gc/2, y*g.gc+g.gc/2)
+	}
+	ensureNode := func(c int32) int {
+		s.touchTree(c)
+		if n := s.tNode[c]; n >= 0 {
+			return int(n)
 		}
 		n := len(t.Nodes)
-		t.Nodes = append(t.Nodes, cellPos(x, y))
-		nodeOf[id] = n
+		t.Nodes = append(t.Nodes, cellPos(c))
+		s.tNode[c] = int32(n)
 		return n
 	}
 
-	// Adjacency from committed edges.
-	adj := make(map[int][]int)
-	for k := range nr.edges {
-		a := cellID(k[0], k[1])
-		b := cellID(k[2], k[3])
-		adj[a] = append(adj[a], b)
-		adj[b] = append(adj[b], a)
+	// Adjacency from committed edges (a tree cell has at most 4 nbrs).
+	addAdj := func(a, b int32) {
+		s.touchTree(a)
+		s.tAdj[4*int(a)+int(s.tAdjN[a])] = b
+		s.tAdjN[a]++
+	}
+	for _, eid := range nr.edges {
+		x1, y1, x2, y2 := g.edgeCells(eid)
+		a := int32(y1*g.w + x1)
+		b := int32(y2*g.w + x2)
+		addAdj(a, b)
+		addAdj(b, a)
 	}
 
 	// Driver cell is the BFS root.
-	var droot int
+	var droot int32
 	for _, p := range nr.net.Pins {
 		if p.Driver {
 			x, y := r.cellOf(p.At)
-			droot = cellID(x, y)
+			droot = int32(y*g.w + x)
 			break
 		}
 	}
-	t.DriverNode = ensureNode(droot%g.w, droot/g.w)
+	t.DriverNode = ensureNode(droot)
 
 	// Deterministic BFS. Nets that route through congested regions are
 	// demoted one layer class: when upper tracks are contended the
@@ -135,33 +150,34 @@ func (r *Router) buildTree(nr *netRoute) *Tree {
 	}
 	salt := netSalt(nr.net.Name)
 
-	visited := map[int]bool{droot: true}
-	queue := []int{droot}
-	parentDir := map[int]tech.Direction{}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		cx, cy := cur%g.w, cur/g.w
-		nbrs := adj[cur]
-		sortInts(nbrs)
+	s.tVisited[droot] = true // droot was touched by ensureNode above
+	queue := s.tQueue[:0]
+	queue = append(queue, droot)
+	for qh := 0; qh < len(queue); qh++ {
+		cur := queue[qh]
+		cx := int(cur) % g.w
+		nbrs := s.tAdj[4*int(cur) : 4*int(cur)+int(s.tAdjN[cur])]
+		sortNbrs(nbrs)
 		for _, nb := range nbrs {
-			if visited[nb] {
+			if s.tVisited[nb] {
 				continue
 			}
-			visited[nb] = true
-			nx, ny := nb%g.w, nb/g.w
+			s.tVisited[nb] = true
+			nx := int(nb) % g.w
 			dir := tech.Horizontal
+			dirCode := int8(0)
 			if nx == cx {
 				dir = tech.Vertical
+				dirCode = 1
 			}
 			layer, ok := pickLayer(r.layers, dir, want, salt)
 			vias := 0
-			if pd, seen := parentDir[cur]; seen && pd != dir {
+			if pd := s.tParentDir[cur]; pd >= 0 && pd != dirCode {
 				vias = 1 // bend between the two assigned layers
 			}
 			e := TreeEdge{
-				From:  ensureNode(cx, cy),
-				To:    ensureNode(nx, ny),
+				From:  ensureNode(cur),
+				To:    ensureNode(nb),
 				LenNm: g.gc,
 				Vias:  vias,
 			}
@@ -170,15 +186,16 @@ func (r *Router) buildTree(nr *netRoute) *Tree {
 			}
 			t.Edges = append(t.Edges, e)
 			t.WirelenNm += g.gc
-			parentDir[nb] = dir
+			s.tParentDir[nb] = dirCode
 			queue = append(queue, nb)
 		}
 	}
+	s.tQueue = queue
 
 	// Bind pins to their gcell nodes.
 	for _, p := range nr.net.Pins {
 		x, y := r.cellOf(p.At)
-		t.PinNode[p.ID] = ensureNode(x, y)
+		t.PinNode[p.ID] = ensureNode(int32(y*g.w + x))
 	}
 	return t
 }
@@ -205,16 +222,8 @@ func (r *Router) congestedShare(nr *netRoute) float64 {
 	}
 	g := r.g
 	hot := 0
-	for k := range nr.edges {
-		x1, y1, x2, y2 := k[0], k[1], k[2], k[3]
-		var use, cap float64
-		if y1 == y2 {
-			i := g.hIdx(minInt(x1, x2), y1)
-			use, cap = g.useH[i], g.capH[i]
-		} else {
-			i := g.vIdx(x1, minInt(y1, y2))
-			use, cap = g.useV[i], g.capV[i]
-		}
+	for _, eid := range nr.edges {
+		use, cap := g.use[eid], g.cap[eid]
 		if cap <= 0 || use > 0.8*cap {
 			hot++
 		}
@@ -222,14 +231,9 @@ func (r *Router) congestedShare(nr *netRoute) float64 {
 	return float64(hot) / float64(len(nr.edges))
 }
 
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func sortInts(v []int) {
+// sortNbrs insertion-sorts a tiny (≤4) neighbor list ascending, matching
+// the deterministic BFS expansion order of the tree builder.
+func sortNbrs(v []int32) {
 	for i := 1; i < len(v); i++ {
 		for j := i; j > 0 && v[j] < v[j-1]; j-- {
 			v[j], v[j-1] = v[j-1], v[j]

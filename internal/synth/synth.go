@@ -149,12 +149,24 @@ func bufferHighFanout(nl *netlist.Netlist, opt Options) (int, error) {
 }
 
 func sanitize(s string) string {
+	clean := func(r rune) bool {
+		return r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' || r == '_'
+	}
+	dirty := false
+	for _, r := range s {
+		if !clean(r) {
+			dirty = true
+			break
+		}
+	}
+	if !dirty { // the common case: generator names are already clean
+		return s
+	}
 	out := make([]rune, 0, len(s))
 	for _, r := range s {
-		switch {
-		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_':
+		if clean(r) {
 			out = append(out, r)
-		default:
+		} else {
 			out = append(out, '_')
 		}
 	}

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# bench.sh — verification + performance snapshot for the flow.
+#
+# Runs go vet, the tier-1 test suite, and the Flow benchmarks with
+# memory stats, then writes a BENCH_<date>.json snapshot next to the
+# repo root so future PRs can track the performance trajectory.
+#
+# Usage: scripts/bench.sh [benchtime]   (default 5x)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${1:-5x}"
+
+echo "== go vet =="
+go vet ./...
+
+echo "== tier-1: go build && go test =="
+go build ./...
+go test ./...
+
+echo "== benchmarks (Flow, -benchtime=${BENCHTIME}) =="
+BENCH_OUT="$(go test -run=NONE -bench=Flow -benchmem -benchtime="${BENCHTIME}" . 2>&1)"
+echo "${BENCH_OUT}"
+
+DATE="$(date +%Y%m%d)"
+COMMIT="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+SNAPSHOT="BENCH_${DATE}.json"
+
+# Parse benchmark rows into JSON. Benchmarks that print tables interleave
+# their output between the name and the timing fields, so remember the
+# last seen Benchmark name and attach it to the next "ns/op" line.
+echo "${BENCH_OUT}" | awk -v date="${DATE}" -v commit="${COMMIT}" '
+BEGIN { printf "{\n  \"date\": \"%s\",\n  \"commit\": \"%s\",\n  \"benchmarks\": [", date, commit; n = 0 }
+/^Benchmark/ { name = $1; sub(/-[0-9]+$/, "", name) }
+/ ns\/op/ {
+    if (name == "") next
+    ns = ""; bytes = ""; allocs = ""
+    for (i = 1; i < NF; i++) {
+        if ($(i+1) == "ns/op")     ns = $i
+        if ($(i+1) == "B/op")      bytes = $i
+        if ($(i+1) == "allocs/op") allocs = $i
+    }
+    if (ns == "") next
+    if (n++) printf ","
+    printf "\n    {\"name\": \"%s\", \"ns_op\": %s", name, ns
+    if (bytes != "")  printf ", \"b_op\": %s", bytes
+    if (allocs != "") printf ", \"allocs_op\": %s", allocs
+    printf "}"
+    name = ""
+}
+END { printf "\n  ]\n}\n" }
+' > "${SNAPSHOT}"
+
+echo "== snapshot: ${SNAPSHOT} =="
+cat "${SNAPSHOT}"
