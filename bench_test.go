@@ -13,6 +13,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/exp"
+	"repro/internal/riscv"
+	"repro/internal/sta"
 	"repro/internal/tech"
 )
 
@@ -119,6 +121,34 @@ func BenchmarkFig12MaxUtilLayers(b *testing.B) {
 func BenchmarkFig13PowerEff(b *testing.B) {
 	s := getSuite(b)
 	benchFlow(b, s.Fig13, nil)
+}
+
+// BenchmarkSTAReuse measures repeated timing analysis of one design
+// through a prebuilt sta.Engine — the unit of work behind incremental
+// frequency sweeps. The levelized order and all arrival scratch are
+// reused, so steady-state iterations should report ~0 allocs/op.
+func BenchmarkSTAReuse(b *testing.B) {
+	s := getSuite(b)
+	nl, _, err := riscv.Generate(s.FFET, riscv.Config{Name: "rv32sta", Registers: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := sta.NewEngine(nl)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := sta.Input{}
+	opt := sta.DefaultOptions()
+	if _, err := eng.Analyze(in, opt); err != nil { // warm the path buffer
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Analyze(in, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkFlowSingleRun measures one complete physical implementation +

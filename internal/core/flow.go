@@ -265,8 +265,25 @@ func RunFlow(nl *netlist.Netlist, cfg FlowConfig) (*FlowResult, error) {
 	res.MergedDEF = merged
 
 	// --- Dual-sided RC extraction ----------------------------------------------------------
+	// The extraction database is dense: one NetRC per net, indexed by the
+	// net's Seq, backed by a single contiguous store. STA and power read
+	// it by Seq — no name-keyed maps anywhere on the analysis tail.
 	eopt := extract.DefaultOptions()
-	netRC := make(map[string]*extract.NetRC, len(work.Nets))
+	rcStore := make([]extract.NetRC, len(work.Nets))
+	netRC := make([]*extract.NetRC, len(work.Nets))
+	// Pre-carve every net's Elmore storage from one flat arena; ExtractInto
+	// reuses storage of sufficient capacity, so the whole extraction makes
+	// three allocations total.
+	totalSinks := 0
+	for _, n := range work.Nets {
+		totalSinks += len(n.Sinks)
+	}
+	elArena := make([]float64, totalSinks)
+	carved := 0
+	for _, n := range work.Nets {
+		rcStore[n.Seq].ElmorePs = elArena[carved : carved+len(n.Sinks) : carved+len(n.Sinks)]
+		carved += len(n.Sinks)
+	}
 	ex := extract.NewExtractor()
 	for _, n := range work.Nets {
 		var ft, bt *route.Tree
@@ -276,13 +293,14 @@ func RunFlow(nl *netlist.Netlist, cfg FlowConfig) (*FlowResult, error) {
 		if backRes != nil {
 			bt = backRes.Trees[n.Name]
 		}
-		netRC[n.Name] = ex.Extract(st, extract.NetInput{
-			Name:     n.Name,
-			Front:    ft,
-			Back:     bt,
-			DriverID: sides.DriverID[n.Name],
-			SinkCaps: sides.SinkCaps[n.Name],
+		ex.ExtractInto(&rcStore[n.Seq], st, extract.NetInput{
+			Name:      n.Name,
+			Front:     ft,
+			Back:      bt,
+			SinkIDs:   sides.SinkIDs[n.Seq],
+			SinkCapFF: sides.SinkCapFF[n.Seq],
 		}, eopt)
+		netRC[n.Seq] = &rcStore[n.Seq]
 	}
 
 	// --- STA ---------------------------------------------------------------------------------
@@ -290,15 +308,20 @@ func RunFlow(nl *netlist.Netlist, cfg FlowConfig) (*FlowResult, error) {
 	if staOpt.InputSlewPs == 0 {
 		staOpt = sta.DefaultOptions()
 	}
-	staRes, err := sta.Analyze(sta.Input{
-		Netlist:      work,
-		NetRC:        netRC,
-		ClockArrival: ctsRes.Arrival,
+	eng, err := sta.NewEngine(work)
+	if err != nil {
+		return nil, err
+	}
+	staRes, err := eng.Analyze(sta.Input{
+		NetRC:          netRC,
+		ClockArrivalPs: ctsRes.ArrivalPs,
 	}, staOpt)
 	if err != nil {
 		return nil, err
 	}
-	res.STA = staRes
+	// Detach: FlowResults are memoized by exp.Suite, and the raw Result
+	// aliases the Engine's reusable storage (keeping it alive).
+	res.STA = staRes.Clone()
 	res.MinPeriodPs = staRes.MinPeriodPs
 	res.AchievedFreqGHz = staRes.AchievedFreqGHz
 

@@ -136,15 +136,17 @@ func (pa *PinAssignment) LEFSideConfig() lef.SideConfig {
 }
 
 // SideNets is the output of the Algorithm 1 partition: routing tasks per
-// wafer side, plus bookkeeping for extraction.
+// wafer side, plus the dense per-net sink tables extraction consumes.
 type SideNets struct {
 	Front []*route.Net
 	Back  []*route.Net
-	// SinkCaps maps net name -> pin ID -> input cap for extraction.
-	SinkCaps map[string]map[string]float64
-	// DriverID maps net name -> driver pin ID.
-	DriverID map[string]string
-	// BridgeCells counts sinks that required the (optional) bridging-cell
+	// SinkIDs[seq] and SinkCapFF[seq] are parallel slices over net seq's
+	// sinks in canonical netlist order: the routed pin ID and the input
+	// capacitance of each sink. Both index into one flat arena, so the
+	// whole partition's extraction view costs two allocations.
+	SinkIDs   [][]string
+	SinkCapFF [][]float64
+	// Rerouted counts sinks that required the (optional) bridging-cell
 	// path: sinks whose assigned side has no routing layers in the
 	// pattern. They are rerouted on the available side instead.
 	Rerouted int
@@ -158,9 +160,18 @@ type SideNets struct {
 // pattern fall back to the other side (the flow "also supports bridging
 // cells" — modeled as a reroute, counted in Rerouted).
 func Partition(nl *netlist.Netlist, pa *PinAssignment, pattern tech.Pattern, pinAt func(ref netlist.PinRef) geom.Point) (*SideNets, error) {
+	totalSinks := 0
+	for _, n := range nl.Nets {
+		totalSinks += len(n.Sinks)
+	}
+	// Per-net sink tables are carved out of two flat arenas, indexed by
+	// net Seq. The arenas are sized exactly, so the appends below never
+	// reallocate and the subslices stay valid.
+	idArena := make([]string, 0, totalSinks)
+	capArena := make([]float64, 0, totalSinks)
 	out := &SideNets{
-		SinkCaps: make(map[string]map[string]float64, len(nl.Nets)),
-		DriverID: make(map[string]string, len(nl.Nets)),
+		SinkIDs:   make([][]string, len(nl.Nets)),
+		SinkCapFF: make([][]float64, len(nl.Nets)),
 	}
 	frontOK := pattern.Front > 0
 	backOK := pattern.Back > 0
@@ -172,29 +183,25 @@ func Partition(nl *netlist.Netlist, pa *PinAssignment, pattern tech.Pattern, pin
 	// shot (nets are extremely numerous; per-net slice regrowth dominated
 	// this function's allocation profile).
 	var sideOf []tech.Side
-	var sinkIDs []string
 	for _, n := range nl.Nets {
 		if n.Driver == (netlist.PinRef{}) {
 			return nil, fmt.Errorf("core: net %s undriven", n.Name)
 		}
 		driverID := pinIDOf(n.Driver)
-		out.DriverID[n.Name] = driverID
-		caps := make(map[string]float64, len(n.Sinks))
-		out.SinkCaps[n.Name] = caps
+		sinkStart := len(idArena)
 
 		sideOf = sideOf[:0]
-		sinkIDs = sinkIDs[:0]
 		nFront, nBack := 0, 0
 		for _, s := range n.Sinks {
 			id := pinIDOf(s)
-			sinkIDs = append(sinkIDs, id)
+			capFF := 1.0 // external load for port sinks
 			side := tech.Front
 			if !s.IsPort() {
-				caps[id] = s.Inst.Cell.InputCap(s.Pin)
+				capFF = s.Inst.Cell.InputCap(s.Pin)
 				side = pa.Side(s.Inst.Cell.Name, s.Pin)
-			} else {
-				caps[id] = 1.0 // external load
 			}
+			idArena = append(idArena, id)
+			capArena = append(capArena, capFF)
 			// Fall back when the assigned side has no layers.
 			if side == tech.Back && !backOK {
 				side = tech.Front
@@ -211,6 +218,8 @@ func Partition(nl *netlist.Netlist, pa *PinAssignment, pattern tech.Pattern, pin
 			}
 			sideOf = append(sideOf, side)
 		}
+		out.SinkIDs[n.Seq] = idArena[sinkStart:len(idArena):len(idArena)]
+		out.SinkCapFF[n.Seq] = capArena[sinkStart:len(capArena):len(capArena)]
 		drv := route.Pin{ID: driverID, At: pinAt(n.Driver), Driver: true}
 		// The dual-sided output pin roots a sub-net on each side that has
 		// sinks ("each output signal can be placed on the frontside, the
@@ -225,8 +234,7 @@ func Partition(nl *netlist.Netlist, pa *PinAssignment, pattern tech.Pattern, pin
 			backPins[0] = drv
 		}
 		for i, s := range n.Sinks {
-			id := sinkIDs[i]
-			p := route.Pin{ID: id, At: pinAt(s), CapFF: caps[id]}
+			p := route.Pin{ID: out.SinkIDs[n.Seq][i], At: pinAt(s), CapFF: out.SinkCapFF[n.Seq][i]}
 			if sideOf[i] == tech.Back {
 				backPins = append(backPins, p)
 			} else {
@@ -243,7 +251,9 @@ func Partition(nl *netlist.Netlist, pa *PinAssignment, pattern tech.Pattern, pin
 	return out, nil
 }
 
-// pinIDOf matches the sta package's pin naming.
+// pinIDOf renders the flow-wide routed pin naming ("inst/pin", ports as
+// "PIN/name") used for route.Pin IDs, tree PinNode keys, extraction
+// SinkIDs, and DEF net pins (split back apart by flow.go's splitPinID).
 func pinIDOf(ref netlist.PinRef) string {
 	if ref.IsPort() {
 		return "PIN/" + ref.Port.Name

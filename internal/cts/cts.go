@@ -31,9 +31,15 @@ func DefaultOptions() Options { return Options{MaxLeafFanout: 24, BufferDrive: 4
 type Result struct {
 	Buffers int
 	Depth   int
-	// Arrival maps flop instance name -> clock insertion delay in ps.
-	Arrival map[string]float64
-	SkewPs  float64
+	// ArrivalPs is the clock insertion delay (ps) per instance, indexed
+	// by Instance.Seq over the post-CTS netlist (buffers included). Only
+	// flop entries are meaningful; everything else stays 0. The dense
+	// layout is what STA consumes directly — no name lookups on the
+	// timing hot path.
+	ArrivalPs []float64
+	// Sinks is the number of clock sinks (flop CP pins) driven by the tree.
+	Sinks  int
+	SkewPs float64
 	// MeanInsertionPs is the average insertion delay.
 	MeanInsertionPs float64
 }
@@ -72,20 +78,15 @@ func Run(nl *netlist.Netlist, fp *floorplan.Plan, opt Options) (*Result, error) 
 	}
 
 	res := &Result{
-		Buffers: t.count,
-		Depth:   t.depth,
-		Arrival: make(map[string]float64),
+		Buffers:   t.count,
+		Depth:     t.depth,
+		Sinks:     len(sinks),
+		ArrivalPs: make([]float64, len(nl.Instances)),
 	}
+	t.minArr, t.maxArr = math.Inf(1), math.Inf(-1)
 	t.computeArrivals(rootNode, 0, res)
-	min, max := math.Inf(1), math.Inf(-1)
-	var sum float64
-	for _, a := range res.Arrival {
-		min = math.Min(min, a)
-		max = math.Max(max, a)
-		sum += a
-	}
-	res.SkewPs = max - min
-	res.MeanInsertionPs = sum / float64(len(res.Arrival))
+	res.SkewPs = t.maxArr - t.minArr
+	res.MeanInsertionPs = t.sumArr / float64(len(sinks))
 	return res, nil
 }
 
@@ -103,6 +104,9 @@ type treeBuilder struct {
 	opt   Options
 	count int
 	depth int
+	// Leaf arrival statistics, accumulated in deterministic tree-walk
+	// order by computeArrivals.
+	minArr, maxArr, sumArr float64
 }
 
 // build recursively constructs the tree over the sink set and returns the
@@ -220,7 +224,10 @@ func (t *treeBuilder) computeArrivals(n *node, acc float64, res *Result) {
 	total := acc + stage + wire
 	if len(n.children) == 0 {
 		for _, leaf := range n.leaves {
-			res.Arrival[leaf.Inst.Name] = total
+			res.ArrivalPs[leaf.Inst.Seq] = total
+			t.minArr = math.Min(t.minArr, total)
+			t.maxArr = math.Max(t.maxArr, total)
+			t.sumArr += total
 		}
 		return
 	}

@@ -39,13 +39,16 @@ func TestCTSBuildsBalancedTree(t *testing.T) {
 	if got := nl.ClockNet().Fanout(); got != 1 {
 		t.Errorf("clock net fanout = %d, want 1 (root buffer only)", got)
 	}
-	// Every flop got an arrival.
-	if len(res.Arrival) != flops {
-		t.Errorf("arrivals = %d, want %d flops", len(res.Arrival), flops)
+	// Every flop got an arrival, dense over the post-CTS instance list.
+	if res.Sinks != flops {
+		t.Errorf("clock sinks = %d, want %d flops", res.Sinks, flops)
 	}
-	for name, a := range res.Arrival {
-		if a <= 0 || a > 500 {
-			t.Errorf("flop %s arrival = %.1f ps implausible", name, a)
+	if len(res.ArrivalPs) != len(nl.Instances) {
+		t.Errorf("arrival table spans %d instances, want %d", len(res.ArrivalPs), len(nl.Instances))
+	}
+	for _, ff := range nl.Flops() {
+		if a := res.ArrivalPs[ff.Seq]; a <= 0 || a > 500 {
+			t.Errorf("flop %s arrival = %.1f ps implausible", ff.Name, a)
 		}
 	}
 	// Balanced bisection keeps skew well below insertion delay.

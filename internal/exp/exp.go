@@ -71,20 +71,34 @@ func (t *Table) Print(w io.Writer) {
 }
 
 func pad(s string, w int) string {
-	for len(s) < w {
-		s += " "
+	if len(s) >= w {
+		return s
 	}
-	return s
+	return s + strings.Repeat(" ", w-len(s))
 }
 
-// CSV renders the table as comma-separated text.
+// CSV renders the table as RFC 4180 comma-separated text: cells containing
+// commas, quotes, or line breaks are quoted, with embedded quotes doubled.
 func (t *Table) CSV() string {
 	var b strings.Builder
-	b.WriteString(strings.Join(t.Header, ","))
-	b.WriteByte('\n')
-	for _, r := range t.Rows {
-		b.WriteString(strings.Join(r, ","))
+	writeRow := func(cols []string) {
+		for i, c := range cols {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\r\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(c, `"`, `""`))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(c)
+			}
+		}
 		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, r := range t.Rows {
+		writeRow(r)
 	}
 	return b.String()
 }

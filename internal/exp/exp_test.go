@@ -112,6 +112,30 @@ func TestRunMemoization(t *testing.T) {
 		t.Fatal(err)
 	}
 	if r1 != r2 {
-		t.Error("identical configs must return the memoized result")
+		t.Error("identical configs must return the memoized result (same *FlowResult pointer)")
+	}
+	// A different point must miss the memo and produce a fresh result.
+	cfg.Seed++
+	r3, err := s.Run(tech.FFET, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3 == r1 {
+		t.Error("different configs must not share a memo entry")
+	}
+}
+
+func TestCSVQuoting(t *testing.T) {
+	tab := &Table{
+		Header: []string{"plain", "with,comma"},
+		Rows: [][]string{
+			{`say "hi"`, "line\nbreak"},
+			{"ok", "also ok"},
+		},
+	}
+	got := tab.CSV()
+	want := "plain,\"with,comma\"\n\"say \"\"hi\"\"\",\"line\nbreak\"\nok,also ok\n"
+	if got != want {
+		t.Errorf("CSV() = %q, want %q", got, want)
 	}
 }

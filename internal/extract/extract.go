@@ -12,7 +12,7 @@ package extract
 
 import (
 	"math"
-	"slices"
+	"sort"
 
 	"repro/internal/route"
 	"repro/internal/tech"
@@ -44,14 +44,19 @@ func DefaultOptions() Options {
 	}
 }
 
-// NetInput describes one net to extract.
+// NetInput describes one net to extract. SinkIDs and SinkCapFF are
+// parallel slices over the net's sinks, in the netlist's canonical sink
+// order; SinkIDs carries the routed pin naming so sinks can be located in
+// the per-side trees.
 type NetInput struct {
-	Name     string
-	Front    *route.Tree // nil when the net has no frontside routing
-	Back     *route.Tree // nil when single-sided
-	DriverID string
-	// SinkCaps maps sink pin ID -> input capacitance (fF).
-	SinkCaps map[string]float64
+	Name  string
+	Front *route.Tree // nil when the net has no frontside routing
+	Back  *route.Tree // nil when single-sided
+	// SinkIDs holds the routed pin ID of each sink ("inst/pin" or
+	// "PIN/port"), aligned with SinkCapFF and with NetRC.ElmorePs.
+	SinkIDs []string
+	// SinkCapFF is the input capacitance (fF) of each sink.
+	SinkCapFF []float64
 }
 
 // NetRC is the extracted view consumed by STA and power analysis.
@@ -62,8 +67,9 @@ type NetRC struct {
 	TotalCapFF float64
 	// WireCapFF is the wire+stub portion only.
 	WireCapFF float64
-	// ElmorePs maps sink pin ID -> Elmore delay from the driver output.
-	ElmorePs map[string]float64
+	// ElmorePs is the Elmore delay from the driver output to each sink,
+	// indexed like NetInput.SinkIDs (the net's canonical sink order).
+	ElmorePs []float64
 	// WirelenNm is the total routed length across both sides.
 	WirelenNm int64
 }
@@ -91,8 +97,20 @@ type Extractor struct {
 	down       []float64
 	elmore     []float64
 	order      []int32
-	ids        []string // sorted pin-id buffer for order-stable map walks
+	sorter     sinkSorter // sink indices sorted by pin ID for order-stable walks
 }
+
+// sinkSorter orders sink indices by pin ID. It lives inside the Extractor
+// so sorting allocates nothing (a sort closure would heap-allocate its
+// captures once per extracted net).
+type sinkSorter struct {
+	idx []int32
+	ids []string
+}
+
+func (s *sinkSorter) Len() int           { return len(s.idx) }
+func (s *sinkSorter) Swap(i, j int)      { s.idx[i], s.idx[j] = s.idx[j], s.idx[i] }
+func (s *sinkSorter) Less(i, j int) bool { return s.ids[s.idx[i]] < s.ids[s.idx[j]] }
 
 // NewExtractor returns an empty reusable extractor.
 func NewExtractor() *Extractor { return &Extractor{} }
@@ -104,34 +122,54 @@ func Extract(stack *tech.Stack, in NetInput, opt Options) *NetRC {
 
 // Extract builds the RC view of one net, reusing the extractor scratch.
 func (x *Extractor) Extract(stack *tech.Stack, in NetInput, opt Options) *NetRC {
-	out := &NetRC{Name: in.Name, ElmorePs: make(map[string]float64, len(in.SinkCaps))}
+	out := &NetRC{}
+	x.ExtractInto(out, stack, in, opt)
+	return out
+}
+
+// ExtractInto builds the RC view of one net into dst, reusing both the
+// extractor scratch and dst's Elmore storage when its capacity suffices
+// (flow callers pre-carve ElmorePs from one design-wide arena, so filling
+// a dense net-Seq-indexed []NetRC allocates nothing per net).
+func (x *Extractor) ExtractInto(dst *NetRC, stack *tech.Stack, in NetInput, opt Options) {
+	nSinks := len(in.SinkIDs)
+	el := dst.ElmorePs
+	if cap(el) < nSinks {
+		el = make([]float64, nSinks)
+	} else {
+		el = el[:nSinks]
+	}
+	for i := range el {
+		el[i] = -1 // not reached by a routed tree yet
+	}
+	*dst = NetRC{Name: in.Name, ElmorePs: el}
+
+	// Sink visit order is sorted by pin ID everywhere below: float
+	// accumulation into TotalCapFF must follow one canonical order, or
+	// results drift by ULPs between otherwise-identical runs.
+	idx := x.sorter.idx[:0]
+	for i := 0; i < nSinks; i++ {
+		idx = append(idx, int32(i))
+	}
+	x.sorter.idx, x.sorter.ids = idx, in.SinkIDs
+	sort.Sort(&x.sorter)
 
 	for _, t := range [2]*route.Tree{in.Front, in.Back} {
 		if t == nil {
 			continue
 		}
-		x.extractSide(stack, t, in, opt, out)
-		out.WirelenNm += t.WirelenNm
+		x.extractSide(stack, t, in, opt, dst)
+		dst.WirelenNm += t.WirelenNm
 	}
 	// Sinks with no routed tree (same-gcell or unrouted): local stub only.
-	// Walk in sorted order: float accumulation into TotalCapFF must not
-	// depend on Go's randomized map iteration, or results drift by ULPs
-	// run to run.
-	ids := x.ids[:0]
-	for id := range in.SinkCaps {
-		ids = append(ids, id)
-	}
-	slices.Sort(ids)
-	x.ids = ids
-	for _, id := range ids {
-		if _, ok := out.ElmorePs[id]; !ok {
-			c := in.SinkCaps[id]
-			out.ElmorePs[id] = opt.PinStubRKOhm * (c + opt.PinStubCfF)
-			out.TotalCapFF += c + opt.PinStubCfF
-			out.WireCapFF += opt.PinStubCfF
+	for _, i := range idx {
+		if dst.ElmorePs[i] < 0 {
+			c := in.SinkCapFF[i]
+			dst.ElmorePs[i] = opt.PinStubRKOhm * (c + opt.PinStubCfF)
+			dst.TotalCapFF += c + opt.PinStubCfF
+			dst.WireCapFF += opt.PinStubCfF
 		}
 	}
-	return out
 }
 
 // ensure sizes the scratch for an n-node tree.
@@ -199,23 +237,14 @@ func (x *Extractor) extractSide(stack *tech.Stack, t *route.Tree, in NetInput, o
 		out.WireCapFF += c
 		out.TotalCapFF += c
 	}
-	// Sorted walk: nodeCap/TotalCapFF are float accumulators, so the
-	// visit order must be canonical, not map order.
-	ids := x.ids[:0]
-	for id := range t.PinNode {
-		ids = append(ids, id)
-	}
-	slices.Sort(ids)
-	x.ids = ids
-	for _, id := range ids {
-		if id == in.DriverID {
+	// Sorted walk (x.sinkIdx, prepared by ExtractInto): nodeCap/TotalCapFF
+	// are float accumulators, so the visit order must be canonical.
+	for _, i := range x.sorter.idx {
+		node, routed := t.PinNode[in.SinkIDs[i]]
+		if !routed {
 			continue
 		}
-		c, isSink := in.SinkCaps[id]
-		if !isSink {
-			continue
-		}
-		node := t.PinNode[id]
+		c := in.SinkCapFF[i]
 		x.nodeCap[node] += c + opt.PinStubCfF
 		out.TotalCapFF += c + opt.PinStubCfF
 		out.WireCapFF += opt.PinStubCfF
@@ -269,23 +298,20 @@ func (x *Extractor) extractSide(stack *tech.Stack, t *route.Tree, in NetInput, o
 		}
 	}
 
-	for _, id := range ids {
-		if id == in.DriverID {
+	for _, i := range x.sorter.idx {
+		node, routed := t.PinNode[in.SinkIDs[i]]
+		if !routed {
 			continue
 		}
-		c, isSink := in.SinkCaps[id]
-		if !isSink {
-			continue
-		}
-		node := t.PinNode[id]
+		c := in.SinkCapFF[i]
 		// Sink escape: via stack back down to the pin.
 		descend := 0.0
 		if ei := x.edgeIdx[node]; ei >= 0 && t.Edges[ei].Layer.Name != "" {
 			descend = stack.ViaStackR(t.Edges[ei].Layer.Index, 0)
 		}
 		d := x.elmore[node] + (opt.PinStubRKOhm+descend)*(c+opt.PinStubCfF)
-		if prev, ok := out.ElmorePs[id]; !ok || d > prev {
-			out.ElmorePs[id] = d
+		if d > out.ElmorePs[i] {
+			out.ElmorePs[i] = d
 		}
 	}
 }

@@ -26,20 +26,30 @@ func lineTree(layer tech.Layer) *route.Tree {
 	}
 }
 
+// twoSinks is the canonical dense sink table for lineTree nets:
+// index 0 = "a/I" (near), index 1 = "b/I" (far).
+func twoSinks() ([]string, []float64) {
+	return []string{"a/I", "b/I"}, []float64{0.2, 0.2}
+}
+
 func TestElmoreOrdering(t *testing.T) {
 	fm2 := st.MustLayer("FM2")
+	ids, caps := twoSinks()
 	rc := Extract(st, NetInput{
-		Name:     "n",
-		Front:    lineTree(fm2),
-		DriverID: "d/Z",
-		SinkCaps: map[string]float64{"a/I": 0.2, "b/I": 0.2},
+		Name:      "n",
+		Front:     lineTree(fm2),
+		SinkIDs:   ids,
+		SinkCapFF: caps,
 	}, DefaultOptions())
-	if rc.ElmorePs["a/I"] <= 0 {
+	if len(rc.ElmorePs) != 2 {
+		t.Fatalf("ElmorePs entries = %d, want one per sink", len(rc.ElmorePs))
+	}
+	if rc.ElmorePs[0] <= 0 {
 		t.Fatal("zero Elmore at near sink")
 	}
-	if !(rc.ElmorePs["b/I"] > rc.ElmorePs["a/I"]) {
+	if !(rc.ElmorePs[1] > rc.ElmorePs[0]) {
 		t.Errorf("far sink %.3f must exceed near sink %.3f",
-			rc.ElmorePs["b/I"], rc.ElmorePs["a/I"])
+			rc.ElmorePs[1], rc.ElmorePs[0])
 	}
 	// Total cap: 2µm wire + 2 sinks + stubs.
 	wantWire := 2 * fm2.CPerUm
@@ -52,13 +62,14 @@ func TestElmoreOrdering(t *testing.T) {
 }
 
 func TestUpperLayerIsFaster(t *testing.T) {
+	ids, caps := twoSinks()
 	lo := Extract(st, NetInput{Name: "n", Front: lineTree(st.MustLayer("FM2")),
-		DriverID: "d/Z", SinkCaps: map[string]float64{"a/I": 0.2, "b/I": 0.2}}, DefaultOptions())
+		SinkIDs: ids, SinkCapFF: caps}, DefaultOptions())
 	hi := Extract(st, NetInput{Name: "n", Front: lineTree(st.MustLayer("FM10")),
-		DriverID: "d/Z", SinkCaps: map[string]float64{"a/I": 0.2, "b/I": 0.2}}, DefaultOptions())
-	if !(hi.ElmorePs["b/I"] < lo.ElmorePs["b/I"]) {
+		SinkIDs: ids, SinkCapFF: caps}, DefaultOptions())
+	if !(hi.ElmorePs[1] < lo.ElmorePs[1]) {
 		t.Errorf("FM10 (%.3f ps) must beat FM2 (%.3f ps)",
-			hi.ElmorePs["b/I"], lo.ElmorePs["b/I"])
+			hi.ElmorePs[1], lo.ElmorePs[1])
 	}
 }
 
@@ -68,11 +79,17 @@ func TestDualSidedJoinsAtDriver(t *testing.T) {
 	back := lineTree(bm2)
 	back.PinNode = map[string]int{"d/Z": 0, "c/I": 2}
 	rc := Extract(st, NetInput{
-		Name: "n", Front: front, Back: back, DriverID: "d/Z",
-		SinkCaps: map[string]float64{"a/I": 0.2, "b/I": 0.2, "c/I": 0.2},
+		Name: "n", Front: front, Back: back,
+		SinkIDs:   []string{"a/I", "b/I", "c/I"},
+		SinkCapFF: []float64{0.2, 0.2, 0.2},
 	}, DefaultOptions())
 	if len(rc.ElmorePs) != 3 {
 		t.Fatalf("sinks extracted = %d, want 3 across both sides", len(rc.ElmorePs))
+	}
+	for i, d := range rc.ElmorePs {
+		if d <= 0 {
+			t.Errorf("sink %d Elmore = %.3f, want > 0", i, d)
+		}
 	}
 	if rc.WirelenNm != 4000 {
 		t.Errorf("wirelength = %d, want 4000 (both sides)", rc.WirelenNm)
@@ -81,24 +98,53 @@ func TestDualSidedJoinsAtDriver(t *testing.T) {
 
 func TestUnroutedSinkGetsStub(t *testing.T) {
 	rc := Extract(st, NetInput{
-		Name: "n", DriverID: "d/Z",
-		SinkCaps: map[string]float64{"a/I": 0.3},
+		Name:      "n",
+		SinkIDs:   []string{"a/I"},
+		SinkCapFF: []float64{0.3},
 	}, DefaultOptions())
-	if rc.ElmorePs["a/I"] <= 0 {
+	if rc.ElmorePs[0] <= 0 {
 		t.Error("unrouted sink needs a stub delay")
 	}
 }
 
 func TestEscapeCrowdingRaisesDelay(t *testing.T) {
+	ids, caps := twoSinks()
 	mk := func(crowd float64) float64 {
 		tr := lineTree(st.MustLayer("FM2"))
 		tr.EscapeCrowding = crowd
-		rc := Extract(st, NetInput{Name: "n", Front: tr, DriverID: "d/Z",
-			SinkCaps: map[string]float64{"a/I": 0.2, "b/I": 0.2}}, DefaultOptions())
-		return rc.ElmorePs["b/I"]
+		rc := Extract(st, NetInput{Name: "n", Front: tr,
+			SinkIDs: ids, SinkCapFF: caps}, DefaultOptions())
+		return rc.ElmorePs[1]
 	}
 	if !(mk(1.0) > mk(0.0)) {
 		t.Error("pin crowding must increase driver escape delay")
+	}
+}
+
+// TestExtractIntoReusesStorage pins the dense-database contract: repeated
+// ExtractInto on one destination reuses its Elmore backing array and
+// produces identical values run to run.
+func TestExtractIntoReusesStorage(t *testing.T) {
+	ids, caps := twoSinks()
+	in := NetInput{Name: "n", Front: lineTree(st.MustLayer("FM2")),
+		SinkIDs: ids, SinkCapFF: caps}
+	x := NewExtractor()
+	var rc NetRC
+	x.ExtractInto(&rc, st, in, DefaultOptions())
+	first := append([]float64(nil), rc.ElmorePs...)
+	firstCap := rc.TotalCapFF
+	ptr := &rc.ElmorePs[0]
+	x.ExtractInto(&rc, st, in, DefaultOptions())
+	if &rc.ElmorePs[0] != ptr {
+		t.Error("ExtractInto reallocated the Elmore array on reuse")
+	}
+	if rc.TotalCapFF != firstCap {
+		t.Errorf("TotalCapFF drifted on re-extract: %v vs %v", rc.TotalCapFF, firstCap)
+	}
+	for i := range first {
+		if rc.ElmorePs[i] != first[i] {
+			t.Errorf("ElmorePs[%d] drifted on re-extract: %v vs %v", i, rc.ElmorePs[i], first[i])
+		}
 	}
 }
 

@@ -53,9 +53,14 @@ func (p PinRef) String() string {
 
 // Net is a signal net: exactly one driver, zero or more sinks.
 type Net struct {
-	Name    string
-	Driver  PinRef
-	Sinks   []PinRef
+	Name   string
+	Driver PinRef
+	Sinks  []PinRef
+	// Seq is the net's position in Netlist.Nets, assigned at EnsureNet
+	// time and kept in sync by SortNetsByName. Like Instance.Seq it is the
+	// dense id the flow stages (extraction, STA, CTS, power) use to keep
+	// per-net state in flat slices instead of name- or pointer-keyed maps.
+	Seq     int
 	IsClock bool
 }
 
@@ -163,7 +168,7 @@ func (nl *Netlist) EnsureNet(name string) *Net {
 	if n, ok := nl.netByName[name]; ok {
 		return n
 	}
-	n := &Net{Name: name}
+	n := &Net{Name: name, Seq: len(nl.Nets)}
 	nl.Nets = append(nl.Nets, n)
 	nl.netByName[name] = n
 	return n
@@ -434,9 +439,13 @@ func (nl *Netlist) TopoLevels() ([][]*Instance, []*Instance) {
 }
 
 // SortNetsByName orders the net list deterministically (useful before
-// emitting artifacts).
+// emitting artifacts). Net Seq ids are re-stamped to match the new order,
+// which invalidates any Seq-indexed side tables built beforehand.
 func (nl *Netlist) SortNetsByName() {
 	sort.Slice(nl.Nets, func(i, j int) bool { return nl.Nets[i].Name < nl.Nets[j].Name })
+	for i, n := range nl.Nets {
+		n.Seq = i
+	}
 }
 
 // Reconnect moves an instance input pin from its current net to another

@@ -46,8 +46,10 @@ func (r *Result) EfficiencyGHzPerW() float64 {
 }
 
 // Analyze computes power for the design at the given frequency.
-// netRC supplies extracted capacitance; nets without an entry use pin caps.
-func Analyze(nl *netlist.Netlist, stack *tech.Stack, netRC map[string]*extract.NetRC, freqGHz float64, opt Options) *Result {
+// netRC supplies extracted capacitance indexed by Net.Seq (the flow's
+// dense extraction database); nets with no entry (nil, or a short/nil
+// slice) use pin caps.
+func Analyze(nl *netlist.Netlist, stack *tech.Stack, netRC []*extract.NetRC, freqGHz float64, opt Options) *Result {
 	if opt.Activity <= 0 {
 		opt = DefaultOptions()
 	}
@@ -55,8 +57,8 @@ func Analyze(nl *netlist.Netlist, stack *tech.Stack, netRC map[string]*extract.N
 	vdd2 := stack.VDD * stack.VDD
 
 	capOf := func(n *netlist.Net) float64 {
-		if rc, ok := netRC[n.Name]; ok {
-			return rc.TotalCapFF
+		if n.Seq < len(netRC) && netRC[n.Seq] != nil {
+			return netRC[n.Seq].TotalCapFF
 		}
 		var c float64
 		for _, s := range n.Sinks {

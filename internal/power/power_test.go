@@ -42,9 +42,8 @@ func TestPowerScalesWithFrequency(t *testing.T) {
 func TestWireCapAddsSwitching(t *testing.T) {
 	nl := design(t)
 	base := Analyze(nl, lib.Stack, nil, 1.0, DefaultOptions())
-	rc := map[string]*extract.NetRC{
-		"n1": {Name: "n1", TotalCapFF: 50},
-	}
+	rc := make([]*extract.NetRC, len(nl.Nets))
+	rc[nl.Net("n1").Seq] = &extract.NetRC{Name: "n1", TotalCapFF: 50}
 	loaded := Analyze(nl, lib.Stack, rc, 1.0, DefaultOptions())
 	if !(loaded.SwitchingUW > base.SwitchingUW) {
 		t.Errorf("extracted wire cap must raise switching power (%.3f vs %.3f)",

@@ -3,6 +3,14 @@
 // net Elmore delays, clock insertion delays from CTS, and setup checks at
 // the flops. Its headline output is the achieved clock frequency — the
 // metric the paper sweeps in Figs. 9-11 and Table III.
+//
+// The analysis is split into a reusable Engine and per-call inputs. The
+// Engine levelizes the combinational graph once and snapshots every
+// netlist-derived lookup (timing arcs, net fanin/fanout indices, flop
+// endpoints) into flat Seq-indexed arrays; repeated Analyze calls then
+// propagate arrivals over epoch-stamped scratch without allocating, which
+// is what makes the paper's dense frequency/utilization sweeps cheap per
+// point.
 package sta
 
 import (
@@ -10,6 +18,7 @@ import (
 	"math"
 
 	"repro/internal/extract"
+	"repro/internal/liberty"
 	"repro/internal/netlist"
 )
 
@@ -26,14 +35,16 @@ func DefaultOptions() Options {
 	return Options{InputSlewPs: 15, PortLoadFF: 1.0, ClockSlewPs: 12, DefaultSkewPs: 5}
 }
 
-// Input bundles the design view.
+// Input bundles the per-analysis design view. Both slices are dense,
+// indexed by the netlist's stable Seq ids.
 type Input struct {
-	Netlist *netlist.Netlist
-	// NetRC maps net name -> extracted parasitics. Nets without an entry
-	// fall back to a lumped estimate from pin caps only.
-	NetRC map[string]*extract.NetRC
-	// ClockArrival maps flop instance name -> clock insertion delay (ps).
-	ClockArrival map[string]float64
+	// NetRC holds extracted parasitics indexed by Net.Seq. A nil slice or
+	// a nil entry falls back to a lumped estimate from pin caps only.
+	NetRC []*extract.NetRC
+	// ClockArrivalPs holds clock insertion delays (ps) indexed by
+	// Instance.Seq (only flop entries are read). A nil slice means no CTS
+	// ran; endpoint checks then charge Options.DefaultSkewPs instead.
+	ClockArrivalPs []float64
 }
 
 // PathPoint is one hop of the reported critical path.
@@ -53,111 +64,218 @@ type Result struct {
 	RegToReg int
 }
 
-// Analyze runs STA and derives the minimum feasible clock period.
-func Analyze(in Input, opt Options) (*Result, error) {
-	nl := in.Netlist
+// Clone returns a detached copy of the Result. Engine.Analyze returns a
+// view into the Engine's reusable storage; results that outlive the
+// Engine (or the next Analyze call) should be cloned so they don't pin
+// the Engine's flat tables in memory.
+func (r *Result) Clone() *Result {
+	out := *r
+	out.CriticalPath = append([]PathPoint(nil), r.CriticalPath...)
+	return &out
+}
+
+// Engine is a reusable analyzer bound to one netlist snapshot. Building it
+// levelizes the combinational graph and flattens every connectivity lookup
+// the propagation needs; Analyze afterwards runs without allocations. The
+// Engine caches connectivity, so it must be rebuilt after netlist edits
+// (reconnects, buffer insertion, resizing). The level structure is kept —
+// it is the natural seed for incremental fanout-cone propagation.
+type Engine struct {
+	nl *netlist.Netlist
+
+	// Levels is the levelized combinational order (level 0 = cells fed
+	// only by sources). Retained for incremental use; the full analysis
+	// walks the flattened order.
+	Levels [][]*netlist.Instance
+
+	order []*netlist.Instance // Levels flattened
+	flops []*netlist.Instance
+
+	// Flat per-(instance, input-pin) arc tables: the rows of instance i
+	// are arcNet/arcSink/arcTab[arcStart[i]:arcStart[i+1]], one per input
+	// pin in canonical cell order. arcNet is the driving net's Seq (-1
+	// for unconnected or clock inputs, which timing skips); arcSink is
+	// this pin's index in that net's sink list (-1 when absent); arcTab
+	// is the cell's NLDM arc for the pin.
+	arcStart []int32
+	arcNet   []int32
+	arcSink  []int32
+	arcTab   []*liberty.Arc
+
+	// outSeq[i] is instance i's output net Seq, -1 when unconnected or a
+	// clock net (which combinational propagation never writes).
+	outSeq []int32
+
+	// Flop endpoint tables, aligned with flops: the D-pin net and sink
+	// index, and the Q output net Seq.
+	dNet, dSink, qNet []int32
+
+	// Per-net arrival state, epoch-stamped: arr/slew/from are valid only
+	// while stamp matches the current epoch, so each Analyze starts from
+	// a logically cleared state without clearing (the same arena pattern
+	// as the router's search scratch).
+	epoch uint32
+	stamp []uint32
+	arr   []float64
+	slew  []float64
+	from  []int32 // Seq of the instance that set the arrival; -1 at sources
+
+	res Result
+}
+
+// NewEngine levelizes the netlist and builds the dense timing graph.
+// It fails if the combinational graph is cyclic.
+func NewEngine(nl *netlist.Netlist) (*Engine, error) {
 	levels, cyclic := nl.TopoLevels()
 	if len(cyclic) > 0 {
 		return nil, fmt.Errorf("sta: %d instances in combinational cycles", len(cyclic))
 	}
-
-	arr := make(map[*netlist.Net]float64, len(nl.Nets))
-	slew := make(map[*netlist.Net]float64, len(nl.Nets))
-	from := make(map[*netlist.Net]*netlist.Instance, len(nl.Nets))
-
-	clkArr := func(instName string) float64 {
-		if in.ClockArrival == nil {
-			return 0
-		}
-		return in.ClockArrival[instName]
+	e := &Engine{nl: nl, Levels: levels, flops: nl.Flops()}
+	for _, level := range levels {
+		e.order = append(e.order, level...)
 	}
-	loadOf := func(n *netlist.Net) float64 {
-		if rc, ok := in.NetRC[n.Name]; ok {
-			return rc.TotalCapFF
+
+	nInst, nNet := len(nl.Instances), len(nl.Nets)
+	e.arcStart = make([]int32, nInst+1)
+	e.outSeq = make([]int32, nInst)
+	for _, inst := range nl.Instances {
+		e.arcStart[inst.Seq+1] = int32(len(inst.Cell.Inputs))
+		e.outSeq[inst.Seq] = -1
+		if out := inst.OutputNet(); out != nil && !out.IsClock {
+			e.outSeq[inst.Seq] = int32(out.Seq)
 		}
-		var c float64
-		for _, s := range n.Sinks {
-			if !s.IsPort() {
-				c += s.Inst.Cell.InputCap(s.Pin)
-			} else {
-				c += opt.PortLoadFF
+	}
+	for i := 0; i < nInst; i++ {
+		e.arcStart[i+1] += e.arcStart[i]
+	}
+	nArcs := int(e.arcStart[nInst])
+	e.arcNet = make([]int32, nArcs)
+	e.arcSink = make([]int32, nArcs)
+	e.arcTab = make([]*liberty.Arc, nArcs)
+	for _, inst := range nl.Instances {
+		row := e.arcStart[inst.Seq]
+		for _, p := range inst.Cell.Inputs {
+			e.arcNet[row], e.arcSink[row] = -1, -1
+			if n := inst.Conn(p.Name); n != nil && !n.IsClock {
+				e.arcNet[row] = int32(n.Seq)
+			}
+			e.arcTab[row] = inst.Cell.Arc(p.Name)
+			row++
+		}
+	}
+	// One pass over the nets resolves every pin's sink index — O(total
+	// sinks), instead of rescanning each net's sink list per fanin pin.
+	for _, n := range nl.Nets {
+		if n.IsClock {
+			continue
+		}
+		for i, s := range n.Sinks {
+			if s.IsPort() {
+				continue
+			}
+			if row, ok := e.arcRow(s.Inst, s.Pin); ok {
+				e.arcSink[row] = int32(i)
 			}
 		}
-		return c
 	}
-	elmoreOf := func(n *netlist.Net, ref netlist.PinRef) float64 {
-		rc, ok := in.NetRC[n.Name]
-		if !ok {
-			return 0
+
+	e.dNet = make([]int32, len(e.flops))
+	e.dSink = make([]int32, len(e.flops))
+	e.qNet = make([]int32, len(e.flops))
+	for i, ff := range e.flops {
+		e.dNet[i], e.dSink[i] = -1, -1
+		if row, ok := e.arcRow(ff, ff.Cell.Seq.DataPin); ok {
+			e.dNet[i], e.dSink[i] = e.arcNet[row], e.arcSink[row]
 		}
-		return rc.ElmorePs[pinID(ref)]
+		e.qNet[i] = -1
+		if q := ff.OutputNet(); q != nil {
+			e.qNet[i] = int32(q.Seq)
+		}
 	}
+
+	e.stamp = make([]uint32, nNet)
+	e.arr = make([]float64, nNet)
+	e.slew = make([]float64, nNet)
+	e.from = make([]int32, nNet)
+	return e, nil
+}
+
+// arcRow locates the arc-table row of an instance input pin (rows follow
+// the cell's canonical input order).
+func (e *Engine) arcRow(inst *netlist.Instance, pin string) (int32, bool) {
+	row := e.arcStart[inst.Seq]
+	for _, p := range inst.Cell.Inputs {
+		if p.Name == pin {
+			return row, true
+		}
+		row++
+	}
+	return -1, false
+}
+
+// Analyze runs STA and derives the minimum feasible clock period.
+//
+// The returned Result (including its CriticalPath backing array) is owned
+// by the Engine and reused by the next Analyze call; clone it if it must
+// outlive that.
+func (e *Engine) Analyze(in Input, opt Options) (*Result, error) {
+	nl := e.nl
+	e.beginEpoch()
+	e.res = Result{CriticalPath: e.res.CriticalPath[:0]}
+	res := &e.res
 
 	// Sources: primary inputs and flop Q outputs.
 	for _, p := range nl.Ports {
 		if p.Dir == netlist.In && p.Net != nil && !p.Net.IsClock {
-			arr[p.Net] = 0
-			slew[p.Net] = opt.InputSlewPs
+			e.set(int32(p.Net.Seq), 0, opt.InputSlewPs, -1)
 		}
 	}
-	res := &Result{}
-	for _, ff := range nl.Flops() {
-		q := ff.OutputNet()
-		if q == nil {
+	for i, ff := range e.flops {
+		q := e.qNet[i]
+		if q < 0 {
 			continue
 		}
-		load := loadOf(q)
+		load := e.loadOf(q, in, opt)
 		d := ff.Cell.Seq.ClkQWorst(opt.ClockSlewPs, load)
-		arr[q] = clkArr(ff.Name) + d
-		slew[q] = extract.SlewDegrade(opt.InputSlewPs, 0) // nominal Q slew
-		from[q] = ff
+		e.set(q, e.clkArr(in, ff.Seq)+d, extract.SlewDegrade(opt.InputSlewPs, 0), int32(ff.Seq))
 	}
 
 	worstSlew := 0.0
-	// Topological propagation through combinational cells.
-	for _, level := range levels {
-		for _, inst := range level {
-			out := inst.OutputNet()
-			if out == nil || out.IsClock {
+	// Propagation through combinational cells in levelized topo order.
+	for _, inst := range e.order {
+		out := e.outSeq[inst.Seq]
+		if out < 0 {
+			continue
+		}
+		load := e.loadOf(out, in, opt)
+		bestArr := math.Inf(-1)
+		bestSlew := 0.0
+		for row := e.arcStart[inst.Seq]; row < e.arcStart[inst.Seq+1]; row++ {
+			inNet := e.arcNet[row]
+			if inNet < 0 || e.stamp[inNet] != e.epoch {
+				continue // clock, unconnected, or undriven/constant-like
+			}
+			a := e.arcTab[row]
+			if a == nil {
 				continue
 			}
-			load := loadOf(out)
-			bestArr := math.Inf(-1)
-			bestSlew := 0.0
-			for _, p := range inst.Cell.Inputs {
-				inNet := inst.Conn(p.Name)
-				if inNet == nil || inNet.IsClock {
-					continue
-				}
-				inArr, ok := arr[inNet]
-				if !ok {
-					continue // undriven or constant-like
-				}
-				inSlew := slew[inNet]
-				wire := elmoreOf(inNet, netlist.PinRef{Inst: inst, Pin: p.Name})
-				sinkSlew := extract.SlewDegrade(inSlew, wire)
-				a := inst.Cell.Arc(p.Name)
-				if a == nil {
-					continue
-				}
-				d := a.WorstDelay(sinkSlew, load)
-				cand := inArr + wire + d
-				if cand > bestArr {
-					bestArr = cand
-					outSlewR := a.SlewRise.Lookup(sinkSlew, load)
-					outSlewF := a.SlewFall.Lookup(sinkSlew, load)
-					bestSlew = math.Max(outSlewR, outSlewF)
-				}
+			wire := e.elmoreOf(inNet, e.arcSink[row], in)
+			sinkSlew := extract.SlewDegrade(e.slew[inNet], wire)
+			d := a.WorstDelay(sinkSlew, load)
+			cand := e.arr[inNet] + wire + d
+			if cand > bestArr {
+				bestArr = cand
+				outSlewR := a.SlewRise.Lookup(sinkSlew, load)
+				outSlewF := a.SlewFall.Lookup(sinkSlew, load)
+				bestSlew = math.Max(outSlewR, outSlewF)
 			}
-			if math.IsInf(bestArr, -1) {
-				continue
-			}
-			arr[out] = bestArr
-			slew[out] = bestSlew
-			from[out] = inst
-			if bestSlew > worstSlew {
-				worstSlew = bestSlew
-			}
+		}
+		if math.IsInf(bestArr, -1) {
+			continue
+		}
+		e.set(out, bestArr, bestSlew, int32(inst.Seq))
+		if bestSlew > worstSlew {
+			worstSlew = bestSlew
 		}
 	}
 	res.WorstSlewPs = worstSlew
@@ -165,27 +283,23 @@ func Analyze(in Input, opt Options) (*Result, error) {
 	// Endpoint checks at flop D pins: period >= arrival + setup - capture
 	// clock arrival (launch arrival already includes its clock insertion).
 	minPeriod := 0.0
-	var critNet *netlist.Net
-	var critFF *netlist.Instance
-	for _, ff := range nl.Flops() {
-		dNet := ff.Conn(ff.Cell.Seq.DataPin)
-		if dNet == nil {
+	critNet, critFF := int32(-1), -1
+	for i, ff := range e.flops {
+		dNet := e.dNet[i]
+		if dNet < 0 || e.stamp[dNet] != e.epoch {
 			continue
 		}
-		a, ok := arr[dNet]
-		if !ok {
-			continue
-		}
-		wire := elmoreOf(dNet, netlist.PinRef{Inst: ff, Pin: ff.Cell.Seq.DataPin})
-		need := a + wire + ff.Cell.Seq.SetupPs - clkArr(ff.Name)
-		if in.ClockArrival == nil {
+		a := e.arr[dNet]
+		wire := e.elmoreOf(dNet, e.dSink[i], in)
+		need := a + wire + ff.Cell.Seq.SetupPs - e.clkArr(in, ff.Seq)
+		if in.ClockArrivalPs == nil {
 			need += opt.DefaultSkewPs
 		}
 		res.RegToReg++
 		if need > minPeriod {
 			minPeriod = need
 			critNet = dNet
-			critFF = ff
+			critFF = i
 		}
 		if a > res.MaxArrivalPs {
 			res.MaxArrivalPs = a
@@ -198,32 +312,33 @@ func Analyze(in Input, opt Options) (*Result, error) {
 	res.AchievedFreqGHz = 1000.0 / minPeriod
 
 	// Trace the critical path backwards.
-	if critFF != nil {
-		res.CriticalPath = append(res.CriticalPath, PathPoint{Inst: critFF.Name, ArrivalPs: minPeriod})
+	if critFF >= 0 {
+		res.CriticalPath = append(res.CriticalPath, PathPoint{Inst: e.flops[critFF].Name, ArrivalPs: minPeriod})
 		n := critNet
-		for n != nil {
-			drv := from[n]
-			if drv == nil {
+		for n >= 0 {
+			drvSeq := e.from[n]
+			if drvSeq < 0 {
 				break
 			}
-			res.CriticalPath = append(res.CriticalPath, PathPoint{Inst: drv.Name, ArrivalPs: arr[n]})
+			drv := nl.Instances[drvSeq]
+			res.CriticalPath = append(res.CriticalPath, PathPoint{Inst: drv.Name, ArrivalPs: e.arr[n]})
 			if drv.Cell.IsSeq() {
 				break
 			}
 			// Walk to the input that set the arrival (worst input).
-			var bestNet *netlist.Net
+			best := int32(-1)
 			bestArr := math.Inf(-1)
-			for _, p := range drv.Cell.Inputs {
-				inNet := drv.Conn(p.Name)
-				if inNet == nil || inNet.IsClock {
+			for row := e.arcStart[drvSeq]; row < e.arcStart[drvSeq+1]; row++ {
+				inNet := e.arcNet[row]
+				if inNet < 0 || e.stamp[inNet] != e.epoch {
 					continue
 				}
-				if v, ok := arr[inNet]; ok && v > bestArr {
-					bestArr = v
-					bestNet = inNet
+				if e.arr[inNet] > bestArr {
+					bestArr = e.arr[inNet]
+					best = inNet
 				}
 			}
-			n = bestNet
+			n = best
 		}
 		// Reverse for launch-to-capture order.
 		for i, j := 0, len(res.CriticalPath)-1; i < j; i, j = i+1, j-1 {
@@ -233,14 +348,81 @@ func Analyze(in Input, opt Options) (*Result, error) {
 	return res, nil
 }
 
-// pinID renders the extraction pin naming convention.
-func pinID(ref netlist.PinRef) string {
-	if ref.IsPort() {
-		return "PIN/" + ref.Port.Name
+// beginEpoch opens a fresh arrival epoch, lazily invalidating arr/slew/from.
+// On uint32 wraparound the stamps are hard-cleared so stale entries can
+// never alias the new epoch.
+func (e *Engine) beginEpoch() {
+	e.epoch++
+	if e.epoch == 0 {
+		for i := range e.stamp {
+			e.stamp[i] = 0
+		}
+		e.epoch = 1
 	}
-	return ref.Inst.Name + "/" + ref.Pin
 }
 
-// PinID is the exported naming helper shared with the flow when building
-// route tasks.
-func PinID(ref netlist.PinRef) string { return pinID(ref) }
+// set records a net's arrival in the current epoch.
+func (e *Engine) set(net int32, arr, slew float64, from int32) {
+	e.stamp[net] = e.epoch
+	e.arr[net] = arr
+	e.slew[net] = slew
+	e.from[net] = from
+}
+
+// clkArr returns the clock insertion delay at an instance.
+func (e *Engine) clkArr(in Input, seq int) float64 {
+	if seq < len(in.ClockArrivalPs) {
+		return in.ClockArrivalPs[seq]
+	}
+	return 0
+}
+
+// loadOf returns the capacitive load on a net: extracted total cap when
+// available, else a lumped sum of sink pin caps.
+func (e *Engine) loadOf(net int32, in Input, opt Options) float64 {
+	if rc := e.rc(net, in); rc != nil {
+		return rc.TotalCapFF
+	}
+	var c float64
+	for _, s := range e.nl.Nets[net].Sinks {
+		if !s.IsPort() {
+			c += s.Inst.Cell.InputCap(s.Pin)
+		} else {
+			c += opt.PortLoadFF
+		}
+	}
+	return c
+}
+
+// elmoreOf returns the wire delay from a net's driver to one of its sinks.
+func (e *Engine) elmoreOf(net, sink int32, in Input) float64 {
+	rc := e.rc(net, in)
+	if rc == nil || sink < 0 || int(sink) >= len(rc.ElmorePs) {
+		return 0
+	}
+	return rc.ElmorePs[sink]
+}
+
+// rc returns the extracted view of a net, nil when absent.
+func (e *Engine) rc(net int32, in Input) *extract.NetRC {
+	if int(net) < len(in.NetRC) {
+		return in.NetRC[net]
+	}
+	return nil
+}
+
+// Analyze is the one-shot convenience wrapper: levelize, analyze, done.
+// The returned Result is detached, so the temporary Engine is freed with
+// this frame. Flows that sweep parameters should build an Engine once and
+// call its Analyze repeatedly instead.
+func Analyze(nl *netlist.Netlist, in Input, opt Options) (*Result, error) {
+	e, err := NewEngine(nl)
+	if err != nil {
+		return nil, err
+	}
+	res, err := e.Analyze(in, opt)
+	if err != nil {
+		return nil, err
+	}
+	return res.Clone(), nil
+}
