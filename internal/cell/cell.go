@@ -130,6 +130,79 @@ type Cell struct {
 	Seq *liberty.SeqSpec
 
 	LeakageNW float64 // identical across archs (same intrinsic devices)
+
+	// Interned pin tables, computed once per cell by initPinTables:
+	// pinIdx maps a pin name to its canonical index (inputs in order,
+	// then the output), and sortedPins lists the canonical indices in
+	// lexicographic pin-name order. Accessors fall back to on-the-fly
+	// scans so hand-built cells in tests keep working.
+	pinIdx     map[string]int
+	sortedPins []int
+}
+
+// NumPins returns the number of logical pins (inputs plus the output).
+func (c *Cell) NumPins() int { return len(c.Inputs) + 1 }
+
+// OutIndex returns the canonical pin index of the output pin.
+func (c *Cell) OutIndex() int { return len(c.Inputs) }
+
+// PinName returns the name of the pin at a canonical index: Inputs in
+// order, then Out.
+func (c *Cell) PinName(idx int) string {
+	if idx < len(c.Inputs) {
+		return c.Inputs[idx].Name
+	}
+	return c.Out.Name
+}
+
+// PinIndex returns the canonical index of the named pin, or -1. The
+// index is the dense per-cell half of the flow-wide packed pin identity
+// (netlist.PinID); interned cells answer from a precomputed table.
+func (c *Cell) PinIndex(name string) int {
+	if c.pinIdx != nil {
+		if i, ok := c.pinIdx[name]; ok {
+			return i
+		}
+		return -1
+	}
+	for i, p := range c.Inputs {
+		if p.Name == name {
+			return i
+		}
+	}
+	if name == c.Out.Name {
+		return len(c.Inputs)
+	}
+	return -1
+}
+
+// PinOrderByName returns the canonical pin indices sorted by pin name —
+// the iteration order netlist.AddInstance uses so that net creation
+// order never depends on map iteration. Interned cells return the
+// precomputed slice; callers must not mutate it.
+func (c *Cell) PinOrderByName() []int {
+	if c.sortedPins != nil {
+		return c.sortedPins
+	}
+	order := make([]int, c.NumPins())
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return c.PinName(order[a]) < c.PinName(order[b]) })
+	return order
+}
+
+// initPinTables interns the pin-name tables. Called once per cell at
+// library build time (never lazily: libraries are shared by concurrent
+// flow runs, so post-publication mutation would be a data race).
+func (c *Cell) initPinTables() {
+	c.pinIdx = make(map[string]int, c.NumPins())
+	for i, p := range c.Inputs {
+		c.pinIdx[p.Name] = i
+	}
+	c.pinIdx[c.Out.Name] = len(c.Inputs)
+	c.sortedPins = nil // force the generic path to compute, then intern
+	c.sortedPins = c.PinOrderByName()
 }
 
 // IsSeq reports whether the cell is a flip-flop.
@@ -212,6 +285,7 @@ func NewLibrary(stack *tech.Stack) *Library {
 		for _, d := range tpl.drives {
 			c := buildCell(tpl, d, stack)
 			characterize(c, tpl, stack)
+			c.initPinTables()
 			lib.cells[c.Name] = c
 			lib.order = append(lib.order, c.Name)
 			lib.byBase[c.Base] = append(lib.byBase[c.Base], c)

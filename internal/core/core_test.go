@@ -80,14 +80,14 @@ func TestPartitionAlgorithm1Invariants(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Invariant 1: every sink of every net appears on exactly one side.
-	seen := make(map[string]map[string]int) // net -> pinID -> count
+	seen := make(map[string]map[netlist.PinID]int) // net -> pinID -> count
 	for _, n := range sides.Front {
 		for _, p := range n.Pins {
 			if p.Driver {
 				continue
 			}
 			if seen[n.Name] == nil {
-				seen[n.Name] = map[string]int{}
+				seen[n.Name] = map[netlist.PinID]int{}
 			}
 			seen[n.Name][p.ID]++
 		}
@@ -98,16 +98,16 @@ func TestPartitionAlgorithm1Invariants(t *testing.T) {
 				continue
 			}
 			if seen[n.Name] == nil {
-				seen[n.Name] = map[string]int{}
+				seen[n.Name] = map[netlist.PinID]int{}
 			}
 			seen[n.Name][p.ID]++
 		}
 	}
 	for _, n := range nl.Nets {
 		for _, s := range n.Sinks {
-			id := pinIDOf(s)
+			id := s.ID()
 			if seen[n.Name][id] != 1 {
-				t.Fatalf("net %s sink %s assigned %d times, want exactly 1",
+				t.Fatalf("net %s sink %v assigned %d times, want exactly 1",
 					n.Name, id, seen[n.Name][id])
 			}
 		}
@@ -264,7 +264,7 @@ type routeNet struct {
 	pins []routePin
 }
 type routePin struct {
-	id     string
+	id     netlist.PinID
 	driver bool
 }
 

@@ -297,8 +297,9 @@ func RunFlow(nl *netlist.Netlist, cfg FlowConfig) (*FlowResult, error) {
 			Name:      n.Name,
 			Front:     ft,
 			Back:      bt,
-			SinkIDs:   sides.SinkIDs[n.Seq],
+			SinkPos:   sides.SinkPos[n.Seq],
 			SinkCapFF: sides.SinkCapFF[n.Seq],
+			Order:     sides.SinkOrder[n.Seq],
 		}, eopt)
 		netRC[n.Seq] = &rcStore[n.Seq]
 	}
@@ -405,11 +406,15 @@ func buildDEF(nl *netlist.Netlist, fp *floorplan.Plan, pp *powerplan.Result, rr 
 		for _, tree := range rr.Trees {
 			dn := &def.Net{
 				Name:  tree.Name,
-				Pins:  make([]def.NetPin, 0, len(tree.PinNode)),
+				Pins:  make([]def.NetPin, 0, len(tree.Pins)),
 				Wires: make([]def.Wire, 0, len(tree.Edges)),
 			}
-			for id := range tree.PinNode {
-				dn.Pins = append(dn.Pins, splitPinID(id))
+			// Names are rendered only here, at the serialization
+			// boundary — and "rendered" means referencing the existing
+			// instance/pin name strings, never concatenating them.
+			for _, p := range tree.Pins {
+				comp, pin := nl.PinNames(p.ID)
+				dn.Pins = append(dn.Pins, def.NetPin{Comp: comp, Pin: pin})
 			}
 			sortNetPins(dn)
 			for _, e := range tree.Edges {
@@ -442,15 +447,6 @@ func sideSuffix(s tech.Side) string {
 		return "front"
 	}
 	return "back"
-}
-
-func splitPinID(id string) def.NetPin {
-	for i := len(id) - 1; i >= 0; i-- {
-		if id[i] == '/' {
-			return def.NetPin{Comp: id[:i], Pin: id[i+1:]}
-		}
-	}
-	return def.NetPin{Comp: id}
 }
 
 // sortNetPins and sortNets canonicalize DEF ordering. Keys are unique

@@ -137,15 +137,30 @@ func (pa *PinAssignment) LEFSideConfig() lef.SideConfig {
 
 // SideNets is the output of the Algorithm 1 partition: routing tasks per
 // wafer side, plus the dense per-net sink tables extraction consumes.
+// All per-net tables are parallel slices over net seq's sinks in
+// canonical netlist order, carved from flat arenas sized up front, so
+// the whole partition's extraction view costs a handful of allocations
+// regardless of design size.
 type SideNets struct {
 	Front []*route.Net
 	Back  []*route.Net
-	// SinkIDs[seq] and SinkCapFF[seq] are parallel slices over net seq's
-	// sinks in canonical netlist order: the routed pin ID and the input
-	// capacitance of each sink. Both index into one flat arena, so the
-	// whole partition's extraction view costs two allocations.
-	SinkIDs   [][]string
+	// SinkIDs[seq][i] is the packed identity of sink i — the same ID
+	// carried by the sink's route.Pin (names are rendered from PinIDs
+	// only at the DEF serialization boundary, via Tree.Pins).
+	SinkIDs [][]netlist.PinID
+	// SinkCapFF[seq][i] is the input capacitance of sink i.
 	SinkCapFF [][]float64
+	// SinkPos[seq][i] locates sink i in its routed side sub-net, packed
+	// as (index into the side net's Pins << 1) | side bit (0 front,
+	// 1 back). Extraction uses it to find the sink's tree node without
+	// any name-keyed lookup.
+	SinkPos [][]int32
+	// SinkOrder[seq] is the canonical sink visit order for float
+	// accumulation during extraction: sink indices sorted by the legacy
+	// rendered pin name ("inst/pin", ports as "PIN/name"). Keeping this
+	// exact order makes every extracted metric bit-identical to the
+	// string-keyed flow it replaces.
+	SinkOrder [][]int32
 	// Rerouted counts sinks that required the (optional) bridging-cell
 	// path: sinks whose assigned side has no routing layers in the
 	// pattern. They are rerouted on the available side instead.
@@ -164,14 +179,23 @@ func Partition(nl *netlist.Netlist, pa *PinAssignment, pattern tech.Pattern, pin
 	for _, n := range nl.Nets {
 		totalSinks += len(n.Sinks)
 	}
-	// Per-net sink tables are carved out of two flat arenas, indexed by
-	// net Seq. The arenas are sized exactly, so the appends below never
-	// reallocate and the subslices stay valid.
-	idArena := make([]string, 0, totalSinks)
+	// Per-net sink tables are carved out of flat arenas, indexed by net
+	// Seq. The arenas are sized exactly, so the appends below never
+	// reallocate and the subslices stay valid. The route.Pin and
+	// route.Net payloads are arena-backed too: pin slices need at most
+	// totalSinks + 2 driver slots per net (the dual-sided driver roots a
+	// sub-net on each side), and at most two sub-nets exist per net.
+	idArena := make([]netlist.PinID, 0, totalSinks)
 	capArena := make([]float64, 0, totalSinks)
+	posArena := make([]int32, 0, totalSinks)
+	ordArena := make([]int32, 0, totalSinks)
+	pinArena := make([]route.Pin, 0, totalSinks+2*len(nl.Nets))
+	netArena := make([]route.Net, 0, 2*len(nl.Nets))
 	out := &SideNets{
-		SinkIDs:   make([][]string, len(nl.Nets)),
+		SinkIDs:   make([][]netlist.PinID, len(nl.Nets)),
 		SinkCapFF: make([][]float64, len(nl.Nets)),
+		SinkPos:   make([][]int32, len(nl.Nets)),
+		SinkOrder: make([][]int32, len(nl.Nets)),
 	}
 	frontOK := pattern.Front > 0
 	backOK := pattern.Back > 0
@@ -179,28 +203,24 @@ func Partition(nl *netlist.Netlist, pa *PinAssignment, pattern tech.Pattern, pin
 		return nil, fmt.Errorf("core: pattern %v has no routing side", pattern)
 	}
 	// sideOf is reused across nets to remember each sink's resolved side,
-	// so the per-side pin slices can be allocated at exact size in one
-	// shot (nets are extremely numerous; per-net slice regrowth dominated
-	// this function's allocation profile).
+	// so the per-side pin slices can be carved at exact size in one shot.
 	var sideOf []tech.Side
 	for _, n := range nl.Nets {
 		if n.Driver == (netlist.PinRef{}) {
 			return nil, fmt.Errorf("core: net %s undriven", n.Name)
 		}
-		driverID := pinIDOf(n.Driver)
 		sinkStart := len(idArena)
 
 		sideOf = sideOf[:0]
 		nFront, nBack := 0, 0
 		for _, s := range n.Sinks {
-			id := pinIDOf(s)
 			capFF := 1.0 // external load for port sinks
 			side := tech.Front
 			if !s.IsPort() {
 				capFF = s.Inst.Cell.InputCap(s.Pin)
 				side = pa.Side(s.Inst.Cell.Name, s.Pin)
 			}
-			idArena = append(idArena, id)
+			idArena = append(idArena, s.ID())
 			capArena = append(capArena, capFF)
 			// Fall back when the assigned side has no layers.
 			if side == tech.Back && !backOK {
@@ -218,47 +238,122 @@ func Partition(nl *netlist.Netlist, pa *PinAssignment, pattern tech.Pattern, pin
 			}
 			sideOf = append(sideOf, side)
 		}
+		k := len(n.Sinks)
 		out.SinkIDs[n.Seq] = idArena[sinkStart:len(idArena):len(idArena)]
 		out.SinkCapFF[n.Seq] = capArena[sinkStart:len(capArena):len(capArena)]
-		drv := route.Pin{ID: driverID, At: pinAt(n.Driver), Driver: true}
+		out.SinkOrder[n.Seq] = sortSinksByLegacyName(ordArena[len(ordArena):len(ordArena):len(ordArena)+k], n.Sinks)
+		ordArena = ordArena[:len(ordArena)+k]
+		drv := route.Pin{ID: n.Driver.ID(), At: pinAt(n.Driver), Driver: true}
 		// The dual-sided output pin roots a sub-net on each side that has
 		// sinks ("each output signal can be placed on the frontside, the
 		// backside, or both").
 		var frontPins, backPins []route.Pin
+		base := len(pinArena)
+		fLen, bLen := 0, 0
 		if nFront > 0 {
-			frontPins = make([]route.Pin, 1, nFront+1)
-			frontPins[0] = drv
+			fLen = nFront + 1
 		}
 		if nBack > 0 {
-			backPins = make([]route.Pin, 1, nBack+1)
-			backPins[0] = drv
+			bLen = nBack + 1
 		}
+		pinArena = pinArena[:base+fLen+bLen]
+		if fLen > 0 {
+			frontPins = append(pinArena[base:base:base+fLen], drv)
+		}
+		if bLen > 0 {
+			backPins = append(pinArena[base+fLen:base+fLen:base+fLen+bLen], drv)
+		}
+		posStart := len(posArena)
 		for i, s := range n.Sinks {
 			p := route.Pin{ID: out.SinkIDs[n.Seq][i], At: pinAt(s), CapFF: out.SinkCapFF[n.Seq][i]}
 			if sideOf[i] == tech.Back {
+				posArena = append(posArena, int32(len(backPins))<<1|1)
 				backPins = append(backPins, p)
 			} else {
+				posArena = append(posArena, int32(len(frontPins))<<1)
 				frontPins = append(frontPins, p)
 			}
 		}
+		out.SinkPos[n.Seq] = posArena[posStart:len(posArena):len(posArena)]
 		if nFront > 0 {
-			out.Front = append(out.Front, &route.Net{Name: n.Name, Pins: frontPins})
+			netArena = append(netArena, route.Net{Name: n.Name, Pins: frontPins})
+			out.Front = append(out.Front, &netArena[len(netArena)-1])
 		}
 		if nBack > 0 {
-			out.Back = append(out.Back, &route.Net{Name: n.Name, Pins: backPins})
+			netArena = append(netArena, route.Net{Name: n.Name, Pins: backPins})
+			out.Back = append(out.Back, &netArena[len(netArena)-1])
 		}
 	}
 	return out, nil
 }
 
-// pinIDOf renders the flow-wide routed pin naming ("inst/pin", ports as
-// "PIN/name") used for route.Pin IDs, tree PinNode keys, extraction
-// SinkIDs, and DEF net pins (split back apart by flow.go's splitPinID).
-func pinIDOf(ref netlist.PinRef) string {
-	if ref.IsPort() {
-		return "PIN/" + ref.Port.Name
+// sortSinksByLegacyName fills dst (len 0, cap >= len(sinks)) with sink
+// indices ordered by the legacy rendered pin name — "inst/pin", ports as
+// "PIN/name" — without building any string. This is the canonical float
+// accumulation order of extraction; preserving it keeps every extracted
+// metric bit-identical to the string-keyed flow this replaced. Keys are
+// unique within a net (a pin appears on exactly one net position), so
+// the simple insertion sort is order-equivalent to any comparison sort.
+func sortSinksByLegacyName(dst []int32, sinks []netlist.PinRef) []int32 {
+	for i := range sinks {
+		dst = append(dst, int32(i))
 	}
-	return ref.Inst.Name + "/" + ref.Pin
+	for i := 1; i < len(dst); i++ {
+		for j := i; j > 0 && cmpLegacyPinName(sinks[dst[j]], sinks[dst[j-1]]) < 0; j-- {
+			dst[j], dst[j-1] = dst[j-1], dst[j]
+		}
+	}
+	return dst
+}
+
+// legacyNameParts returns the two halves of the legacy pin name; the
+// rendered form was head + "/" + tail.
+func legacyNameParts(r netlist.PinRef) (head, tail string) {
+	if r.IsPort() {
+		return "PIN", r.Port.Name
+	}
+	return r.Inst.Name, r.Pin
+}
+
+// cmpLegacyPinName compares two pins exactly as strings.Compare over
+// their rendered "head/tail" names would, walking the three virtual
+// segments without concatenating them.
+func cmpLegacyPinName(a, b netlist.PinRef) int {
+	ah, at := legacyNameParts(a)
+	bh, bt := legacyNameParts(b)
+	as := [3]string{ah, "/", at}
+	bs := [3]string{bh, "/", bt}
+	ai, ao := 0, 0
+	bi, bo := 0, 0
+	for {
+		for ai < 3 && ao == len(as[ai]) {
+			ai++
+			ao = 0
+		}
+		for bi < 3 && bo == len(bs[bi]) {
+			bi++
+			bo = 0
+		}
+		if ai == 3 || bi == 3 {
+			switch {
+			case ai == 3 && bi == 3:
+				return 0
+			case ai == 3:
+				return -1
+			default:
+				return 1
+			}
+		}
+		ca, cb := as[ai][ao], bs[bi][bo]
+		if ca != cb {
+			if ca < cb {
+				return -1
+			}
+			return 1
+		}
+		ao++
+		bo++
+	}
 }
 
 // PartitionStats summarizes a partition for reporting.

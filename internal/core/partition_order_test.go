@@ -1,0 +1,78 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+// legacyPinName renders the pre-refactor string pin id ("inst/pin",
+// ports as "PIN/name"); the allocation-free comparator must order
+// exactly like strings.Compare over these.
+func legacyPinName(r netlist.PinRef) string {
+	if r.IsPort() {
+		return "PIN/" + r.Port.Name
+	}
+	return r.Inst.Name + "/" + r.Pin
+}
+
+// TestCmpLegacyPinNameMatchesStrings drives the segment-walking
+// comparator with adversarial name pairs — prefixes, characters sorting
+// below and above '/', and port/instance mixes — and checks it agrees
+// with strings.Compare over the rendered concatenations in every
+// direction. This is the property that keeps extraction's float
+// accumulation order (and hence every FlowResult metric) bit-identical
+// to the string-keyed flow.
+func TestCmpLegacyPinNameMatchesStrings(t *testing.T) {
+	insts := []string{
+		"a", "ab", "a-b", "a.b", "a_b", "u1", "u10", "u2", "u_buf_1",
+		"PIN", "PINX", "PI", "z", "A", "", "u!x", "u/x",
+	}
+	pins := []string{"I", "A1", "A2", "Z", "ZN", "CP", "D", "", "a"}
+	var refs []netlist.PinRef
+	for _, in := range insts {
+		inst := &netlist.Instance{Name: in}
+		for _, p := range pins {
+			refs = append(refs, netlist.PinRef{Inst: inst, Pin: p})
+		}
+	}
+	for _, p := range []string{"clk", "x0", "x10", "x2", "out"} {
+		refs = append(refs, netlist.PinRef{Port: &netlist.Port{Name: p}})
+	}
+	for _, a := range refs {
+		for _, b := range refs {
+			want := strings.Compare(legacyPinName(a), legacyPinName(b))
+			if got := cmpLegacyPinName(a, b); got != want {
+				t.Fatalf("cmp(%q, %q) = %d, want %d",
+					legacyPinName(a), legacyPinName(b), got, want)
+			}
+		}
+	}
+}
+
+// TestSortSinksByLegacyNameOrder checks the arena-backed insertion sort
+// produces the exact permutation sorting the rendered names would.
+func TestSortSinksByLegacyNameOrder(t *testing.T) {
+	mk := func(inst, pin string) netlist.PinRef {
+		return netlist.PinRef{Inst: &netlist.Instance{Name: inst}, Pin: pin}
+	}
+	sinks := []netlist.PinRef{
+		mk("u10", "I"), mk("u2", "A1"), mk("u1", "ZN"),
+		{Port: &netlist.Port{Name: "out"}}, mk("u1", "A2"), mk("a-b", "I"),
+	}
+	got := sortSinksByLegacyName(make([]int32, 0, len(sinks)), sinks)
+	names := make([]string, len(sinks))
+	for i, s := range sinks {
+		names[i] = legacyPinName(s)
+	}
+	for i := 1; i < len(got); i++ {
+		if !(names[got[i-1]] < names[got[i]]) {
+			t.Fatalf("order %v not sorted by legacy name: %q !< %q",
+				got, names[got[i-1]], names[got[i]])
+		}
+	}
+	if len(got) != len(sinks) {
+		t.Fatalf("order has %d entries, want %d", len(got), len(sinks))
+	}
+}

@@ -152,11 +152,16 @@ func (d *Design) WirelengthByLayerNm() map[string]int64 {
 // extraction. Components and IO pins are deduplicated by name (they must
 // agree across sides); nets with the same name have their pins, wires and
 // vias unioned; special nets are concatenated; the die is the union box.
+//
+// The merge is two-pass: a counting pass over the input sides sizes
+// every merged slice exactly (per-net payloads are carved from three
+// shared arenas), so nothing grows by append and the whole merge costs a
+// fixed handful of allocations per design instead of thousands.
 func Merge(name string, sides ...*Design) (*Design, error) {
 	out := New(name)
-	// Size everything for the usual two-side merge up front; the maps and
-	// slices otherwise rehash/regrow thousands of times per flow.
-	maxComps, maxPins, maxNets := 0, 0, 0
+	// Pass 1: count rows, special nets, components, IO pins, and the
+	// per-unique-net pin/wire/via totals.
+	maxComps, maxPins, maxNets, nRows, nSNets := 0, 0, 0, 0, 0
 	for _, d := range sides {
 		if d == nil {
 			continue
@@ -164,11 +169,56 @@ func Merge(name string, sides ...*Design) (*Design, error) {
 		maxComps += len(d.Components)
 		maxPins += len(d.Pins)
 		maxNets += len(d.Nets)
+		nRows += len(d.Rows)
+		nSNets += len(d.SpecialNets)
+	}
+	type netCount struct{ pins, wires, vias int }
+	netIdx := make(map[string]int32, maxNets)
+	counts := make([]netCount, 0, maxNets)
+	netOrder := make([]string, 0, maxNets)
+	totPins, totWires, totVias := 0, 0, 0
+	for _, d := range sides {
+		if d == nil {
+			continue
+		}
+		for _, n := range d.Nets {
+			i, ok := netIdx[n.Name]
+			if !ok {
+				i = int32(len(counts))
+				netIdx[n.Name] = i
+				counts = append(counts, netCount{})
+				netOrder = append(netOrder, n.Name)
+			}
+			counts[i].pins += len(n.Pins) // dedup below only shrinks this
+			counts[i].wires += len(n.Wires)
+			counts[i].vias += len(n.Vias)
+			totPins += len(n.Pins)
+			totWires += len(n.Wires)
+			totVias += len(n.Vias)
+		}
+	}
+	// Pass 2: exact-size storage, then fill.
+	out.Rows = make([]Row, 0, nRows)
+	out.SpecialNets = make([]*SNet, 0, nSNets)
+	netStore := make([]Net, len(counts))
+	pinArena := make([]NetPin, 0, totPins)
+	wireArena := make([]Wire, 0, totWires)
+	viaArena := make([]Via, 0, totVias)
+	for i, name := range netOrder {
+		m := &netStore[i]
+		m.Name = name
+		c := counts[i]
+		m.Pins = pinArena[len(pinArena) : len(pinArena) : len(pinArena)+c.pins]
+		pinArena = pinArena[:len(pinArena)+c.pins]
+		m.Wires = wireArena[len(wireArena) : len(wireArena) : len(wireArena)+c.wires]
+		wireArena = wireArena[:len(wireArena)+c.wires]
+		if c.vias > 0 {
+			m.Vias = viaArena[len(viaArena) : len(viaArena) : len(viaArena)+c.vias]
+			viaArena = viaArena[:len(viaArena)+c.vias]
+		}
 	}
 	comps := make(map[string]*Component, maxComps)
 	pins := make(map[string]*IOPin, maxPins)
-	nets := make(map[string]*Net, maxNets)
-	netOrder := make([]string, 0, maxNets)
 
 	for _, d := range sides {
 		if d == nil {
@@ -199,16 +249,7 @@ func Merge(name string, sides ...*Design) (*Design, error) {
 			out.SpecialNets = append(out.SpecialNets, &snCopy)
 		}
 		for _, n := range d.Nets {
-			m, ok := nets[n.Name]
-			if !ok {
-				m = &Net{
-					Name:  n.Name,
-					Pins:  make([]NetPin, 0, len(n.Pins)),
-					Wires: make([]Wire, 0, len(n.Wires)),
-				}
-				nets[n.Name] = m
-				netOrder = append(netOrder, n.Name)
-			}
+			m := &netStore[netIdx[n.Name]]
 			for _, p := range n.Pins {
 				if !containsPin(m.Pins, p) {
 					m.Pins = append(m.Pins, p)
@@ -237,8 +278,8 @@ func Merge(name string, sides ...*Design) (*Design, error) {
 		out.Pins = append(out.Pins, pins[n])
 	}
 	out.Nets = make([]*Net, 0, len(netOrder))
-	for _, n := range netOrder {
-		out.Nets = append(out.Nets, nets[n])
+	for i := range netStore {
+		out.Nets = append(out.Nets, &netStore[i])
 	}
 	return out, nil
 }

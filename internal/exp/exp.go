@@ -105,13 +105,19 @@ func (t *Table) CSV() string {
 
 // Suite owns the libraries and benchmark netlists shared by experiments.
 type Suite struct {
-	Scale   Scale
-	FFET    *cell.Library
-	CFET    *cell.Library
-	ffetNl  *netlist.Netlist
-	cfetNl  *netlist.Netlist
-	mu      sync.Mutex
-	results map[string]*core.FlowResult
+	Scale Scale
+	FFET  *cell.Library
+	CFET  *cell.Library
+	// MaxParallel bounds the goroutine pool sweep experiments fan their
+	// flow runs over (the flow is deterministic and data-race-free, so
+	// points are independent). 0 picks min(GOMAXPROCS, 12); 1 forces
+	// serial execution. Tables are byte-identical at any setting —
+	// results land by sweep index, never by completion order.
+	MaxParallel int
+	ffetNl      *netlist.Netlist
+	cfetNl      *netlist.Netlist
+	mu          sync.Mutex
+	results     map[string]*core.FlowResult
 }
 
 // NewSuite builds libraries and the RISC-V benchmark core for both archs.
@@ -178,11 +184,12 @@ type runSpec struct {
 	cfg  core.FlowConfig
 }
 
-// runAll executes specs in parallel, preserving order.
+// runAll executes specs over the suite's bounded goroutine pool,
+// preserving order.
 func (s *Suite) runAll(specs []runSpec) ([]*core.FlowResult, error) {
 	out := make([]*core.FlowResult, len(specs))
 	errs := make([]error, len(specs))
-	sem := make(chan struct{}, maxParallel())
+	sem := make(chan struct{}, s.maxParallel())
 	var wg sync.WaitGroup
 	for i, spec := range specs {
 		wg.Add(1)
@@ -202,7 +209,10 @@ func (s *Suite) runAll(specs []runSpec) ([]*core.FlowResult, error) {
 	return out, nil
 }
 
-func maxParallel() int {
+func (s *Suite) maxParallel() int {
+	if s.MaxParallel > 0 {
+		return s.MaxParallel
+	}
 	n := runtime.GOMAXPROCS(0)
 	if n > 12 {
 		n = 12

@@ -125,6 +125,38 @@ func TestRunMemoization(t *testing.T) {
 	}
 }
 
+// TestParallelSweepMatchesSerial locks the parallel-sweep contract: the
+// bounded goroutine pool must be purely a wall-clock optimization. Two
+// fresh suites — one forced serial, one at full parallelism — run the
+// same multi-point sweep (Fig. 10's utilization sweep, the cheapest
+// table with several flow-backed points) and the rendered table text and
+// CSV must be byte-identical.
+func TestParallelSweepMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-flow sweep in -short mode")
+	}
+	render := func(maxParallel int) (string, string) {
+		s := quickSuite(t)
+		s.MaxParallel = maxParallel
+		tab, err := s.Fig10()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		tab.Print(&buf)
+		return buf.String(), tab.CSV()
+	}
+	serialTxt, serialCSV := render(1)
+	parTxt, parCSV := render(0)
+	if serialTxt != parTxt {
+		t.Errorf("parallel sweep table text diverges from serial:\n--- serial\n%s--- parallel\n%s",
+			serialTxt, parTxt)
+	}
+	if serialCSV != parCSV {
+		t.Errorf("parallel sweep CSV diverges from serial")
+	}
+}
+
 func TestCSVQuoting(t *testing.T) {
 	tab := &Table{
 		Header: []string{"plain", "with,comma"},

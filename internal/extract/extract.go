@@ -12,7 +12,6 @@ package extract
 
 import (
 	"math"
-	"sort"
 
 	"repro/internal/route"
 	"repro/internal/tech"
@@ -44,19 +43,27 @@ func DefaultOptions() Options {
 	}
 }
 
-// NetInput describes one net to extract. SinkIDs and SinkCapFF are
+// NetInput describes one net to extract. SinkPos and SinkCapFF are
 // parallel slices over the net's sinks, in the netlist's canonical sink
-// order; SinkIDs carries the routed pin naming so sinks can be located in
-// the per-side trees.
+// order; SinkPos locates each sink in the per-side routed trees by
+// dense position — no name-keyed lookup anywhere in extraction.
 type NetInput struct {
 	Name  string
 	Front *route.Tree // nil when the net has no frontside routing
 	Back  *route.Tree // nil when single-sided
-	// SinkIDs holds the routed pin ID of each sink ("inst/pin" or
-	// "PIN/port"), aligned with SinkCapFF and with NetRC.ElmorePs.
-	SinkIDs []string
+	// SinkPos packs each sink's routed location as
+	// (index into its side sub-net's Pins << 1) | side bit
+	// (0 front, 1 back); Tree.PinNode[index] is the sink's tree node.
+	// Aligned with SinkCapFF and with NetRC.ElmorePs.
+	SinkPos []int32
 	// SinkCapFF is the input capacitance (fF) of each sink.
 	SinkCapFF []float64
+	// Order is the canonical sink visit order (indices into the sink
+	// slices). Float accumulation into the capacitance totals follows
+	// it, so one fixed order keeps results reproducible no matter how
+	// sinks are listed; the flow passes the legacy sorted-by-pin-name
+	// order. nil means index order.
+	Order []int32
 }
 
 // NetRC is the extracted view consumed by STA and power analysis.
@@ -68,7 +75,8 @@ type NetRC struct {
 	// WireCapFF is the wire+stub portion only.
 	WireCapFF float64
 	// ElmorePs is the Elmore delay from the driver output to each sink,
-	// indexed like NetInput.SinkIDs (the net's canonical sink order).
+	// aligned with NetInput.SinkPos/SinkCapFF (the net's canonical sink
+	// order).
 	ElmorePs []float64
 	// WirelenNm is the total routed length across both sides.
 	WirelenNm int64
@@ -97,20 +105,8 @@ type Extractor struct {
 	down       []float64
 	elmore     []float64
 	order      []int32
-	sorter     sinkSorter // sink indices sorted by pin ID for order-stable walks
+	idx        []int32 // identity visit order when NetInput.Order is nil
 }
-
-// sinkSorter orders sink indices by pin ID. It lives inside the Extractor
-// so sorting allocates nothing (a sort closure would heap-allocate its
-// captures once per extracted net).
-type sinkSorter struct {
-	idx []int32
-	ids []string
-}
-
-func (s *sinkSorter) Len() int           { return len(s.idx) }
-func (s *sinkSorter) Swap(i, j int)      { s.idx[i], s.idx[j] = s.idx[j], s.idx[i] }
-func (s *sinkSorter) Less(i, j int) bool { return s.ids[s.idx[i]] < s.ids[s.idx[j]] }
 
 // NewExtractor returns an empty reusable extractor.
 func NewExtractor() *Extractor { return &Extractor{} }
@@ -132,7 +128,7 @@ func (x *Extractor) Extract(stack *tech.Stack, in NetInput, opt Options) *NetRC 
 // (flow callers pre-carve ElmorePs from one design-wide arena, so filling
 // a dense net-Seq-indexed []NetRC allocates nothing per net).
 func (x *Extractor) ExtractInto(dst *NetRC, stack *tech.Stack, in NetInput, opt Options) {
-	nSinks := len(in.SinkIDs)
+	nSinks := len(in.SinkCapFF)
 	el := dst.ElmorePs
 	if cap(el) < nSinks {
 		el = make([]float64, nSinks)
@@ -144,25 +140,28 @@ func (x *Extractor) ExtractInto(dst *NetRC, stack *tech.Stack, in NetInput, opt 
 	}
 	*dst = NetRC{Name: in.Name, ElmorePs: el}
 
-	// Sink visit order is sorted by pin ID everywhere below: float
-	// accumulation into TotalCapFF must follow one canonical order, or
+	// Sink visit order is the caller's canonical order everywhere below:
+	// float accumulation into TotalCapFF must follow one fixed order, or
 	// results drift by ULPs between otherwise-identical runs.
-	idx := x.sorter.idx[:0]
-	for i := 0; i < nSinks; i++ {
-		idx = append(idx, int32(i))
+	order := in.Order
+	if order == nil {
+		idx := x.idx[:0]
+		for i := 0; i < nSinks; i++ {
+			idx = append(idx, int32(i))
+		}
+		x.idx = idx
+		order = idx
 	}
-	x.sorter.idx, x.sorter.ids = idx, in.SinkIDs
-	sort.Sort(&x.sorter)
 
-	for _, t := range [2]*route.Tree{in.Front, in.Back} {
+	for side, t := range [2]*route.Tree{in.Front, in.Back} {
 		if t == nil {
 			continue
 		}
-		x.extractSide(stack, t, in, opt, dst)
+		x.extractSide(stack, t, in, opt, dst, int32(side), order)
 		dst.WirelenNm += t.WirelenNm
 	}
 	// Sinks with no routed tree (same-gcell or unrouted): local stub only.
-	for _, i := range idx {
+	for _, i := range order {
 		if dst.ElmorePs[i] < 0 {
 			c := in.SinkCapFF[i]
 			dst.ElmorePs[i] = opt.PinStubRKOhm * (c + opt.PinStubCfF)
@@ -192,8 +191,9 @@ func (x *Extractor) ensure(n int) {
 }
 
 // extractSide runs Elmore analysis over one side's tree and merges the
-// results into out.
-func (x *Extractor) extractSide(stack *tech.Stack, t *route.Tree, in NetInput, opt Options, out *NetRC) {
+// results into out. side is the tree's side bit (0 front, 1 back); only
+// sinks whose SinkPos carries that bit live in this tree.
+func (x *Extractor) extractSide(stack *tech.Stack, t *route.Tree, in NetInput, opt Options, out *NetRC, side int32, order []int32) {
 	n := len(t.Nodes)
 	if n == 0 {
 		return
@@ -237,13 +237,14 @@ func (x *Extractor) extractSide(stack *tech.Stack, t *route.Tree, in NetInput, o
 		out.WireCapFF += c
 		out.TotalCapFF += c
 	}
-	// Sorted walk (x.sinkIdx, prepared by ExtractInto): nodeCap/TotalCapFF
-	// are float accumulators, so the visit order must be canonical.
-	for _, i := range x.sorter.idx {
-		node, routed := t.PinNode[in.SinkIDs[i]]
-		if !routed {
-			continue
+	// Canonical-order walk: nodeCap/TotalCapFF are float accumulators,
+	// so the visit order must be the caller's fixed order.
+	for _, i := range order {
+		sp := in.SinkPos[i]
+		if sp&1 != side {
+			continue // sink lives in the other side's tree
 		}
+		node := t.PinNode[sp>>1]
 		c := in.SinkCapFF[i]
 		x.nodeCap[node] += c + opt.PinStubCfF
 		out.TotalCapFF += c + opt.PinStubCfF
@@ -253,18 +254,18 @@ func (x *Extractor) extractSide(stack *tech.Stack, t *route.Tree, in NetInput, o
 	// Downstream capacitance (post-order via reverse BFS order). The
 	// children graph is a tree rooted at DriverNode, so plain BFS needs no
 	// visited set.
-	order := x.order[:0]
-	order = append(order, int32(t.DriverNode))
-	for qh := 0; qh < len(order); qh++ {
-		u := order[qh]
+	bfs := x.order[:0]
+	bfs = append(bfs, int32(t.DriverNode))
+	for qh := 0; qh < len(bfs); qh++ {
+		u := bfs[qh]
 		for _, v := range x.childList[x.childStart[u]:x.childStart[u+1]] {
-			order = append(order, v)
+			bfs = append(bfs, v)
 		}
 	}
-	x.order = order
+	x.order = bfs
 	copy(x.down, x.nodeCap)
-	for i := len(order) - 1; i >= 0; i-- {
-		u := order[i]
+	for i := len(bfs) - 1; i >= 0; i-- {
+		u := bfs[i]
 		for _, v := range x.childList[x.childStart[u]:x.childStart[u+1]] {
 			x.down[u] += x.down[v]
 		}
@@ -285,7 +286,7 @@ func (x *Extractor) extractSide(stack *tech.Stack, t *route.Tree, in NetInput, o
 	}
 
 	x.elmore[t.DriverNode] = rootR * x.down[t.DriverNode]
-	for _, u := range order {
+	for _, u := range bfs {
 		for _, v := range x.childList[x.childStart[u]:x.childStart[u+1]] {
 			e := t.Edges[x.edgeIdx[v]]
 			lenUm := float64(e.LenNm) / 1000.0
@@ -298,11 +299,12 @@ func (x *Extractor) extractSide(stack *tech.Stack, t *route.Tree, in NetInput, o
 		}
 	}
 
-	for _, i := range x.sorter.idx {
-		node, routed := t.PinNode[in.SinkIDs[i]]
-		if !routed {
+	for _, i := range order {
+		sp := in.SinkPos[i]
+		if sp&1 != side {
 			continue
 		}
+		node := t.PinNode[sp>>1]
 		c := in.SinkCapFF[i]
 		// Sink escape: via stack back down to the pin.
 		descend := 0.0

@@ -12,6 +12,7 @@ import (
 var st = tech.NewFFET()
 
 // lineTree builds a 3-node path: driver - n1 - n2, 1µm per edge on FM2.
+// Pin positions: 0 = driver, 1 = near sink, 2 = far sink.
 func lineTree(layer tech.Layer) *route.Tree {
 	return &route.Tree{
 		Name:  "n",
@@ -20,25 +21,29 @@ func lineTree(layer tech.Layer) *route.Tree {
 			{From: 0, To: 1, Layer: layer, LenNm: 1000},
 			{From: 1, To: 2, Layer: layer, LenNm: 1000},
 		},
-		PinNode:    map[string]int{"d/Z": 0, "a/I": 1, "b/I": 2},
+		PinNode:    []int32{0, 1, 2},
 		DriverNode: 0,
 		WirelenNm:  2000,
 	}
 }
 
+// frontPos packs a frontside sink position; backPos the backside.
+func frontPos(pos int32) int32 { return pos << 1 }
+func backPos(pos int32) int32  { return pos<<1 | 1 }
+
 // twoSinks is the canonical dense sink table for lineTree nets:
-// index 0 = "a/I" (near), index 1 = "b/I" (far).
-func twoSinks() ([]string, []float64) {
-	return []string{"a/I", "b/I"}, []float64{0.2, 0.2}
+// index 0 = near sink (pin position 1), index 1 = far sink (position 2).
+func twoSinks() ([]int32, []float64) {
+	return []int32{frontPos(1), frontPos(2)}, []float64{0.2, 0.2}
 }
 
 func TestElmoreOrdering(t *testing.T) {
 	fm2 := st.MustLayer("FM2")
-	ids, caps := twoSinks()
+	pos, caps := twoSinks()
 	rc := Extract(st, NetInput{
 		Name:      "n",
 		Front:     lineTree(fm2),
-		SinkIDs:   ids,
+		SinkPos:   pos,
 		SinkCapFF: caps,
 	}, DefaultOptions())
 	if len(rc.ElmorePs) != 2 {
@@ -62,11 +67,11 @@ func TestElmoreOrdering(t *testing.T) {
 }
 
 func TestUpperLayerIsFaster(t *testing.T) {
-	ids, caps := twoSinks()
+	pos, caps := twoSinks()
 	lo := Extract(st, NetInput{Name: "n", Front: lineTree(st.MustLayer("FM2")),
-		SinkIDs: ids, SinkCapFF: caps}, DefaultOptions())
+		SinkPos: pos, SinkCapFF: caps}, DefaultOptions())
 	hi := Extract(st, NetInput{Name: "n", Front: lineTree(st.MustLayer("FM10")),
-		SinkIDs: ids, SinkCapFF: caps}, DefaultOptions())
+		SinkPos: pos, SinkCapFF: caps}, DefaultOptions())
 	if !(hi.ElmorePs[1] < lo.ElmorePs[1]) {
 		t.Errorf("FM10 (%.3f ps) must beat FM2 (%.3f ps)",
 			hi.ElmorePs[1], lo.ElmorePs[1])
@@ -77,10 +82,10 @@ func TestDualSidedJoinsAtDriver(t *testing.T) {
 	fm2, bm2 := st.MustLayer("FM2"), st.MustLayer("BM2")
 	front := lineTree(fm2)
 	back := lineTree(bm2)
-	back.PinNode = map[string]int{"d/Z": 0, "c/I": 2}
+	back.PinNode = []int32{0, 2} // driver, then one sink at the far node
 	rc := Extract(st, NetInput{
 		Name: "n", Front: front, Back: back,
-		SinkIDs:   []string{"a/I", "b/I", "c/I"},
+		SinkPos:   []int32{frontPos(1), frontPos(2), backPos(1)},
 		SinkCapFF: []float64{0.2, 0.2, 0.2},
 	}, DefaultOptions())
 	if len(rc.ElmorePs) != 3 {
@@ -99,7 +104,6 @@ func TestDualSidedJoinsAtDriver(t *testing.T) {
 func TestUnroutedSinkGetsStub(t *testing.T) {
 	rc := Extract(st, NetInput{
 		Name:      "n",
-		SinkIDs:   []string{"a/I"},
 		SinkCapFF: []float64{0.3},
 	}, DefaultOptions())
 	if rc.ElmorePs[0] <= 0 {
@@ -108,12 +112,12 @@ func TestUnroutedSinkGetsStub(t *testing.T) {
 }
 
 func TestEscapeCrowdingRaisesDelay(t *testing.T) {
-	ids, caps := twoSinks()
+	pos, caps := twoSinks()
 	mk := func(crowd float64) float64 {
 		tr := lineTree(st.MustLayer("FM2"))
 		tr.EscapeCrowding = crowd
 		rc := Extract(st, NetInput{Name: "n", Front: tr,
-			SinkIDs: ids, SinkCapFF: caps}, DefaultOptions())
+			SinkPos: pos, SinkCapFF: caps}, DefaultOptions())
 		return rc.ElmorePs[1]
 	}
 	if !(mk(1.0) > mk(0.0)) {
@@ -125,9 +129,9 @@ func TestEscapeCrowdingRaisesDelay(t *testing.T) {
 // ExtractInto on one destination reuses its Elmore backing array and
 // produces identical values run to run.
 func TestExtractIntoReusesStorage(t *testing.T) {
-	ids, caps := twoSinks()
+	pos, caps := twoSinks()
 	in := NetInput{Name: "n", Front: lineTree(st.MustLayer("FM2")),
-		SinkIDs: ids, SinkCapFF: caps}
+		SinkPos: pos, SinkCapFF: caps}
 	x := NewExtractor()
 	var rc NetRC
 	x.ExtractInto(&rc, st, in, DefaultOptions())

@@ -27,6 +27,9 @@ type Port struct {
 	Name string
 	Dir  PortDir
 	Net  *Net
+	// Seq is the port's position in Netlist.Ports, assigned at AddPort
+	// time; PinID packs it as the dense port identity.
+	Seq int
 	// Pos is the port's placed location on the core boundary (filled by
 	// floorplanning/IO placement).
 	Pos geom.Point
@@ -76,8 +79,10 @@ type Instance struct {
 	// it to keep per-instance state in flat slices instead of
 	// pointer-keyed maps.
 	Seq int
-	// conns maps pin name -> net.
-	conns map[string]*Net
+	// conns holds the net on each pin, indexed by the cell's canonical
+	// pin index (inputs in order, then the output; cell.Cell.PinIndex).
+	// nil entries are unconnected pins.
+	conns []*Net
 
 	// Physical state, managed by floorplan/placement.
 	Pos   geom.Point // lower-left corner
@@ -85,7 +90,16 @@ type Instance struct {
 }
 
 // Conn returns the net bound to the named pin (nil if unconnected).
-func (i *Instance) Conn(pin string) *Net { return i.conns[pin] }
+func (i *Instance) Conn(pin string) *Net {
+	idx := i.Cell.PinIndex(pin)
+	if idx < 0 {
+		return nil
+	}
+	return i.conns[idx]
+}
+
+// ConnAt returns the net bound to the canonical pin index.
+func (i *Instance) ConnAt(idx int) *Net { return i.conns[idx] }
 
 // PinNames returns the instance pin names in canonical cell order
 // (inputs first, then the output).
@@ -100,15 +114,13 @@ func (i *Instance) PinNames() []string {
 
 // InputNets returns the nets on the instance's input pins, canonical order.
 func (i *Instance) InputNets() []*Net {
-	out := make([]*Net, 0, len(i.Cell.Inputs))
-	for _, p := range i.Cell.Inputs {
-		out = append(out, i.conns[p.Name])
-	}
+	out := make([]*Net, len(i.Cell.Inputs))
+	copy(out, i.conns)
 	return out
 }
 
 // OutputNet returns the net driven by the instance (nil if unconnected).
-func (i *Instance) OutputNet() *Net { return i.conns[i.Cell.Out.Name] }
+func (i *Instance) OutputNet() *Net { return i.conns[len(i.Cell.Inputs)] }
 
 // Center returns the instance center point given its library stack height.
 func (i *Instance) Center() geom.Point {
@@ -147,7 +159,7 @@ func (nl *Netlist) AddPort(name string, dir PortDir) *Port {
 	if p, ok := nl.portByName[name]; ok {
 		return p
 	}
-	p := &Port{Name: name, Dir: dir}
+	p := &Port{Name: name, Dir: dir, Seq: len(nl.Ports)}
 	n := nl.EnsureNet(name)
 	p.Net = n
 	if dir == In {
@@ -187,29 +199,44 @@ func (nl *Netlist) AddInstance(name string, c *cell.Cell, conns map[string]strin
 	if _, dup := nl.instByName[name]; dup {
 		return nil, fmt.Errorf("netlist: duplicate instance %q", name)
 	}
-	inst := &Instance{Name: name, Cell: c, Seq: len(nl.Instances), conns: make(map[string]*Net, len(conns))}
-	// Process pins in sorted order, not map order: net creation order and
-	// per-net sink order must not depend on Go's randomized map iteration,
-	// or the whole flow downstream (placement, routing tie-breaks, PPA)
-	// becomes nondeterministic run to run.
-	var pinBuf [8]string // enough for every library cell; spills gracefully
-	pins := pinBuf[:0]
-	for pin := range conns {
-		pins = append(pins, pin)
+	// Validate every connection name before touching any net: an invalid
+	// name must not leave ghost sinks or a ghost driver behind.
+	matched := 0
+	for _, pi := range c.PinOrderByName() {
+		if _, ok := conns[c.PinName(pi)]; ok {
+			matched++
+		}
 	}
-	slices.Sort(pins)
-	for _, pin := range pins {
-		netName := conns[pin]
-		isOut := pin == c.Out.Name
-		if !isOut {
-			if _, ok := c.InputPin(pin); !ok {
-				return nil, fmt.Errorf("netlist: %s has no pin %q", c.Name, pin)
+	if matched != len(conns) {
+		// Some connection names no cell pin: report the first in sorted
+		// order, matching the pre-interning error.
+		var bad []string
+		for pin := range conns {
+			if c.PinIndex(pin) < 0 {
+				bad = append(bad, pin)
 			}
 		}
+		slices.Sort(bad)
+		return nil, fmt.Errorf("netlist: %s has no pin %q", c.Name, bad[0])
+	}
+	inst := &Instance{Name: name, Cell: c, Seq: len(nl.Instances), conns: make([]*Net, c.NumPins())}
+	// Process pins in sorted-name order, not map order: net creation order
+	// and per-net sink order must not depend on Go's randomized map
+	// iteration, or the whole flow downstream (placement, routing
+	// tie-breaks, PPA) becomes nondeterministic run to run. The sorted
+	// order is interned once per cell (cell.PinOrderByName), so no
+	// per-instance sort or scratch buffer is needed.
+	outIdx := c.OutIndex()
+	for _, pi := range c.PinOrderByName() {
+		pin := c.PinName(pi)
+		netName, ok := conns[pin]
+		if !ok {
+			continue
+		}
 		n := nl.EnsureNet(netName)
-		inst.conns[pin] = n
+		inst.conns[pi] = n
 		ref := PinRef{Inst: inst, Pin: pin}
-		if isOut {
+		if pi == outIdx {
 			if n.Driver != (PinRef{}) {
 				return nil, fmt.Errorf("netlist: net %q already driven by %s", netName, n.Driver)
 			}
@@ -310,7 +337,7 @@ func (nl *Netlist) Validate() error {
 			return fmt.Errorf("netlist: net %q has no driver", n.Name)
 		}
 		if !n.Driver.IsPort() {
-			if n.Driver.Inst.conns[n.Driver.Pin] != n {
+			if n.Driver.Inst.Conn(n.Driver.Pin) != n {
 				return fmt.Errorf("netlist: net %q driver back-reference broken", n.Name)
 			}
 		}
@@ -318,14 +345,14 @@ func (nl *Netlist) Validate() error {
 			if s.IsPort() {
 				continue
 			}
-			if s.Inst.conns[s.Pin] != n {
+			if s.Inst.Conn(s.Pin) != n {
 				return fmt.Errorf("netlist: net %q sink %s back-reference broken", n.Name, s)
 			}
 		}
 	}
 	for _, i := range nl.Instances {
-		for _, p := range i.Cell.Inputs {
-			if i.conns[p.Name] == nil {
+		for pi, p := range i.Cell.Inputs {
+			if i.conns[pi] == nil {
 				return fmt.Errorf("netlist: %s input %s dangling", i.Name, p.Name)
 			}
 		}
@@ -350,8 +377,10 @@ func (nl *Netlist) Remap(lib *cell.Library) (*Netlist, error) {
 			return nil, fmt.Errorf("netlist: target library lacks %s", i.Cell.Name)
 		}
 		conns := make(map[string]string, len(i.conns))
-		for pin, n := range i.conns {
-			conns[pin] = n.Name
+		for pi, n := range i.conns {
+			if n != nil {
+				conns[i.Cell.PinName(pi)] = n.Name
+			}
 		}
 		if _, err := out.AddInstance(i.Name, c, conns); err != nil {
 			return nil, err
@@ -387,8 +416,8 @@ func (nl *Netlist) TopoLevels() ([][]*Instance, []*Instance) {
 		}
 		comb++
 		deg := 0
-		for _, p := range i.Cell.Inputs {
-			n := i.conns[p.Name]
+		for pi := range i.Cell.Inputs {
+			n := i.conns[pi]
 			if n == nil || n.Driver.IsPort() {
 				continue
 			}
@@ -452,10 +481,11 @@ func (nl *Netlist) SortNetsByName() {
 // net, updating both sink lists. Used by buffering and clock tree
 // construction.
 func (nl *Netlist) Reconnect(inst *Instance, pin string, to *Net) error {
-	if _, ok := inst.Cell.InputPin(pin); !ok {
+	idx := inst.Cell.PinIndex(pin)
+	if idx < 0 || idx == inst.Cell.OutIndex() {
 		return fmt.Errorf("netlist: %s has no input pin %q", inst.Cell.Name, pin)
 	}
-	from := inst.conns[pin]
+	from := inst.conns[idx]
 	if from == to {
 		return nil
 	}
@@ -467,7 +497,7 @@ func (nl *Netlist) Reconnect(inst *Instance, pin string, to *Net) error {
 			}
 		}
 	}
-	inst.conns[pin] = to
+	inst.conns[idx] = to
 	to.Sinks = append(to.Sinks, PinRef{Inst: inst, Pin: pin})
 	return nil
 }

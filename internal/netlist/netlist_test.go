@@ -79,6 +79,18 @@ func TestUnknownPinRejected(t *testing.T) {
 	if err == nil {
 		t.Fatal("unknown pin must be rejected")
 	}
+	// The failed add must leave no ghost connections behind: the valid
+	// "ZN" entry in the rejected map must not have claimed net "n".
+	if n := nl.Net("n"); n != nil && n.Driver != (PinRef{}) {
+		t.Fatalf("rejected instance left net %q driven by %v", "n", n.Driver)
+	}
+	inst, err := nl.AddInstance("u2", testLib.MustCell("INVD1"), map[string]string{"I": "a", "ZN": "n"})
+	if err != nil {
+		t.Fatalf("driving %q after a rejected add: %v", "n", err)
+	}
+	if inst.OutputNet().Name != "n" {
+		t.Fatal("u2 output not bound to n")
+	}
 }
 
 func TestDuplicateInstanceRejected(t *testing.T) {
@@ -95,9 +107,10 @@ func TestValidateCatchesDangling(t *testing.T) {
 	nl := New("x", testLib)
 	nl.AddPort("a", In)
 	// Output connected, input "I" missing.
-	inst := &Instance{Name: "u1", Cell: testLib.MustCell("INVD1"), conns: map[string]*Net{}}
+	cellINV := testLib.MustCell("INVD1")
+	inst := &Instance{Name: "u1", Cell: cellINV, conns: make([]*Net, cellINV.NumPins())}
 	out := nl.EnsureNet("n1")
-	inst.conns["ZN"] = out
+	inst.conns[cellINV.PinIndex("ZN")] = out
 	out.Driver = PinRef{Inst: inst, Pin: "ZN"}
 	nl.Instances = append(nl.Instances, inst)
 	nl.instByName["u1"] = inst

@@ -1,0 +1,70 @@
+package netlist
+
+// PinID is the flow-wide packed identity of one routed pin endpoint. It
+// replaces the seed's rendered "inst/pin" strings: an instance pin packs
+// the instance's dense Seq with the cell's canonical pin index, and a
+// top-level port packs its dense position in Netlist.Ports under a flag
+// bit. Partition emits PinIDs, the router and extraction carry them
+// opaquely, and names are rendered only at the DEF serialization
+// boundary (Netlist.PinNames) — no string is ever built on the hot path.
+type PinID uint64
+
+const (
+	// pinIdxBits is the width reserved for the per-cell pin index; every
+	// library cell has at most a handful of pins, 256 is far above any
+	// realistic cell.
+	pinIdxBits = 8
+	pinIdxMask = (1 << pinIdxBits) - 1
+	// portFlag marks a top-level port id; the remaining bits hold the
+	// port's position in Netlist.Ports.
+	portFlag PinID = 1 << 63
+)
+
+// InstPinID packs an instance pin: the instance's Seq and the cell's
+// canonical pin index (cell.Cell.PinIndex).
+func InstPinID(instSeq, pinIdx int) PinID {
+	return PinID(instSeq)<<pinIdxBits | PinID(pinIdx&pinIdxMask)
+}
+
+// PortPinID packs a top-level port by its Seq (position in Ports).
+func PortPinID(portSeq int) PinID { return portFlag | PinID(portSeq) }
+
+// IsPort reports whether the id names a top-level port.
+func (id PinID) IsPort() bool { return id&portFlag != 0 }
+
+// InstSeq returns the instance Seq of an instance-pin id.
+func (id PinID) InstSeq() int { return int(id >> pinIdxBits) }
+
+// PinIndex returns the canonical cell pin index of an instance-pin id.
+func (id PinID) PinIndex() int { return int(id & pinIdxMask) }
+
+// PortSeq returns the port position of a port id.
+func (id PinID) PortSeq() int { return int(id &^ portFlag) }
+
+// ID packs the endpoint into its flow-wide PinID. It panics on a PinRef
+// whose pin name is not on its cell: packing would otherwise silently
+// truncate the -1 index into a wrong-but-plausible id, which — unlike
+// the rendered strings this replaced — would not be visibly corrupt in
+// the emitted DEF.
+func (p PinRef) ID() PinID {
+	if p.IsPort() {
+		return PortPinID(p.Port.Seq)
+	}
+	idx := p.Inst.Cell.PinIndex(p.Pin)
+	if idx < 0 {
+		panic("netlist: pin " + p.Pin + " is not on cell " + p.Inst.Cell.Name)
+	}
+	return InstPinID(p.Inst.Seq, idx)
+}
+
+// PinNames resolves a PinID to its DEF naming: the component name and
+// pin name for instance pins, or the DEF "PIN" pseudo-component and the
+// port name for ports. Both returned strings are references to existing
+// netlist strings — rendering a pin allocates nothing.
+func (nl *Netlist) PinNames(id PinID) (comp, pin string) {
+	if id.IsPort() {
+		return "PIN", nl.Ports[id.PortSeq()].Name
+	}
+	inst := nl.Instances[id.InstSeq()]
+	return inst.Name, inst.Cell.PinName(id.PinIndex())
+}

@@ -1,0 +1,91 @@
+package netlist
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestPinIDRoundTrip is the pack/unpack property test: for a large
+// random population of (instance Seq, pin index) pairs and port seqs,
+// packing then unpacking must return the inputs exactly, the port flag
+// must partition the two spaces, and distinct inputs must map to
+// distinct ids.
+func TestPinIDRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	type pair struct{ seq, idx int }
+	seen := make(map[PinID]pair)
+	for i := 0; i < 20000; i++ {
+		seq := rng.Intn(1 << 30)
+		idx := rng.Intn(256)
+		id := InstPinID(seq, idx)
+		if id.IsPort() {
+			t.Fatalf("InstPinID(%d,%d) claims to be a port", seq, idx)
+		}
+		if id.InstSeq() != seq || id.PinIndex() != idx {
+			t.Fatalf("InstPinID(%d,%d) round-trips to (%d,%d)",
+				seq, idx, id.InstSeq(), id.PinIndex())
+		}
+		if prev, dup := seen[id]; dup && prev != (pair{seq, idx}) {
+			t.Fatalf("id %v collides: (%d,%d) and (%d,%d)",
+				id, prev.seq, prev.idx, seq, idx)
+		}
+		seen[id] = pair{seq, idx}
+	}
+	for i := 0; i < 20000; i++ {
+		seq := rng.Intn(1 << 30)
+		id := PortPinID(seq)
+		if !id.IsPort() {
+			t.Fatalf("PortPinID(%d) not flagged as port", seq)
+		}
+		if id.PortSeq() != seq {
+			t.Fatalf("PortPinID(%d) round-trips to %d", seq, id.PortSeq())
+		}
+		if inst := InstPinID(seq, seq%256); inst == id {
+			t.Fatalf("port id %v collides with instance id space", id)
+		}
+	}
+	// Boundary values.
+	for _, seq := range []int{0, 1, 1<<40 - 1} {
+		for _, idx := range []int{0, 1, 255} {
+			id := InstPinID(seq, idx)
+			if id.InstSeq() != seq || id.PinIndex() != idx || id.IsPort() {
+				t.Fatalf("boundary (%d,%d) mangled: (%d,%d,port=%v)",
+					seq, idx, id.InstSeq(), id.PinIndex(), id.IsPort())
+			}
+		}
+	}
+}
+
+// TestPinRefIDAndNames walks a real netlist end to end: every driver and
+// sink PinRef must pack to an id that PinNames renders back to the
+// original instance/pin (or PIN/port) naming, and ids must be unique
+// across all net endpoints.
+func TestPinRefIDAndNames(t *testing.T) {
+	nl := buildSmall(t)
+	seen := make(map[PinID]string)
+	check := func(ref PinRef) {
+		id := ref.ID()
+		comp, pin := nl.PinNames(id)
+		if ref.IsPort() {
+			if comp != "PIN" || pin != ref.Port.Name {
+				t.Fatalf("port %s renders as %s/%s", ref.Port.Name, comp, pin)
+			}
+		} else if comp != ref.Inst.Name || pin != ref.Pin {
+			t.Fatalf("pin %s/%s renders as %s/%s", ref.Inst.Name, ref.Pin, comp, pin)
+		}
+		key := comp + "/" + pin
+		if prev, dup := seen[id]; dup && prev != key {
+			t.Fatalf("id %v names both %s and %s", id, prev, key)
+		}
+		seen[id] = key
+	}
+	for _, n := range nl.Nets {
+		check(n.Driver)
+		for _, s := range n.Sinks {
+			check(s)
+		}
+	}
+	if len(seen) == 0 {
+		t.Fatal("no endpoints checked")
+	}
+}

@@ -61,6 +61,40 @@ func BenchmarkRouterQuickCore(b *testing.B) {
 	}
 }
 
+// BenchmarkBuildTree measures converting committed grid edges into
+// layer-assigned RC trees for a routed quick-core-scale population — the
+// post-negotiation tail of every Run. The flat position-indexed pin-node
+// tables replaced the seed's per-net map[string]int; tree payloads and
+// the pin-node arena are preallocated outside the loop so the benchmark
+// isolates buildTree itself.
+func BenchmarkBuildTree(b *testing.B) {
+	core := geom.R(0, 0, 60_000, 60_000)
+	r, err := NewRouter(core, tech.Front, ffetFrontLayers(6), DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	nets := benchNets(600, 60_000, 11)
+	if _, err := r.Run(nets); err != nil {
+		b.Fatal(err)
+	}
+	totalPins := 0
+	for _, n := range nets {
+		totalPins += len(n.Pins)
+	}
+	pinArena := make([]int32, totalPins)
+	trees := make([]Tree, len(r.nets))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		carved := 0
+		for j, nr := range r.nets {
+			k := len(nr.net.Pins)
+			r.buildTree(nr, &trees[j], pinArena[carved:carved+k:carved+k])
+			carved += k
+		}
+	}
+}
+
 // TestAstarZeroAlloc pins the zero-allocation invariant of the A* core:
 // once the router's scratch arena and the net's edge slice have warmed
 // up, rip-up + reroute cycles must not allocate at all.

@@ -35,6 +35,7 @@ import (
 	"sort"
 
 	"repro/internal/geom"
+	"repro/internal/netlist"
 	"repro/internal/tech"
 )
 
@@ -81,9 +82,11 @@ func DefaultOptions() Options {
 	}
 }
 
-// Pin is one net endpoint on this side.
+// Pin is one net endpoint on this side. The router treats the packed
+// identity opaquely — it is carried through to the Tree so extraction
+// and DEF emission can resolve pins without any string plumbing.
 type Pin struct {
-	ID     string // "inst/pin" or "PIN/<port>"
+	ID     netlist.PinID // packed instance-pin or port identity
 	At     geom.Point
 	CapFF  float64 // sink input capacitance (0 for the driver)
 	Driver bool
@@ -108,8 +111,12 @@ type Tree struct {
 	Name  string
 	Nodes []geom.Point
 	Edges []TreeEdge // tree edges, rooted at the driver node
-	// PinNode maps pin IDs to node indices.
-	PinNode map[string]int
+	// Pins aliases the routed net's pin slice (driver first, then this
+	// side's sinks); PinNode[i] is the tree node index of Pins[i]. The
+	// flat table replaces the seed's per-net map[string]int keyed by
+	// rendered pin names.
+	Pins    []Pin
+	PinNode []int32
 	// DriverNode is the root node index.
 	DriverNode int
 	WirelenNm  int64
@@ -474,8 +481,21 @@ func (r *Router) Run(nets []*Net) (*Result, error) {
 		GridW:     r.g.w,
 		GridH:     r.g.h,
 	}
-	for _, nr := range order {
-		t := r.buildTree(nr)
+	// Tree structs and pin-node tables are carved from two flat arenas
+	// sized up front: the result owns them, and per-net allocation drops
+	// to just the Nodes/Edges payload slices.
+	totalPins := 0
+	for _, n := range nets {
+		totalPins += len(n.Pins)
+	}
+	treeStore := make([]Tree, len(order))
+	pinNodeArena := make([]int32, totalPins)
+	carved := 0
+	for i, nr := range order {
+		k := len(nr.net.Pins)
+		t := &treeStore[i]
+		r.buildTree(nr, t, pinNodeArena[carved:carved+k:carved+k])
+		carved += k
 		res.Trees[nr.net.Name] = t
 		res.WirelenNm += t.WirelenNm
 		for _, e := range t.Edges {

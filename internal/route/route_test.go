@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/geom"
+	"repro/internal/netlist"
 	"repro/internal/tech"
 )
 
@@ -18,7 +19,7 @@ func mkNet(name string, pts ...geom.Point) *Net {
 	n := &Net{Name: name}
 	for i, p := range pts {
 		n.Pins = append(n.Pins, Pin{
-			ID:     fmt.Sprintf("%s/p%d", name, i),
+			ID:     netlist.InstPinID(i, 0),
 			At:     p,
 			Driver: i == 0,
 			CapFF:  0.2,
@@ -77,9 +78,9 @@ func assertConnected(t *testing.T, tr *Tree) {
 			}
 		}
 	}
-	for id, node := range tr.PinNode {
-		if !seen[node] {
-			t.Errorf("pin %s node %d unreachable from driver", id, node)
+	for i, node := range tr.PinNode {
+		if !seen[int(node)] {
+			t.Errorf("pin %v (pos %d) node %d unreachable from driver", tr.Pins[i].ID, i, node)
 		}
 	}
 }
@@ -224,7 +225,8 @@ func TestDriverCountValidation(t *testing.T) {
 	core := geom.R(0, 0, 8000, 8000)
 	r, _ := NewRouter(core, tech.Front, ffetFrontLayers(12), DefaultOptions())
 	bad := &Net{Name: "bad", Pins: []Pin{
-		{ID: "a", At: geom.Pt(0, 0)}, {ID: "b", At: geom.Pt(100, 100)},
+		{ID: netlist.InstPinID(0, 0), At: geom.Pt(0, 0)},
+		{ID: netlist.InstPinID(1, 0), At: geom.Pt(100, 100)},
 	}}
 	if _, err := r.Run([]*Net{bad}); err == nil {
 		t.Fatal("net without driver must be rejected")

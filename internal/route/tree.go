@@ -75,16 +75,19 @@ func netSalt(name string) uint32 {
 }
 
 // buildTree converts a net's committed grid edges into a rooted RC tree
-// with layer assignment. All intermediate state (node ids, adjacency,
-// BFS bookkeeping) lives in the router's epoch-stamped scratch arrays;
-// only the returned Tree is allocated.
-func (r *Router) buildTree(nr *netRoute) *Tree {
+// with layer assignment, filling the caller-provided Tree and pin-node
+// table (pinNode must have len(nr.net.Pins) slots; Run carves both from
+// result-owned arenas). All intermediate state (node ids, adjacency, BFS
+// bookkeeping) lives in the router's epoch-stamped scratch arrays, so
+// only the Nodes/Edges payload slices are allocated here.
+func (r *Router) buildTree(nr *netRoute, t *Tree, pinNode []int32) {
 	g, s := r.g, r.sc
-	t := &Tree{
+	*t = Tree{
 		Name:    nr.net.Name,
 		Nodes:   make([]geom.Point, 0, len(nr.edges)+1),
 		Edges:   make([]TreeEdge, 0, len(nr.edges)),
-		PinNode: make(map[string]int, len(nr.net.Pins)),
+		Pins:    nr.net.Pins,
+		PinNode: pinNode,
 	}
 	s.beginTree()
 
@@ -192,12 +195,11 @@ func (r *Router) buildTree(nr *netRoute) *Tree {
 	}
 	s.tQueue = queue
 
-	// Bind pins to their gcell nodes.
-	for _, p := range nr.net.Pins {
+	// Bind pins to their gcell nodes, by pin position.
+	for i, p := range nr.net.Pins {
 		x, y := r.cellOf(p.At)
-		t.PinNode[p.ID] = ensureNode(int32(y*g.w + x))
+		t.PinNode[i] = int32(ensureNode(int32(y*g.w + x)))
 	}
-	return t
 }
 
 // demote drops one layer class.
