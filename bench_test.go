@@ -151,6 +151,58 @@ func BenchmarkSTAReuse(b *testing.B) {
 	}
 }
 
+// BenchmarkSweepShared contrasts the two ways of running the paper's
+// back-pin-fraction DoE (Fig. 11): "forked" runs the shared prefix
+// (synthesis through CTS) once in a staged core.Flow session and forks a
+// child per FP(1-x)BP(x) point at StagePartition; "independent" runs one
+// complete RunFlow per point, recomputing the prefix every time. Results
+// are bit-identical between the two; the forked sweep must show
+// measurably less work (allocs/op and ns/op) per sweep.
+func BenchmarkSweepShared(b *testing.B) {
+	s := getSuite(b)
+	nl, _, err := riscv.Generate(s.FFET, riscv.Config{Name: "rv32sweep", Registers: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	bps := []float64{0.5, 0.4, 0.3, 0.16, 0.04}
+	base := core.DefaultFlowConfig(tech.Pattern{Front: 12, Back: 12}, 1.5, 0.70)
+	base.BackPinFraction = bps[0]
+
+	b.Run("forked", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			f, err := core.NewFlow(nl, base)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := f.RunTo(core.StageCTS); err != nil {
+				b.Fatal(err)
+			}
+			for _, bp := range bps {
+				g, err := f.Fork(func(c *core.FlowConfig) { c.BackPinFraction = bp })
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := g.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("independent", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, bp := range bps {
+				cfg := base
+				cfg.BackPinFraction = bp
+				if _, err := core.RunFlow(nl, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
 // BenchmarkFlowSingleRun measures one complete physical implementation +
 // PPA flow on the quick-scale core (the unit of work behind every figure).
 // Each iteration varies the seed so memoization never short-circuits it.

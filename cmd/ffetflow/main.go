@@ -1,5 +1,6 @@
 // Command ffetflow runs one full physical implementation + PPA flow on the
-// generated RISC-V core and prints the result summary.
+// generated RISC-V core through the staged pipeline, printing per-stage
+// progress and the result summary.
 package main
 
 import (
@@ -22,6 +23,7 @@ func main() {
 	util := flag.Float64("util", 0.76, "placement utilization")
 	backPins := flag.Float64("backpins", 0, "backside input pin density ratio")
 	regs := flag.Int("regs", 32, "architectural registers (8/16/32)")
+	quiet := flag.Bool("quiet", false, "suppress per-stage progress lines")
 	flag.Parse()
 
 	st := tech.NewFFET()
@@ -36,10 +38,30 @@ func main() {
 	cfg := core.DefaultFlowConfig(tech.Pattern{Front: *front, Back: *back}, *target, *util)
 	cfg.BackPinFraction = *backPins
 	t0 := time.Now()
-	res, err := core.RunFlow(nl, cfg)
+	f, err := core.NewFlow(nl, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
+	// Drive the pipeline one stage at a time so progress (and the cost of
+	// each stage) is visible as it happens.
+	for s := core.StageSynth; int(s) < core.NumStages; s++ {
+		if err := f.RunTo(s); err != nil {
+			log.Fatalf("stage %v: %v", s, err)
+		}
+		res := f.Result()
+		if !*quiet {
+			fmt.Printf("  [%2d/%d] %-9s %8s", int(s)+1, core.NumStages, s,
+				res.StageTimes[s].Round(time.Microsecond))
+			if f.Halted() {
+				fmt.Printf("  (halted: %s)", res.Reason)
+			}
+			fmt.Println()
+		}
+		if f.Halted() {
+			break
+		}
+	}
+	res := f.Result()
 	fmt.Printf("arch=%s pattern=%s target=%.2fGHz util=%.0f%% backpins=%.0f%%\n",
 		st.Arch, cfg.Pattern, *target, *util*100, *backPins*100)
 	fmt.Printf("valid=%v reason=%q\n", res.Valid, res.Reason)

@@ -11,9 +11,11 @@
 //   - the full physical flow (Fig. 7): synthesis sizing, floorplan, BSPDN
 //     power planning with Power Tap Cells, placement, CTS, the Algorithm 1
 //     dual-sided netlist partition and per-side routing, DEF merge,
-//     dual-sided RC extraction, STA and power analysis;
+//     dual-sided RC extraction, STA and power analysis — as a one-shot
+//     RunFlow or as a checkpointable staged Flow session;
 //   - the experiment suite reproducing every table and figure of the
-//     paper's evaluation.
+//     paper's evaluation, with sweep points forked off shared flow
+//     prefixes.
 //
 // Quick start:
 //
@@ -23,6 +25,17 @@
 //	cfg.BackPinFraction = 0.5
 //	res, _ := ffet.RunFlow(nl, cfg)
 //	fmt.Println(res.AchievedFreqGHz, res.PowerUW)
+//
+// Staged sessions make parameter sweeps near-incremental: run the shared
+// prefix once, fork at the divergence stage:
+//
+//	f, _ := ffet.NewFlow(nl, cfg)
+//	f.RunTo(ffet.StageCTS) // synth + floorplan + powerplan + place + CTS
+//	for _, bp := range []float64{0.5, 0.3, 0.16} {
+//	    g, _ := f.Fork(func(c *ffet.FlowConfig) { c.BackPinFraction = bp })
+//	    res, _ := g.Run() // resumes at StagePartition; bit-identical to scratch
+//	    fmt.Println(bp, res.AchievedFreqGHz)
+//	}
 package ffet
 
 import (
@@ -48,6 +61,10 @@ type (
 	FlowConfig = core.FlowConfig
 	// FlowResult is the complete P&R + PPA outcome.
 	FlowResult = core.FlowResult
+	// Flow is a checkpointable staged flow session (RunTo / Fork / Run).
+	Flow = core.Flow
+	// Stage identifies one step of the staged pipeline.
+	Stage = core.Stage
 	// RV32Config sizes the generated benchmark core.
 	RV32Config = riscv.Config
 	// CoreInfo records generated core structure for co-simulation.
@@ -68,6 +85,23 @@ const (
 const (
 	Quick = exp.Quick
 	Full  = exp.Full
+)
+
+// Pipeline stages, in execution order.
+const (
+	StageSynth     = core.StageSynth
+	StageFloorplan = core.StageFloorplan
+	StagePowerplan = core.StagePowerplan
+	StagePlace     = core.StagePlace
+	StageCTS       = core.StageCTS
+	StagePartition = core.StagePartition
+	StageRoute     = core.StageRoute
+	StageDEF       = core.StageDEF
+	StageExtract   = core.StageExtract
+	StageSTA       = core.StageSTA
+	StagePower     = core.StagePower
+	// NumStages is the pipeline length (FlowResult.StageTimes size).
+	NumStages = core.NumStages
 )
 
 // NewFFETStack returns the 3.5T FFET stack of the paper's Table II.
@@ -96,6 +130,13 @@ func NewFlowConfig(p Pattern, targetGHz, util float64) FlowConfig {
 // RunFlow executes the full physical implementation + PPA flow.
 func RunFlow(nl *Netlist, cfg FlowConfig) (*FlowResult, error) {
 	return core.RunFlow(nl, cfg)
+}
+
+// NewFlow opens a checkpointable staged flow session: RunTo executes to
+// a stage boundary, Fork clones the session at the deepest stage a
+// config change leaves intact, Run completes the pipeline.
+func NewFlow(nl *Netlist, cfg FlowConfig) (*Flow, error) {
+	return core.NewFlow(nl, cfg)
 }
 
 // NewSuite builds the experiment suite at the given scale.

@@ -4,11 +4,10 @@ import (
 	"fmt"
 	"slices"
 	"strings"
-	"sync"
+	"time"
 
 	"repro/internal/cts"
 	"repro/internal/def"
-	"repro/internal/extract"
 	"repro/internal/floorplan"
 	"repro/internal/geom"
 	"repro/internal/netlist"
@@ -22,6 +21,10 @@ import (
 )
 
 // FlowConfig parameterizes one physical implementation + PPA run.
+//
+// Every field is consumed by exactly one earliest pipeline stage (see
+// Stage); Flow.Fork diffs two configs against that table to find the
+// deepest shared prefix two runs can reuse.
 type FlowConfig struct {
 	Name          string
 	Pattern       tech.Pattern // routing layers per side (e.g. FM12BM12)
@@ -57,6 +60,22 @@ func DefaultFlowConfig(pattern tech.Pattern, targetGHz, util float64) FlowConfig
 	}
 }
 
+// validateFlowConfig rejects structurally impossible configs and
+// normalizes defaulted knobs. Shared by NewFlow and Flow.Fork so a
+// mutated fork config passes exactly the checks a fresh session would.
+func validateFlowConfig(st *tech.Stack, cfg *FlowConfig) error {
+	if err := st.Validate(cfg.Pattern); err != nil {
+		return err
+	}
+	if cfg.BackPinFraction > 0 && cfg.Pattern.Back == 0 {
+		return fmt.Errorf("core: backside pins need backside routing layers")
+	}
+	if cfg.MaxDRVs <= 0 {
+		cfg.MaxDRVs = 10
+	}
+	return nil
+}
+
 // FlowResult is the complete outcome of one run.
 type FlowResult struct {
 	Config FlowConfig
@@ -86,6 +105,14 @@ type FlowResult struct {
 	PowerUW         float64
 	EffGHzPerW      float64
 
+	// StageTimes records the wall-clock spent in each pipeline stage,
+	// indexed by Stage. Forked sessions inherit the entries of the
+	// stages they reuse from their parent (the prefix was computed once;
+	// its cost is attributed to every run built on it). Deliberately
+	// excluded from golden artifacts — it is the one nondeterministic
+	// field here.
+	StageTimes [NumStages]time.Duration
+
 	// Artifacts.
 	FrontDEF  *def.Design
 	BackDEF   *def.Design
@@ -103,241 +130,19 @@ func (r *FlowResult) DRVs() int { return r.DRVsFront + r.DRVsBack }
 // Cells) -> placement -> CTS -> Algorithm 1 partition -> dual-sided
 // routing -> DEF merge -> dual-sided RC extraction -> STA -> power.
 //
+// It is a thin facade over the staged pipeline: NewFlow(nl, cfg).Run()
+// with checkpointing disabled (a one-shot run forks nothing, so it skips
+// the stage-boundary netlist snapshots a Flow session keeps).
+//
 // Invalid runs (tap-cell placement violations or DRVs >= MaxDRVs) return a
 // FlowResult with Valid=false rather than an error; errors indicate
 // malformed inputs.
 func RunFlow(nl *netlist.Netlist, cfg FlowConfig) (*FlowResult, error) {
-	lib := nl.Lib
-	st := lib.Stack
-	if err := st.Validate(cfg.Pattern); err != nil {
-		return nil, err
-	}
-	if cfg.BackPinFraction > 0 && cfg.Pattern.Back == 0 {
-		return nil, fmt.Errorf("core: backside pins need backside routing layers")
-	}
-	if cfg.MaxDRVs <= 0 {
-		cfg.MaxDRVs = 10
-	}
-	res := &FlowResult{Config: cfg, Arch: st.Arch}
-
-	// --- Synthesis sizing --------------------------------------------------
-	sopt := cfg.Synth
-	if sopt.TargetFreqGHz == 0 {
-		sopt = synth.DefaultOptions(cfg.TargetFreqGHz)
-	}
-	syn, err := synth.Run(nl, sopt)
+	f, err := newFlow(nl, cfg, false)
 	if err != nil {
 		return nil, err
 	}
-	work := syn.Netlist
-	res.SynthBuffers = syn.BuffersAdded
-
-	// --- Floorplan ----------------------------------------------------------
-	// Reserve ~2.5% headroom for clock tree buffers inserted after the
-	// floorplan is frozen, so the requested utilization refers to the
-	// post-CTS cell area (as the paper reports it).
-	fpArea := int64(float64(work.CellAreaNm2()) * 1.025)
-	fp, err := floorplan.New(st, fpArea, cfg.Utilization, cfg.AspectRatio)
-	if err != nil {
-		return nil, err
-	}
-	res.CoreAreaUm2 = fp.CoreAreaUm2()
-	res.CoreW, res.CoreH = fp.Core.W(), fp.Core.H()
-	res.CellAreaUm2 = work.CellAreaUm2()
-
-	// --- Powerplan ------------------------------------------------------------
-	pp, err := powerplan.Plan(fp, cfg.Pattern)
-	if err != nil {
-		return nil, err
-	}
-	if !pp.Feasible {
-		res.Reason = pp.Reason
-		return res, nil
-	}
-
-	// --- Placement + CTS ---------------------------------------------------------
-	popt := cfg.Place
-	if popt.GlobalIters == 0 {
-		popt = place.DefaultOptions()
-		popt.Seed = cfg.Seed
-	}
-	place.Global(work, fp, popt)
-	copt := cfg.CTS
-	if copt.MaxLeafFanout == 0 {
-		copt = cts.DefaultOptions()
-	}
-	ctsRes, err := cts.Run(work, fp, copt)
-	if err != nil {
-		return nil, err
-	}
-	res.CTSBuffers = ctsRes.Buffers
-	res.RealUtilization = float64(work.CellAreaNm2()) / float64(fp.Core.Area())
-	if err := place.Legalize(work, fp, pp.Blockages); err != nil {
-		res.Reason = fmt.Sprintf("placement violation: %v", err)
-		return res, nil
-	}
-	place.Refine(work, fp, pp.Blockages, 3)
-	res.HPWLUm = float64(place.HPWL(work, fp)) / 1000
-
-	// --- Algorithm 1: pin redistribution + netlist partition -----------------------
-	pa, err := AssignPins(lib, cfg.BackPinFraction, cfg.Seed, work)
-	if err != nil {
-		return nil, err
-	}
-	pinAt := func(ref netlist.PinRef) geom.Point { return pinLocation(ref, fp) }
-	sides, err := Partition(work, pa, cfg.Pattern, pinAt)
-	if err != nil {
-		return nil, err
-	}
-	res.PinStats = sides.Stats()
-	res.Rerouted = sides.Rerouted
-
-	// --- Dual-sided routing ----------------------------------------------------------
-	ropt := cfg.Route
-	if ropt.GCellNm == 0 {
-		ropt = route.DefaultOptions()
-	}
-	if st.Arch == tech.CFET && ropt.PinAccessFactor <= 1 {
-		// Every CFET pin is reached from the single frontside through a
-		// 4T-tall cell whose drain supervias block access tracks; the
-		// FFET's symmetric structure removes these (Section II.B).
-		ropt.PinAccessFactor = 1.5
-	}
-	// The two sides route concurrently: Algorithm 1 already split the
-	// nets into disjoint per-side tasks over independent grids ("the
-	// global & detailed routing are performed independently on both
-	// sides"), so dual-sided routing is embarrassingly parallel and the
-	// results are identical to routing the sides back to back.
-	var (
-		frontRes, backRes *route.Result
-		frontErr, backErr error
-		wg                sync.WaitGroup
-	)
-	runSide := func(side tech.Side, nets []*route.Net, out **route.Result, errOut *error) {
-		defer wg.Done()
-		layers := st.SideRoutingLayers(cfg.Pattern, side)
-		r, err := route.NewRouter(fp.Core, side, layers, ropt)
-		if err != nil {
-			*errOut = err
-			return
-		}
-		*out, *errOut = r.Run(nets)
-	}
-	if len(sides.Front) > 0 {
-		wg.Add(1)
-		go runSide(tech.Front, sides.Front, &frontRes, &frontErr)
-	}
-	if len(sides.Back) > 0 {
-		wg.Add(1)
-		go runSide(tech.Back, sides.Back, &backRes, &backErr)
-	}
-	wg.Wait()
-	if frontErr != nil {
-		return nil, frontErr
-	}
-	if backErr != nil {
-		return nil, backErr
-	}
-	if frontRes != nil {
-		res.DRVsFront = frontRes.DRVs
-		res.WirelenFrontUm = float64(frontRes.WirelenNm) / 1000
-		res.Vias += frontRes.ViaCount
-	}
-	if backRes != nil {
-		res.DRVsBack = backRes.DRVs
-		res.WirelenBackUm = float64(backRes.WirelenNm) / 1000
-		res.Vias += backRes.ViaCount
-	}
-	if res.DRVs() >= cfg.MaxDRVs {
-		res.Reason = fmt.Sprintf("routing violations: %d DRVs (front %d, back %d) >= %d",
-			res.DRVs(), res.DRVsFront, res.DRVsBack, cfg.MaxDRVs)
-		// Continue analysis anyway (the paper reports only valid points;
-		// callers filter on Valid).
-	}
-
-	// --- DEF generation + merge ---------------------------------------------------------
-	res.FrontDEF = buildDEF(work, fp, pp, frontRes, tech.Front, cfg)
-	res.BackDEF = buildDEF(work, fp, pp, backRes, tech.Back, cfg)
-	merged, err := def.Merge(work.Name, res.FrontDEF, res.BackDEF)
-	if err != nil {
-		return nil, err
-	}
-	res.MergedDEF = merged
-
-	// --- Dual-sided RC extraction ----------------------------------------------------------
-	// The extraction database is dense: one NetRC per net, indexed by the
-	// net's Seq, backed by a single contiguous store. STA and power read
-	// it by Seq — no name-keyed maps anywhere on the analysis tail.
-	eopt := extract.DefaultOptions()
-	rcStore := make([]extract.NetRC, len(work.Nets))
-	netRC := make([]*extract.NetRC, len(work.Nets))
-	// Pre-carve every net's Elmore storage from one flat arena; ExtractInto
-	// reuses storage of sufficient capacity, so the whole extraction makes
-	// three allocations total.
-	totalSinks := 0
-	for _, n := range work.Nets {
-		totalSinks += len(n.Sinks)
-	}
-	elArena := make([]float64, totalSinks)
-	carved := 0
-	for _, n := range work.Nets {
-		rcStore[n.Seq].ElmorePs = elArena[carved : carved+len(n.Sinks) : carved+len(n.Sinks)]
-		carved += len(n.Sinks)
-	}
-	ex := extract.NewExtractor()
-	for _, n := range work.Nets {
-		var ft, bt *route.Tree
-		if frontRes != nil {
-			ft = frontRes.Trees[n.Name]
-		}
-		if backRes != nil {
-			bt = backRes.Trees[n.Name]
-		}
-		ex.ExtractInto(&rcStore[n.Seq], st, extract.NetInput{
-			Name:      n.Name,
-			Front:     ft,
-			Back:      bt,
-			SinkPos:   sides.SinkPos[n.Seq],
-			SinkCapFF: sides.SinkCapFF[n.Seq],
-			Order:     sides.SinkOrder[n.Seq],
-		}, eopt)
-		netRC[n.Seq] = &rcStore[n.Seq]
-	}
-
-	// --- STA ---------------------------------------------------------------------------------
-	staOpt := cfg.STA
-	if staOpt.InputSlewPs == 0 {
-		staOpt = sta.DefaultOptions()
-	}
-	eng, err := sta.NewEngine(work)
-	if err != nil {
-		return nil, err
-	}
-	staRes, err := eng.Analyze(sta.Input{
-		NetRC:          netRC,
-		ClockArrivalPs: ctsRes.ArrivalPs,
-	}, staOpt)
-	if err != nil {
-		return nil, err
-	}
-	// Detach: FlowResults are memoized by exp.Suite, and the raw Result
-	// aliases the Engine's reusable storage (keeping it alive).
-	res.STA = staRes.Clone()
-	res.MinPeriodPs = staRes.MinPeriodPs
-	res.AchievedFreqGHz = staRes.AchievedFreqGHz
-
-	// --- Power -----------------------------------------------------------------------------------
-	pwOpt := cfg.Power
-	if pwOpt.Activity == 0 {
-		pwOpt = power.DefaultOptions()
-	}
-	pw := power.Analyze(work, st, netRC, res.AchievedFreqGHz, pwOpt)
-	res.Power = pw
-	res.PowerUW = pw.TotalUW
-	res.EffGHzPerW = pw.EfficiencyGHzPerW()
-
-	res.Valid = res.Reason == ""
-	return res, nil
+	return f.Run()
 }
 
 // pinLocation returns the physical location of a pin: port position or the
@@ -403,7 +208,12 @@ func buildDEF(nl *netlist.Netlist, fp *floorplan.Plan, pp *powerplan.Result, rr 
 	}
 	if rr != nil {
 		d.Nets = make([]*def.Net, 0, len(rr.Trees))
+		// Trees is net-Seq indexed; nets without a sub-net on this side
+		// are nil slots.
 		for _, tree := range rr.Trees {
+			if tree == nil {
+				continue
+			}
 			dn := &def.Net{
 				Name:  tree.Name,
 				Pins:  make([]def.NetPin, 0, len(tree.Pins)),

@@ -70,6 +70,12 @@ func flowArtifact(t *testing.T, res *FlowResult) string {
 		res.PinStats.FrontNets, res.PinStats.BackNets,
 		res.PinStats.FrontPins, res.PinStats.BackPins)
 	hash := func(k string, dd *def.Design) {
+		if dd == nil {
+			// Halted runs carry no DEF artifacts; keep the row so
+			// partial results stay comparable.
+			fmt.Fprintf(&b, "%s_def nil\n", k)
+			return
+		}
 		var buf bytes.Buffer
 		if err := dd.Write(&buf); err != nil {
 			t.Fatalf("write %s DEF: %v", k, err)

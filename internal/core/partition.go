@@ -276,11 +276,11 @@ func Partition(nl *netlist.Netlist, pa *PinAssignment, pattern tech.Pattern, pin
 		}
 		out.SinkPos[n.Seq] = posArena[posStart:len(posArena):len(posArena)]
 		if nFront > 0 {
-			netArena = append(netArena, route.Net{Name: n.Name, Pins: frontPins})
+			netArena = append(netArena, route.Net{Name: n.Name, Seq: n.Seq, Pins: frontPins})
 			out.Front = append(out.Front, &netArena[len(netArena)-1])
 		}
 		if nBack > 0 {
-			netArena = append(netArena, route.Net{Name: n.Name, Pins: backPins})
+			netArena = append(netArena, route.Net{Name: n.Name, Seq: n.Seq, Pins: backPins})
 			out.Back = append(out.Back, &netArena[len(netArena)-1])
 		}
 	}

@@ -13,8 +13,11 @@ import (
 
 	"repro/internal/cell"
 	"repro/internal/core"
+	"repro/internal/cts"
 	"repro/internal/netlist"
+	"repro/internal/place"
 	"repro/internal/riscv"
+	"repro/internal/synth"
 	"repro/internal/tech"
 )
 
@@ -114,19 +117,32 @@ type Suite struct {
 	// serial execution. Tables are byte-identical at any setting —
 	// results land by sweep index, never by completion order.
 	MaxParallel int
-	ffetNl      *netlist.Netlist
-	cfetNl      *netlist.Netlist
-	mu          sync.Mutex
-	results     map[string]*core.FlowResult
+	// DisablePrefixSharing forces every sweep point through a full
+	// from-scratch flow instead of forking staged sessions at their
+	// deepest shared stage. Sharing is purely a work optimization —
+	// forked runs are bit-identical to scratch runs — so this knob
+	// exists only for differential tests and apples-to-apples
+	// benchmarking of the sharing itself.
+	DisablePrefixSharing bool
+	ffetNl               *netlist.Netlist
+	cfetNl               *netlist.Netlist
+	mu                   sync.Mutex
+	results              map[runKey]*core.FlowResult
+	// synthRoots caches one staged session per synthesis-input class,
+	// run through StageSynth only: every sweep point in that class forks
+	// off it instead of re-running synthesis — across tables, not just
+	// within one sweep.
+	synthRoots map[synthKey]*synthRoot
 }
 
 // NewSuite builds libraries and the RISC-V benchmark core for both archs.
 func NewSuite(scale Scale) (*Suite, error) {
 	s := &Suite{
-		Scale:   scale,
-		FFET:    cell.NewLibrary(tech.NewFFET()),
-		CFET:    cell.NewLibrary(tech.NewCFET()),
-		results: make(map[string]*core.FlowResult),
+		Scale:      scale,
+		FFET:       cell.NewLibrary(tech.NewFFET()),
+		CFET:       cell.NewLibrary(tech.NewCFET()),
+		results:    make(map[runKey]*core.FlowResult),
+		synthRoots: make(map[synthKey]*synthRoot),
 	}
 	regs := 32
 	if scale == Quick {
@@ -153,29 +169,129 @@ func (s *Suite) netlistFor(arch tech.Arch) *netlist.Netlist {
 	return s.cfetNl
 }
 
-// runKey builds the memo key for a flow config.
-func runKey(arch tech.Arch, cfg core.FlowConfig) string {
-	return fmt.Sprintf("%v|%v|%.3f|%.3f|%.3f|%d",
-		arch, cfg.Pattern, cfg.TargetFreqGHz, cfg.Utilization, cfg.BackPinFraction, cfg.Seed)
+// runKey is the comparable memo key of a flow run: the architecture and
+// the entire FlowConfig (which is comparable) at full float precision,
+// minus only the cosmetic Name, which no stage reads. Embedding the
+// whole config means every result-affecting field — including MaxDRVs
+// and the per-stage option structs — keeps distinct memo entries. (The
+// old key stringified six fields at %.3f, so two configs closer than
+// 1e-3, or differing only in stage options, could collide on one
+// entry.)
+type runKey struct {
+	arch tech.Arch
+	cfg  core.FlowConfig
+}
+
+func keyOf(arch tech.Arch, cfg core.FlowConfig) runKey {
+	cfg.Name = ""
+	return runKey{arch: arch, cfg: cfg}
+}
+
+// synthKey identifies the synthesis-input class of a run: two configs in
+// the same class produce identical StageSynth output, so their sessions
+// can fork off one shared root.
+type synthKey struct {
+	arch   tech.Arch
+	target float64
+	synth  synth.Options
+}
+
+// prefixKey identifies the placed-and-clocked prefix class: configs in
+// the same class share everything through StageCTS and diverge only at
+// StagePartition or later (back-pin fraction, routing, analysis knobs).
+type prefixKey struct {
+	sk      synthKey
+	util    float64
+	aspect  float64
+	pattern tech.Pattern
+	seed    int64
+	place   place.Options
+	cts     cts.Options
+}
+
+func classify(arch tech.Arch, cfg core.FlowConfig) (synthKey, prefixKey) {
+	sk := synthKey{arch: arch, target: cfg.TargetFreqGHz, synth: cfg.Synth}
+	return sk, prefixKey{
+		sk:      sk,
+		util:    cfg.Utilization,
+		aspect:  cfg.AspectRatio,
+		pattern: cfg.Pattern,
+		seed:    cfg.Seed,
+		place:   cfg.Place,
+		cts:     cfg.CTS,
+	}
+}
+
+// synthRoot is a lazily-built shared session run through StageSynth.
+type synthRoot struct {
+	once sync.Once
+	flow *core.Flow
+	err  error
+}
+
+// lookup returns a memoized result, or nil.
+func (s *Suite) lookup(key runKey) *core.FlowResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.results[key]
+}
+
+// store memoizes a result (first writer wins, matching lookup).
+func (s *Suite) store(key runKey, res *core.FlowResult) *core.FlowResult {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r, ok := s.results[key]; ok {
+		return r
+	}
+	s.results[key] = res
+	return res
+}
+
+// synthRootFor returns the shared post-synthesis session of cfg's class,
+// building it on first use. The root is opened under a neutralized
+// config carrying only the class fields (arch, target, synth options):
+// the cached session (and in particular a cached error) must never
+// depend on per-point fields like Pattern or BackPinFraction, or one
+// invalid point would poison every later sweep of the same class.
+// Point-specific validation happens where it belongs, at the Fork that
+// adopts the point's full config.
+func (s *Suite) synthRootFor(arch tech.Arch, cfg core.FlowConfig) (*core.Flow, error) {
+	sk, _ := classify(arch, cfg)
+	s.mu.Lock()
+	root, ok := s.synthRoots[sk]
+	if !ok {
+		root = &synthRoot{}
+		s.synthRoots[sk] = root
+	}
+	s.mu.Unlock()
+	root.once.Do(func() {
+		rootCfg := core.DefaultFlowConfig(tech.Pattern{Front: 1}, sk.target, 0.70)
+		rootCfg.Synth = sk.synth
+		f, err := core.NewFlow(s.netlistFor(arch), rootCfg)
+		if err != nil {
+			root.err = err
+			return
+		}
+		if err := f.RunTo(core.StageSynth); err != nil {
+			root.err = err
+			return
+		}
+		root.flow = f
+	})
+	return root.flow, root.err
 }
 
 // Run executes (or recalls) one flow run.
 func (s *Suite) Run(arch tech.Arch, cfg core.FlowConfig) (*core.FlowResult, error) {
-	key := runKey(arch, cfg)
-	s.mu.Lock()
-	if r, ok := s.results[key]; ok {
-		s.mu.Unlock()
+	key := keyOf(arch, cfg)
+	if r := s.lookup(key); r != nil {
 		return r, nil
 	}
-	s.mu.Unlock()
 	res, err := core.RunFlow(s.netlistFor(arch), cfg)
 	if err != nil {
 		return nil, err
 	}
-	s.mu.Lock()
-	s.results[key] = res
-	s.mu.Unlock()
-	return res, nil
+	return s.store(key, res), nil
 }
 
 // runSpec is one point of a parallel sweep.
@@ -186,27 +302,155 @@ type runSpec struct {
 
 // runAll executes specs over the suite's bounded goroutine pool,
 // preserving order.
+//
+// Sweep points that share a flow prefix do not recompute it: pending
+// specs are grouped by synthesis class and by placed-and-clocked prefix
+// class, one staged session per class runs the shared stages once, and
+// each point forks off its class session at the divergence stage
+// (core.Flow.Fork) — the paper's sweeps (Figs. 9-13) only diverge at
+// floorplanning (utilization grids) or at the Algorithm 1 partition
+// (back-pin-fraction DoEs). Forked runs are bit-identical to
+// from-scratch runs, so tables are byte-identical to the unshared path
+// at any parallelism.
 func (s *Suite) runAll(specs []runSpec) ([]*core.FlowResult, error) {
 	out := make([]*core.FlowResult, len(specs))
-	errs := make([]error, len(specs))
+	// Dedupe pending work by memo key so one sweep never runs a point
+	// twice (tables routinely repeat a baseline config).
+	type pendingPoint struct {
+		spec runSpec
+		idxs []int
+	}
+	pending := make(map[runKey]*pendingPoint)
+	var pendingOrder []runKey
+	for i, spec := range specs {
+		key := keyOf(spec.arch, spec.cfg)
+		if r := s.lookup(key); r != nil {
+			out[i] = r
+			continue
+		}
+		p, ok := pending[key]
+		if !ok {
+			p = &pendingPoint{spec: spec}
+			pending[key] = p
+			pendingOrder = append(pendingOrder, key)
+		}
+		p.idxs = append(p.idxs, i)
+	}
+	if len(pending) == 0 {
+		return out, nil
+	}
+
 	sem := make(chan struct{}, s.maxParallel())
 	var wg sync.WaitGroup
-	for i, spec := range specs {
-		wg.Add(1)
-		go func(i int, spec runSpec) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			out[i], errs[i] = s.Run(spec.arch, spec.cfg)
-		}(i, spec)
+	var errMu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	finish := func(p *pendingPoint, res *core.FlowResult) {
+		res = s.store(keyOf(p.spec.arch, p.spec.cfg), res)
+		for _, i := range p.idxs {
+			out[i] = res
 		}
 	}
-	return out, nil
+	// runScratch is the unshared path: one full flow per point.
+	runScratch := func(p *pendingPoint) {
+		defer wg.Done()
+		sem <- struct{}{}
+		defer func() { <-sem }()
+		res, err := core.RunFlow(s.netlistFor(p.spec.arch), p.spec.cfg)
+		if err != nil {
+			fail(err)
+			return
+		}
+		finish(p, res)
+	}
+
+	if s.DisablePrefixSharing {
+		for _, key := range pendingOrder {
+			wg.Add(1)
+			go runScratch(pending[key])
+		}
+		wg.Wait()
+		return out, firstErr
+	}
+
+	// Group pending points by shared-prefix class.
+	type prefixGroup struct {
+		first  runSpec
+		points []*pendingPoint
+	}
+	groups := make(map[prefixKey]*prefixGroup)
+	var groupOrder []prefixKey
+	for _, key := range pendingOrder {
+		p := pending[key]
+		_, pk := classify(p.spec.arch, p.spec.cfg)
+		g, ok := groups[pk]
+		if !ok {
+			g = &prefixGroup{first: p.spec}
+			groups[pk] = g
+			groupOrder = append(groupOrder, pk)
+		}
+		g.points = append(g.points, p)
+	}
+
+	// runLeaf forks one point off its group session (placed + clocked)
+	// and runs the divergent tail: partition -> route -> ... -> power.
+	runLeaf := func(mid *core.Flow, p *pendingPoint) {
+		defer wg.Done()
+		sem <- struct{}{}
+		defer func() { <-sem }()
+		cfg := p.spec.cfg
+		leaf, err := mid.Fork(func(c *core.FlowConfig) { *c = cfg })
+		if err != nil {
+			fail(err)
+			return
+		}
+		res, err := leaf.Run()
+		if err != nil {
+			fail(err)
+			return
+		}
+		finish(p, res)
+	}
+	// runGroup builds the group's shared prefix (forked off the
+	// synthesis root, run through CTS) and fans its points out.
+	runGroup := func(g *prefixGroup) {
+		defer wg.Done()
+		sem <- struct{}{}
+		root, err := s.synthRootFor(g.first.arch, g.first.cfg)
+		if err != nil {
+			<-sem
+			fail(err)
+			return
+		}
+		first := g.first.cfg
+		mid, err := root.Fork(func(c *core.FlowConfig) { *c = first })
+		if err == nil {
+			err = mid.RunTo(core.StageCTS)
+		}
+		<-sem
+		if err != nil {
+			fail(err)
+			return
+		}
+		for _, p := range g.points {
+			wg.Add(1)
+			go runLeaf(mid, p)
+		}
+	}
+	// Singleton groups go through the staged path too: they still share
+	// synthesis via the cross-table root cache.
+	for _, pk := range groupOrder {
+		wg.Add(1)
+		go runGroup(groups[pk])
+	}
+	wg.Wait()
+	return out, firstErr
 }
 
 func (s *Suite) maxParallel() int {

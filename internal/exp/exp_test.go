@@ -2,6 +2,7 @@ package exp
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -154,6 +155,133 @@ func TestParallelSweepMatchesSerial(t *testing.T) {
 	}
 	if serialCSV != parCSV {
 		t.Errorf("parallel sweep CSV diverges from serial")
+	}
+}
+
+// sweepTable renders a Fig11-style table over a mixed
+// utilization × back-pin-fraction × arch sweep — points sharing a synth
+// prefix, points sharing a placed-and-clocked prefix, and a lone CFET
+// point — exercising every level of the fork tree.
+func sweepTable(t *testing.T, s *Suite) *Table {
+	t.Helper()
+	var specs []runSpec
+	for _, util := range []float64{0.70, 0.72} {
+		for _, bp := range []float64{0.5, 0.16} {
+			cfg := core.DefaultFlowConfig(tech.Pattern{Front: 12, Back: 12}, 1.5, util)
+			cfg.BackPinFraction = bp
+			specs = append(specs, runSpec{tech.FFET, cfg})
+		}
+	}
+	specs = append(specs, runSpec{tech.CFET, core.DefaultFlowConfig(tech.Pattern{Front: 12}, 1.5, 0.70)})
+	// Repeat the first point: memo dedup must hand back the same result.
+	specs = append(specs, specs[0])
+	rs, err := s.runAll(specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := &Table{
+		ID:     "forktest",
+		Title:  "fork-identity sweep",
+		Header: []string{"arch", "util %", "bp", "freq GHz", "power mW", "hpwl um", "wl F um", "wl B um", "drv", "valid"},
+	}
+	for i, r := range rs {
+		tab.Rows = append(tab.Rows, []string{
+			fmt.Sprintf("%v", specs[i].arch),
+			f1(r.Config.Utilization * 100),
+			f2(r.Config.BackPinFraction),
+			f3s(r.AchievedFreqGHz), f3s(r.PowerUW / 1000),
+			f1(r.HPWLUm), f1(r.WirelenFrontUm), f1(r.WirelenBackUm),
+			fmt.Sprintf("%d", r.DRVs()),
+			fmt.Sprintf("%v", r.Valid),
+		})
+	}
+	return tab
+}
+
+// TestForkedSweepMatchesScratch locks the fork-reuse contract at the
+// experiment level: a sweep fanned out as forked staged sessions
+// (shared synthesis root, shared placed-and-clocked prefixes) must
+// render byte-identical tables to a suite that runs every point from
+// scratch.
+func TestForkedSweepMatchesScratch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-flow sweep in -short mode")
+	}
+	render := func(disableSharing bool) (string, string) {
+		s := quickSuite(t)
+		s.DisablePrefixSharing = disableSharing
+		tab := sweepTable(t, s)
+		var buf bytes.Buffer
+		tab.Print(&buf)
+		return buf.String(), tab.CSV()
+	}
+	scratchTxt, scratchCSV := render(true)
+	forkedTxt, forkedCSV := render(false)
+	if scratchTxt != forkedTxt {
+		t.Errorf("forked sweep table diverges from scratch:\n--- scratch\n%s--- forked\n%s",
+			scratchTxt, forkedTxt)
+	}
+	if scratchCSV != forkedCSV {
+		t.Errorf("forked sweep CSV diverges from scratch")
+	}
+}
+
+// TestInvalidPointDoesNotPoisonClass guards the synth-root cache keying:
+// a structurally invalid sweep point must fail its own runAll call but
+// must not leave a cached error on its {arch, target, synth} class — a
+// later sweep of valid configs in the same class has to succeed.
+func TestInvalidPointDoesNotPoisonClass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("flow run in -short mode")
+	}
+	s := quickSuite(t)
+	bad := core.DefaultFlowConfig(tech.Pattern{Front: 12}, 1.5, 0.70)
+	bad.BackPinFraction = 0.5 // backside pins without backside layers
+	if _, err := s.runAll([]runSpec{{tech.FFET, bad}}); err == nil {
+		t.Fatal("invalid point must fail its sweep")
+	}
+	good := core.DefaultFlowConfig(tech.Pattern{Front: 12, Back: 12}, 1.5, 0.70)
+	good.BackPinFraction = 0.5
+	rs, err := s.runAll([]runSpec{{tech.FFET, good}})
+	if err != nil {
+		t.Fatalf("valid sweep in the same synth class failed after an invalid point: %v", err)
+	}
+	if len(rs) != 1 || rs[0] == nil || rs[0].AchievedFreqGHz <= 0 {
+		t.Fatal("valid sweep returned no usable result")
+	}
+}
+
+// TestRunKeyPrecision guards the memo key against the float collision
+// the old fmt.Sprintf("%.3f") key had: two configs 1e-4 apart in
+// utilization must occupy distinct memo entries.
+func TestRunKeyPrecision(t *testing.T) {
+	a := core.DefaultFlowConfig(tech.Pattern{Front: 6, Back: 6}, 1.5, 0.7000)
+	b := core.DefaultFlowConfig(tech.Pattern{Front: 6, Back: 6}, 1.5, 0.7001)
+	if keyOf(tech.FFET, a) == keyOf(tech.FFET, b) {
+		t.Error("distinct utilizations collide on one memo key")
+	}
+	if keyOf(tech.FFET, a) != keyOf(tech.FFET, a) {
+		t.Error("identical configs produce different keys")
+	}
+	if keyOf(tech.FFET, a) == keyOf(tech.CFET, a) {
+		t.Error("arch not part of the key")
+	}
+	// Stage options and MaxDRVs change results, so they must be keyed.
+	c := a
+	c.CTS.MaxLeafFanout = 12
+	if keyOf(tech.FFET, a) == keyOf(tech.FFET, c) {
+		t.Error("CTS options not part of the key")
+	}
+	d := a
+	d.MaxDRVs = 1
+	if keyOf(tech.FFET, a) == keyOf(tech.FFET, d) {
+		t.Error("MaxDRVs not part of the key")
+	}
+	// The cosmetic Name must not split memo entries.
+	e := a
+	e.Name = "renamed"
+	if keyOf(tech.FFET, a) != keyOf(tech.FFET, e) {
+		t.Error("Name must be excluded from the key")
 	}
 }
 

@@ -394,11 +394,84 @@ func (nl *Netlist) Remap(lib *cell.Library) (*Netlist, error) {
 	return out, nil
 }
 
-// Clone returns a deep copy bound to the same library.
+// Clone returns a deep copy bound to the same library. It rebuilds the
+// netlist by replaying AddPort/AddInstance (via Remap), so physical state
+// (instance and port positions, Fixed flags) is NOT carried over and net
+// creation order follows the replay, not the source's history. Use
+// Snapshot for an exact state-preserving copy.
 func (nl *Netlist) Clone() *Netlist {
 	out, err := nl.Remap(nl.Lib)
 	if err != nil {
 		panic("netlist: clone failed: " + err.Error())
+	}
+	return out
+}
+
+// Snapshot returns an exact deep copy of the netlist: every instance,
+// net and port is duplicated at the same Seq and slice position with its
+// physical state (Pos, Fixed, port positions), connection tables and
+// sink order preserved bit-for-bit. Mutating either copy never affects
+// the other. This is the checkpoint primitive of the staged flow
+// (core.Flow): placement and CTS mutate instances in place, so forking a
+// flow session at a stage boundary requires the netlist state at that
+// boundary, not a structural replay like Clone/Remap (which resets
+// positions and may reorder nets relative to the source's history).
+func (nl *Netlist) Snapshot() *Netlist {
+	out := &Netlist{
+		Name:       nl.Name,
+		Lib:        nl.Lib,
+		Instances:  make([]*Instance, len(nl.Instances)),
+		Nets:       make([]*Net, len(nl.Nets)),
+		Ports:      make([]*Port, len(nl.Ports)),
+		instByName: make(map[string]*Instance, len(nl.Instances)),
+		netByName:  make(map[string]*Net, len(nl.Nets)),
+		portByName: make(map[string]*Port, len(nl.Ports)),
+	}
+	netMap := make(map[*Net]*Net, len(nl.Nets))
+	for i, n := range nl.Nets {
+		nn := &Net{Name: n.Name, Seq: n.Seq, IsClock: n.IsClock}
+		out.Nets[i] = nn
+		out.netByName[n.Name] = nn
+		netMap[n] = nn
+	}
+	instMap := make(map[*Instance]*Instance, len(nl.Instances))
+	for i, inst := range nl.Instances {
+		ni := &Instance{
+			Name:  inst.Name,
+			Cell:  inst.Cell,
+			Seq:   inst.Seq,
+			Pos:   inst.Pos,
+			Fixed: inst.Fixed,
+			conns: make([]*Net, len(inst.conns)),
+		}
+		for j, c := range inst.conns {
+			if c != nil {
+				ni.conns[j] = netMap[c]
+			}
+		}
+		out.Instances[i] = ni
+		out.instByName[inst.Name] = ni
+		instMap[inst] = ni
+	}
+	portMap := make(map[*Port]*Port, len(nl.Ports))
+	for i, p := range nl.Ports {
+		np := &Port{Name: p.Name, Dir: p.Dir, Seq: p.Seq, Pos: p.Pos, Net: netMap[p.Net]}
+		out.Ports[i] = np
+		out.portByName[p.Name] = np
+		portMap[p] = np
+	}
+	ref := func(r PinRef) PinRef {
+		return PinRef{Inst: instMap[r.Inst], Pin: r.Pin, Port: portMap[r.Port]}
+	}
+	for i, n := range nl.Nets {
+		nn := out.Nets[i]
+		nn.Driver = ref(n.Driver)
+		if n.Sinks != nil {
+			nn.Sinks = make([]PinRef, len(n.Sinks))
+			for j, s := range n.Sinks {
+				nn.Sinks[j] = ref(s)
+			}
+		}
 	}
 	return out
 }

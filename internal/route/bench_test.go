@@ -14,7 +14,7 @@ func benchNets(n int, span int64, seed int64) []*Net {
 	rng := rand.New(rand.NewSource(seed))
 	nets := make([]*Net, 0, n)
 	for i := 0; i < n; i++ {
-		nets = append(nets, mkNet(fmt.Sprintf("n%d", i),
+		nets = append(nets, mkNet(i, fmt.Sprintf("n%d", i),
 			geom.Pt(rng.Int63n(span), rng.Int63n(span)),
 			geom.Pt(rng.Int63n(span), rng.Int63n(span))))
 	}
@@ -30,7 +30,7 @@ func BenchmarkAstarShortNet(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	net := mkNet("short", geom.Pt(100_500, 100_500), geom.Pt(106_500, 104_500))
+	net := mkNet(0, "short", geom.Pt(100_500, 100_500), geom.Pt(106_500, 104_500))
 	nr := &netRoute{net: net}
 	r.nets = []*netRoute{nr}
 	b.ReportAllocs()
@@ -104,7 +104,7 @@ func TestAstarZeroAlloc(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	net := mkNet("zn",
+	net := mkNet(0, "zn",
 		geom.Pt(20_500, 20_500), geom.Pt(44_500, 31_500), geom.Pt(28_500, 47_500))
 	nr := &netRoute{net: net}
 	r.nets = []*netRoute{nr}
@@ -134,7 +134,7 @@ func TestRouterReuse(t *testing.T) {
 	var nets []*Net
 	for i := 0; i < 260; i++ {
 		y := int64(500 + (i%4)*1000)
-		nets = append(nets, mkNet(fmt.Sprintf("n%d", i), geom.Pt(500, y), geom.Pt(29500, y)))
+		nets = append(nets, mkNet(i, fmt.Sprintf("n%d", i), geom.Pt(500, y), geom.Pt(29500, y)))
 	}
 	if _, err := r.Run(nets); err != nil {
 		t.Fatal(err)

@@ -95,6 +95,12 @@ type Pin struct {
 // Net is one routing task on this side.
 type Net struct {
 	Name string
+	// Seq is the design net's dense id (netlist.Net.Seq). The router
+	// treats it opaquely except for indexing Result.Trees by it; ids must
+	// be unique within one Run's net population. Both sub-nets of a
+	// partitioned dual-sided net carry the same Seq — they are routed in
+	// different Runs (one per side).
+	Seq  int
 	Pins []Pin // exactly one Driver pin
 }
 
@@ -130,8 +136,11 @@ type Tree struct {
 
 // Result is the outcome of routing one side.
 type Result struct {
-	Side        tech.Side
-	Trees       map[string]*Tree
+	Side tech.Side
+	// Trees is indexed by the routed net's Seq (dense design-net id);
+	// entries for nets absent from this side's population are nil. Use
+	// Tree for a bounds- and nil-safe lookup.
+	Trees       []*Tree
 	WirelenNm   int64
 	ByLayerNm   map[string]int64
 	ViaCount    int
@@ -139,6 +148,16 @@ type Result struct {
 	MaxOverflow int
 	GridW       int
 	GridH       int
+}
+
+// Tree returns the routed tree of the design net with the given Seq, or
+// nil when the net was not part of this side's population (or the
+// receiver itself is nil — a side with no routing task).
+func (r *Result) Tree(seq int) *Tree {
+	if r == nil || seq < 0 || seq >= len(r.Trees) {
+		return nil
+	}
+	return r.Trees[seq]
 }
 
 // grid is the 2.5-D routing graph for one side. Edges are addressed by
@@ -474,9 +493,15 @@ func (r *Router) Run(nets []*Net) (*Result, error) {
 		r.sweepPos = -1
 	}
 
+	maxSeq := -1
+	for _, n := range nets {
+		if n.Seq > maxSeq {
+			maxSeq = n.Seq
+		}
+	}
 	res := &Result{
 		Side:      r.side,
-		Trees:     make(map[string]*Tree, len(nets)),
+		Trees:     make([]*Tree, maxSeq+1),
 		ByLayerNm: make(map[string]int64),
 		GridW:     r.g.w,
 		GridH:     r.g.h,
@@ -496,7 +521,11 @@ func (r *Router) Run(nets []*Net) (*Result, error) {
 		t := &treeStore[i]
 		r.buildTree(nr, t, pinNodeArena[carved:carved+k:carved+k])
 		carved += k
-		res.Trees[nr.net.Name] = t
+		if res.Trees[nr.net.Seq] != nil {
+			return nil, fmt.Errorf("route: duplicate net Seq %d (%s and %s)",
+				nr.net.Seq, res.Trees[nr.net.Seq].Name, nr.net.Name)
+		}
+		res.Trees[nr.net.Seq] = t
 		res.WirelenNm += t.WirelenNm
 		for _, e := range t.Edges {
 			if e.Layer.Name != "" {

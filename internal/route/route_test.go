@@ -15,8 +15,8 @@ func ffetFrontLayers(n int) []tech.Layer {
 	return st.SideRoutingLayers(tech.Pattern{Front: n, Back: n}, tech.Front)
 }
 
-func mkNet(name string, pts ...geom.Point) *Net {
-	n := &Net{Name: name}
+func mkNet(seq int, name string, pts ...geom.Point) *Net {
+	n := &Net{Name: name, Seq: seq}
 	for i, p := range pts {
 		n.Pins = append(n.Pins, Pin{
 			ID:     netlist.InstPinID(i, 0),
@@ -34,12 +34,12 @@ func TestTwoPinRoute(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	net := mkNet("n1", geom.Pt(500, 500), geom.Pt(8500, 6500))
+	net := mkNet(0, "n1", geom.Pt(500, 500), geom.Pt(8500, 6500))
 	res, err := r.Run([]*Net{net})
 	if err != nil {
 		t.Fatal(err)
 	}
-	tr := res.Trees["n1"]
+	tr := res.Tree(0)
 	if tr == nil {
 		t.Fatal("no tree")
 	}
@@ -88,7 +88,7 @@ func assertConnected(t *testing.T, tr *Tree) {
 func TestMultiPinSteinerish(t *testing.T) {
 	core := geom.R(0, 0, 20000, 20000)
 	r, _ := NewRouter(core, tech.Front, ffetFrontLayers(12), DefaultOptions())
-	net := mkNet("fan",
+	net := mkNet(0, "fan",
 		geom.Pt(10000, 10000),
 		geom.Pt(2000, 2000), geom.Pt(18000, 2000),
 		geom.Pt(2000, 18000), geom.Pt(18000, 18000))
@@ -96,7 +96,7 @@ func TestMultiPinSteinerish(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tr := res.Trees["fan"]
+	tr := res.Tree(0)
 	assertConnected(t, tr)
 	// Tree sharing must beat 4 independent 2-pin routes.
 	independent := int64(4 * (8 + 8))
@@ -113,7 +113,7 @@ func TestCongestionForcesDetours(t *testing.T) {
 	var nets []*Net
 	for i := 0; i < 260; i++ {
 		y := int64(500 + (i%4)*1000)
-		nets = append(nets, mkNet(fmt.Sprintf("n%d", i),
+		nets = append(nets, mkNet(i, fmt.Sprintf("n%d", i),
 			geom.Pt(500, y), geom.Pt(29500, y)))
 	}
 	res, err := r.Run(nets)
@@ -140,7 +140,7 @@ func TestMoreLayersResolveCongestion(t *testing.T) {
 			x2 := rng.Int63n(30000)
 			y1 := rng.Int63n(3000)
 			y2 := rng.Int63n(3000)
-			nets = append(nets, mkNet(fmt.Sprintf("n%d", i),
+			nets = append(nets, mkNet(i, fmt.Sprintf("n%d", i),
 				geom.Pt(x1, y1), geom.Pt(x2, y2)))
 		}
 		res, err := r.Run(nets)
@@ -162,8 +162,8 @@ func TestMoreLayersResolveCongestion(t *testing.T) {
 func TestLayerAssignmentByNetLength(t *testing.T) {
 	core := geom.R(0, 0, 60000, 60000)
 	r, _ := NewRouter(core, tech.Front, ffetFrontLayers(12), DefaultOptions())
-	short := mkNet("short", geom.Pt(500, 500), geom.Pt(2500, 500))
-	long := mkNet("long", geom.Pt(500, 1500), geom.Pt(58000, 55000))
+	short := mkNet(0, "short", geom.Pt(500, 500), geom.Pt(2500, 500))
+	long := mkNet(1, "long", geom.Pt(500, 1500), geom.Pt(58000, 55000))
 	res, err := r.Run([]*Net{short, long})
 	if err != nil {
 		t.Fatal(err)
@@ -177,8 +177,8 @@ func TestLayerAssignmentByNetLength(t *testing.T) {
 		}
 		return m
 	}
-	si := maxIdx(res.Trees["short"])
-	li := maxIdx(res.Trees["long"])
+	si := maxIdx(res.Tree(0))
+	li := maxIdx(res.Tree(1))
 	if si > 4 {
 		t.Errorf("short net on M%d, want low metal", si)
 	}
@@ -190,12 +190,12 @@ func TestLayerAssignmentByNetLength(t *testing.T) {
 func TestReducedPatternClampsLayers(t *testing.T) {
 	core := geom.R(0, 0, 60000, 60000)
 	r, _ := NewRouter(core, tech.Front, ffetFrontLayers(3), DefaultOptions())
-	long := mkNet("long", geom.Pt(500, 1500), geom.Pt(58000, 55000))
+	long := mkNet(1, "long", geom.Pt(500, 1500), geom.Pt(58000, 55000))
 	res, err := r.Run([]*Net{long})
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, e := range res.Trees["long"].Edges {
+	for _, e := range res.Tree(1).Edges {
 		if e.Layer.Index > 3 {
 			t.Fatalf("edge on %s exceeds FM3 pattern", e.Layer.Name)
 		}
@@ -207,7 +207,7 @@ func TestPinBlockageReducesCapacity(t *testing.T) {
 	// Dense pins in one gcell, none elsewhere.
 	var nets []*Net
 	for i := 0; i < 30; i++ {
-		nets = append(nets, mkNet(fmt.Sprintf("p%d", i),
+		nets = append(nets, mkNet(i, fmt.Sprintf("p%d", i),
 			geom.Pt(4100, 4100), geom.Pt(4300+int64(i), 4500)))
 	}
 	r, _ := NewRouter(core, tech.Front, ffetFrontLayers(12), DefaultOptions())
@@ -240,7 +240,7 @@ func TestDeterministicRouting(t *testing.T) {
 		rng := rand.New(rand.NewSource(7))
 		var nets []*Net
 		for i := 0; i < 100; i++ {
-			nets = append(nets, mkNet(fmt.Sprintf("n%d", i),
+			nets = append(nets, mkNet(i, fmt.Sprintf("n%d", i),
 				geom.Pt(rng.Int63n(20000), rng.Int63n(20000)),
 				geom.Pt(rng.Int63n(20000), rng.Int63n(20000))))
 		}
