@@ -157,6 +157,26 @@ type Flow struct {
 	frontRes  *route.Result
 	backRes   *route.Result
 	netRC     []*extract.NetRC
+
+	// Incremental STA state. staEng is the session's timing engine,
+	// persisted as part of the StageSTA checkpoint: once this session's
+	// STA has run, forked children that resume at StagePartition or later
+	// (the netlist is shared read-only from there on, so the engine's
+	// graph tables stay valid) inherit a Fork of it plus the RC database
+	// it was timed against, and re-propagate only the cones their config
+	// delta actually dirtied. Each child gets its own clone of the
+	// engine's mutable arrival state, so concurrent forked children never
+	// share engine scratch.
+	staEng *sta.Engine
+	// baseRC is the extraction database staEng's retained state was
+	// computed under (the parent's post-STA view for a forked child; this
+	// session's own view once its STA has run).
+	baseRC []*extract.NetRC
+	// dirtyRC lists the net Seqs whose re-extracted view differs from
+	// baseRC; valid only when haveDirty is set (an empty dirty set is
+	// meaningful — it means no cone needs re-timing at all).
+	dirtyRC   []int32
+	haveDirty bool
 }
 
 // NewFlow opens a staged flow session over a technology-mapped netlist.
@@ -372,6 +392,34 @@ func (f *Flow) Fork(mutate func(*FlowConfig)) (*Flow, error) {
 	}
 	if resume > StageExtract {
 		child.netRC = f.netRC
+	}
+	// Incremental STA basis: once this session holds a timed state
+	// (its own StageSTA ran, or it inherited a basis it hasn't re-timed
+	// yet), a child resuming at StagePartition or later shares the same
+	// netlist, so the engine's graph tables are valid for it — hand it a
+	// clone of the propagation state plus the RC view that state was
+	// computed under. That view is baseRC, not netRC: a session forked
+	// between StageExtract and StageSTA has re-extracted (netRC is new)
+	// without re-timing, and diffing against the newer view would let
+	// stale cones survive. The child's StageExtract diffs its
+	// re-extracted view against baseRC and StageSTA re-times only the
+	// dirty cones. (Children resuming earlier get a netlist snapshot of
+	// their own; the engine is bound to the parent's instances and must
+	// not carry over.)
+	if resume >= StagePartition && f.staEng != nil && f.baseRC != nil {
+		// Only a child that will actually re-time (it resumes at or
+		// before StageSTA and isn't halted) mutates its engine, so only
+		// it pays for a clone of the propagation state. Every other
+		// child shares the parent's engine read-only: its own StageSTA
+		// never runs (an engine is mutated solely by its owning
+		// session's StageSTA, which executes at most once), and it only
+		// passes the state on to its own forks.
+		if resume <= StageSTA && !child.halted {
+			child.staEng = f.staEng.Fork()
+		} else {
+			child.staEng = f.staEng
+		}
+		child.baseRC = f.baseRC
 	}
 	return child, nil
 }
@@ -653,29 +701,57 @@ func (f *Flow) stageExtract() error {
 		netRC[n.Seq] = &rcStore[n.Seq]
 	}
 	f.netRC = netRC
+	// Report the changed-net set against the inherited timing basis:
+	// nets whose re-extracted view is bit-identical to the parent's are
+	// clean and their cones keep the parent's arrivals; everything else
+	// is dirty and gets re-propagated at StageSTA.
+	if f.baseRC != nil {
+		f.dirtyRC = extract.DiffRC(f.dirtyRC[:0], f.baseRC, netRC)
+		f.haveDirty = true
+	}
 	return nil
 }
 
-// stageSTA analyzes timing over the extracted RC database.
+// stageSTA analyzes timing over the extracted RC database. A session that
+// inherited a timing basis from its fork parent re-propagates only the
+// cones of nets whose RC changed (sta.Engine.Reanalyze); everything else
+// — including a session whose basis didn't survive the fork, or whose STA
+// options diverged — runs the full propagation. Both paths produce
+// bit-identical results; the incremental one just skips work.
 func (f *Flow) stageSTA() error {
 	staOpt := f.cfg.STA
 	if staOpt.InputSlewPs == 0 {
 		staOpt = sta.DefaultOptions()
 	}
-	eng, err := sta.NewEngine(f.work)
-	if err != nil {
-		return err
+	eng := f.staEng
+	if eng == nil {
+		var err error
+		if eng, err = sta.NewEngine(f.work); err != nil {
+			return err
+		}
 	}
-	staRes, err := eng.Analyze(sta.Input{
+	in := sta.Input{
 		NetRC:          f.netRC,
 		ClockArrivalPs: f.ctsRes.ArrivalPs,
-	}, staOpt)
+	}
+	// Analyze directly into a detached Result: FlowResults are memoized
+	// by exp.Suite, so the stored Result must not alias the Engine's
+	// reusable storage.
+	staRes := &sta.Result{}
+	var err error
+	if f.haveDirty {
+		err = eng.ReanalyzeInto(staRes, in, staOpt, f.dirtyRC)
+	} else {
+		err = eng.AnalyzeInto(staRes, in, staOpt)
+	}
 	if err != nil {
 		return err
 	}
-	// Detach: FlowResults are memoized by exp.Suite, and the raw Result
-	// aliases the Engine's reusable storage (keeping it alive).
-	f.res.STA = staRes.Clone()
+	// The engine now holds this session's post-STA state over f.netRC:
+	// persist both as the StageSTA checkpoint future forks seed from.
+	f.staEng = eng
+	f.baseRC = f.netRC
+	f.res.STA = staRes
 	f.res.MinPeriodPs = staRes.MinPeriodPs
 	f.res.AchievedFreqGHz = staRes.AchievedFreqGHz
 	return nil

@@ -398,14 +398,16 @@ func (s *Suite) runAll(specs []runSpec) ([]*core.FlowResult, error) {
 		g.points = append(g.points, p)
 	}
 
-	// runLeaf forks one point off its group session (placed + clocked)
-	// and runs the divergent tail: partition -> route -> ... -> power.
-	runLeaf := func(mid *core.Flow, p *pendingPoint) {
+	// runLeaf forks one point off its group session and runs the
+	// divergent tail: partition -> route -> ... -> power. When base is a
+	// completed leader run, the fork inherits its post-STA timing engine
+	// and the leaf re-times only the cones its config delta dirtied.
+	runLeaf := func(base *core.Flow, p *pendingPoint) {
 		defer wg.Done()
 		sem <- struct{}{}
 		defer func() { <-sem }()
 		cfg := p.spec.cfg
-		leaf, err := mid.Fork(func(c *core.FlowConfig) { *c = cfg })
+		leaf, err := base.Fork(func(c *core.FlowConfig) { *c = cfg })
 		if err != nil {
 			fail(err)
 			return
@@ -418,7 +420,13 @@ func (s *Suite) runAll(specs []runSpec) ([]*core.FlowResult, error) {
 		finish(p, res)
 	}
 	// runGroup builds the group's shared prefix (forked off the
-	// synthesis root, run through CTS) and fans its points out.
+	// synthesis root, run through CTS), runs the group's first point to
+	// completion as the leader, then fans the remaining points out as
+	// forks of the finished leader: every sibling inherits the leader's
+	// StageSTA checkpoint (timing engine + RC baseline) and pays only for
+	// the timing cones its own partition/routing delta touches. Forked
+	// runs are bit-identical to scratch runs, so the leader topology is
+	// invisible in the tables.
 	runGroup := func(g *prefixGroup) {
 		defer wg.Done()
 		sem <- struct{}{}
@@ -433,14 +441,31 @@ func (s *Suite) runAll(specs []runSpec) ([]*core.FlowResult, error) {
 		if err == nil {
 			err = mid.RunTo(core.StageCTS)
 		}
-		<-sem
 		if err != nil {
+			<-sem
 			fail(err)
 			return
 		}
-		for _, p := range g.points {
+		// Leader: the first pending point, run to completion while still
+		// holding the group's pool slot. Siblings fork off the finished
+		// session; if the leader can't run (per-point validation), they
+		// fall back to the placed-and-clocked prefix.
+		base := mid
+		leader := g.points[0]
+		leaderCfg := leader.spec.cfg
+		leaderFlow, err := mid.Fork(func(c *core.FlowConfig) { *c = leaderCfg })
+		if err != nil {
+			fail(err)
+		} else if res, err := leaderFlow.Run(); err != nil {
+			fail(err)
+		} else {
+			finish(leader, res)
+			base = leaderFlow
+		}
+		<-sem
+		for _, p := range g.points[1:] {
 			wg.Add(1)
-			go runLeaf(mid, p)
+			go runLeaf(base, p)
 		}
 	}
 	// Singleton groups go through the staged path too: they still share

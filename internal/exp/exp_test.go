@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/sta"
 	"repro/internal/tech"
 )
 
@@ -161,7 +162,11 @@ func TestParallelSweepMatchesSerial(t *testing.T) {
 // sweepTable renders a Fig11-style table over a mixed
 // utilization × back-pin-fraction × arch sweep — points sharing a synth
 // prefix, points sharing a placed-and-clocked prefix, and a lone CFET
-// point — exercising every level of the fork tree.
+// point — exercising every level of the fork tree, including the
+// incremental re-timing paths: back-pin deltas (dirty cones), a
+// validity-threshold delta whose re-route extracts bit-identically (empty
+// dirty set), and an STA-option delta (inherited engine must fall back to
+// a full pass under the new options).
 func sweepTable(t *testing.T, s *Suite) *Table {
 	t.Helper()
 	var specs []runSpec
@@ -172,6 +177,15 @@ func sweepTable(t *testing.T, s *Suite) *Table {
 			specs = append(specs, runSpec{tech.FFET, cfg})
 		}
 	}
+	drvs := core.DefaultFlowConfig(tech.Pattern{Front: 12, Back: 12}, 1.5, 0.70)
+	drvs.BackPinFraction = 0.5
+	drvs.MaxDRVs = 500
+	specs = append(specs, runSpec{tech.FFET, drvs})
+	staPt := core.DefaultFlowConfig(tech.Pattern{Front: 12, Back: 12}, 1.5, 0.70)
+	staPt.BackPinFraction = 0.5
+	staPt.STA = sta.DefaultOptions()
+	staPt.STA.InputSlewPs = 18
+	specs = append(specs, runSpec{tech.FFET, staPt})
 	specs = append(specs, runSpec{tech.CFET, core.DefaultFlowConfig(tech.Pattern{Front: 12}, 1.5, 0.70)})
 	// Repeat the first point: memo dedup must hand back the same result.
 	specs = append(specs, specs[0])

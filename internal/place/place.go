@@ -105,33 +105,30 @@ func Global(nl *netlist.Netlist, fp *floorplan.Plan, opt Options) {
 	}
 	fp.PlaceIOPorts(nl)
 
-	// One centroid workspace shared by every attraction pass: the
-	// accumulators are indexed by Instance.Seq, so the inner loop touches
-	// flat int64 slices instead of pointer-keyed maps (which dominated
-	// both allocation volume and GC time of the whole flow).
-	ws := newAttractWorkspace(len(nl.Instances))
+	// One workspace shared by every pass of the whole placement: centroid
+	// accumulators indexed by Instance.Seq (flat int64 slices instead of
+	// the pointer-keyed maps that dominated allocation volume and GC time
+	// of the whole flow), the movable-cell list every rankSpread pass
+	// re-sorts, and the spread density grid with its per-bin cell lists —
+	// all rebuilt in place instead of reallocated per pass.
+	ws := newGlobalWorkspace(len(nl.Instances))
 	for it := 0; it < opt.GlobalIters; it++ {
 		ws.attract(nl, fp, opt)
 		ws.attract(nl, fp, opt)
 		if it%2 == 1 || it == opt.GlobalIters-1 {
-			rankSpread(nl, fp)
+			ws.rankSpread(nl, fp)
 		}
 	}
 	// Local density cleanup then a last pull.
-	spread(nl, fp, opt)
+	ws.spread(nl, fp, opt)
 	ws.attract(nl, fp, opt)
 }
 
 // rankSpread redistributes cells uniformly along each axis by rank,
 // preserving relative order (Gordian-style linear scaling). It undoes the
 // central collapse of pure attraction while keeping neighborhoods intact.
-func rankSpread(nl *netlist.Netlist, fp *floorplan.Plan) {
-	var cells []*netlist.Instance
-	for _, inst := range nl.Instances {
-		if !inst.Fixed {
-			cells = append(cells, inst)
-		}
-	}
+func (ws *globalWorkspace) rankSpread(nl *netlist.Netlist, fp *floorplan.Plan) {
+	cells := ws.movableCells(nl)
 	if len(cells) < 2 {
 		return
 	}
@@ -163,26 +160,43 @@ func rankSpread(nl *netlist.Netlist, fp *floorplan.Plan) {
 	}
 }
 
-// attractWorkspace holds reusable centroid accumulators indexed by
-// Instance.Seq plus per-net endpoint buffers, so repeated attraction
-// passes allocate nothing.
-type attractWorkspace struct {
+// globalWorkspace holds every buffer the global-placement passes reuse:
+// centroid accumulators indexed by Instance.Seq, per-net endpoint
+// buffers, the movable-cell list, and the spread density grid. One
+// workspace serves a whole Global call, so repeated passes allocate
+// nothing.
+type globalWorkspace struct {
 	sumX, sumY, cnt []int64
 	pts             []geom.Point
 	insts           []*netlist.Instance
+	cells           []*netlist.Instance // movable cells, rebuilt in place per pass
+	bins            []densityBin        // spread density grid, per-bin lists reused
 }
 
-func newAttractWorkspace(n int) *attractWorkspace {
-	return &attractWorkspace{
+func newGlobalWorkspace(n int) *globalWorkspace {
+	return &globalWorkspace{
 		sumX: make([]int64, n),
 		sumY: make([]int64, n),
 		cnt:  make([]int64, n),
 	}
 }
 
+// movableCells rebuilds the reusable movable-cell list in instance order
+// (the order every pass's sort starts from, so reuse is bit-invisible).
+func (ws *globalWorkspace) movableCells(nl *netlist.Netlist) []*netlist.Instance {
+	cells := ws.cells[:0]
+	for _, inst := range nl.Instances {
+		if !inst.Fixed {
+			cells = append(cells, inst)
+		}
+	}
+	ws.cells = cells
+	return cells
+}
+
 // attract moves each movable instance toward the centroid of everything
 // it connects to.
-func (ws *attractWorkspace) attract(nl *netlist.Netlist, fp *floorplan.Plan, opt Options) {
+func (ws *globalWorkspace) attract(nl *netlist.Netlist, fp *floorplan.Plan, opt Options) {
 	for i := range ws.cnt {
 		ws.sumX[i] = 0
 		ws.sumY[i] = 0
@@ -244,8 +258,9 @@ func boolTo64(b bool) int64 {
 }
 
 // spread relieves overfull density bins by pushing cells toward the least
-// loaded neighbor bin.
-func spread(nl *netlist.Netlist, fp *floorplan.Plan, opt Options) {
+// loaded neighbor bin. The grid and its per-bin cell lists live in the
+// workspace: reset in place each call, never reallocated.
+func (ws *globalWorkspace) spread(nl *netlist.Netlist, fp *floorplan.Plan, opt Options) {
 	nb := opt.BinCount
 	if nb < 4 {
 		nb = 4
@@ -256,7 +271,15 @@ func spread(nl *netlist.Netlist, fp *floorplan.Plan, opt Options) {
 	if binW == 0 || binH == 0 {
 		return
 	}
-	bins := make([]densityBin, nb*nb)
+	if cap(ws.bins) < nb*nb {
+		ws.bins = make([]densityBin, nb*nb)
+	}
+	bins := ws.bins[:nb*nb]
+	for i := range bins {
+		bins[i].area = 0
+		bins[i].cells = bins[i].cells[:0]
+	}
+	ws.bins = bins
 	idx := func(p geom.Point) int {
 		bx := int(geom.Clamp64(p.X/binW, 0, int64(nb-1)))
 		by := int(geom.Clamp64(p.Y/binH, 0, int64(nb-1)))

@@ -8,9 +8,15 @@
 // Engine levelizes the combinational graph once and snapshots every
 // netlist-derived lookup (timing arcs, net fanin/fanout indices, flop
 // endpoints) into flat Seq-indexed arrays; repeated Analyze calls then
-// propagate arrivals over epoch-stamped scratch without allocating, which
-// is what makes the paper's dense frequency/utilization sweeps cheap per
-// point.
+// propagate arrivals over epoch-stamped scratch without allocating.
+//
+// On top of the reusable build, the Engine is incremental: Analyze retains
+// the full propagation state (per-net arrivals/slews plus a per-endpoint
+// setup table), Fork clones that state into an independent child sharing
+// the immutable graph tables, and Reanalyze re-propagates only the forward
+// fanout cones of nets whose RC changed — the unit of work behind the
+// paper's dense frequency/DoE sweeps, where neighboring points differ in a
+// handful of nets.
 package sta
 
 import (
@@ -74,12 +80,32 @@ func (r *Result) Clone() *Result {
 	return &out
 }
 
+// ReStats summarizes what the last Analyze/Reanalyze call on an Engine
+// actually did — the observability hook incremental tests and benchmarks
+// assert against.
+type ReStats struct {
+	// Incremental is true when the call took the cone-re-propagation
+	// path; false for a full (re)analysis.
+	Incremental bool
+	// DirtyNets is the size of the dirty set handed to Reanalyze.
+	DirtyNets int
+	// RecomputedCells counts combinational cells whose output was
+	// re-evaluated (full analysis: every driven cell).
+	RecomputedCells int
+	// RecomputedEndpoints counts flop setup checks re-evaluated.
+	RecomputedEndpoints int
+}
+
 // Engine is a reusable analyzer bound to one netlist snapshot. Building it
 // levelizes the combinational graph and flattens every connectivity lookup
 // the propagation needs; Analyze afterwards runs without allocations. The
 // Engine caches connectivity, so it must be rebuilt after netlist edits
-// (reconnects, buffer insertion, resizing). The level structure is kept —
-// it is the natural seed for incremental fanout-cone propagation.
+// (reconnects, buffer insertion, resizing).
+//
+// After an Analyze the Engine holds the complete propagation state of that
+// run; Reanalyze updates it in place for a changed RC view, and Fork
+// clones it for an independent session (shared immutable graph tables,
+// private mutable arrival/endpoint state).
 type Engine struct {
 	nl *netlist.Netlist
 
@@ -120,7 +146,34 @@ type Engine struct {
 	slew  []float64
 	from  []int32 // Seq of the instance that set the arrival; -1 at sources
 
-	res Result
+	// Per-endpoint setup state, aligned with flops: the required period
+	// and D-pin arrival of every constrained check from the last
+	// analysis. Keeping the whole table (not just the running max) is
+	// what lets Reanalyze handle cones whose slack improves — the worst
+	// endpoint is recomputed exactly over all entries, never monotonically.
+	endNeed []float64
+	endArr  []float64
+	endOK   []bool
+
+	// Reanalyze basis bookkeeping: the options and clock arrivals the
+	// retained state was computed under. A Reanalyze under different
+	// analysis conditions falls back to a full pass.
+	hasBase bool
+	baseOpt Options
+	baseClk []float64
+	// baseClkNil distinguishes a nil clock table (endpoint checks charge
+	// DefaultSkewPs) from a present-but-empty one (they don't).
+	baseClkNil bool
+
+	// Reanalyze dirty tracking, epoch-stamped like the arrival state:
+	// rcStamp marks nets whose RC changed this call, valStamp nets whose
+	// recomputed arrival or slew differs from the retained state.
+	reEpoch  uint32
+	rcStamp  []uint32
+	valStamp []uint32
+
+	stats ReStats
+	res   Result
 }
 
 // NewEngine levelizes the netlist and builds the dense timing graph.
@@ -197,6 +250,9 @@ func NewEngine(nl *netlist.Netlist) (*Engine, error) {
 	e.arr = make([]float64, nNet)
 	e.slew = make([]float64, nNet)
 	e.from = make([]int32, nNet)
+	e.endNeed = make([]float64, len(e.flops))
+	e.endArr = make([]float64, len(e.flops))
+	e.endOK = make([]bool, len(e.flops))
 	return e, nil
 }
 
@@ -213,19 +269,188 @@ func (e *Engine) arcRow(inst *netlist.Instance, pin string) (int32, bool) {
 	return -1, false
 }
 
-// Analyze runs STA and derives the minimum feasible clock period.
+// Fork clones the Engine's mutable propagation state — arrival epoch
+// arrays, endpoint tables, reanalysis basis — into an independent child
+// that shares the immutable graph tables (levelized order, arc/sink/flop
+// indices) with the parent. Forked engines may run concurrently with each
+// other and with the parent, as long as the parent itself is not analyzing
+// while children are being forked off it.
+func (e *Engine) Fork() *Engine {
+	c := *e
+	c.stamp = append([]uint32(nil), e.stamp...)
+	c.arr = append([]float64(nil), e.arr...)
+	c.slew = append([]float64(nil), e.slew...)
+	c.from = append([]int32(nil), e.from...)
+	c.endNeed = append([]float64(nil), e.endNeed...)
+	c.endArr = append([]float64(nil), e.endArr...)
+	c.endOK = append([]bool(nil), e.endOK...)
+	// The basis clock table is Engine-owned and rewritten by recordBase,
+	// so the child needs its own copy or a re-timing child would scribble
+	// over a concurrently-read parent buffer.
+	c.baseClk = append([]float64(nil), e.baseClk...)
+	// Dirty-tracking scratch is per-call state; the child rebuilds its own
+	// lazily. The result buffer must not alias the parent's path storage.
+	c.reEpoch, c.rcStamp, c.valStamp = 0, nil, nil
+	c.stats = ReStats{}
+	c.res = Result{}
+	return &c
+}
+
+// Stats reports what the last Analyze/Reanalyze call on this Engine did.
+func (e *Engine) Stats() ReStats { return e.stats }
+
+// Analyze runs full STA and derives the minimum feasible clock period.
 //
 // The returned Result (including its CriticalPath backing array) is owned
 // by the Engine and reused by the next Analyze call; clone it if it must
-// outlive that.
+// outlive that, or use AnalyzeInto to fill caller-owned storage.
 func (e *Engine) Analyze(in Input, opt Options) (*Result, error) {
-	nl := e.nl
-	e.beginEpoch()
-	e.res = Result{CriticalPath: e.res.CriticalPath[:0]}
-	res := &e.res
+	if err := e.AnalyzeInto(&e.res, in, opt); err != nil {
+		return nil, err
+	}
+	return &e.res, nil
+}
 
-	// Sources: primary inputs and flop Q outputs.
-	for _, p := range nl.Ports {
+// AnalyzeInto runs full STA into dst, reusing dst's CriticalPath storage
+// when its capacity suffices: a warmed caller-owned Result makes repeated
+// analysis allocation-free without borrowing Engine-owned storage.
+func (e *Engine) AnalyzeInto(dst *Result, in Input, opt Options) error {
+	e.beginEpoch()
+	e.stats = ReStats{}
+	e.seedSources(in, opt)
+	for _, inst := range e.order {
+		out := e.outSeq[inst.Seq]
+		if out < 0 {
+			continue
+		}
+		e.stats.RecomputedCells++
+		bestArr, bestSlew, ok := e.evalCell(inst, out, in, opt)
+		if !ok {
+			continue
+		}
+		e.set(out, bestArr, bestSlew, int32(inst.Seq))
+	}
+	for i, ff := range e.flops {
+		e.stats.RecomputedEndpoints++
+		e.checkEndpoint(i, ff, in, opt)
+	}
+	e.recordBase(in, opt)
+	return e.finishInto(dst, in)
+}
+
+// Reanalyze re-times the design after an RC change, given the dense set of
+// net Seqs whose extracted view differs from the one the Engine's retained
+// state was computed under (extract.DiffRC emits exactly that set; a net
+// absent from dirtyNets must be bit-identical in both views). Only the
+// forward fanout cones of dirty nets are re-propagated, over the existing
+// levelized order; everything outside the cones keeps its retained
+// arrivals, and the worst endpoint is recomputed exactly over the full
+// per-endpoint table — cones whose slack improves are handled, not just
+// degradations. The merged state, and therefore the Result, is bit-identical
+// to a full Analyze of the new view.
+//
+// A Reanalyze under different Options or clock arrivals than the retained
+// basis — or on an Engine with no retained state — falls back to a full
+// Analyze. The returned Result is Engine-owned like Analyze's.
+func (e *Engine) Reanalyze(in Input, opt Options, dirtyNets []int32) (*Result, error) {
+	if err := e.ReanalyzeInto(&e.res, in, opt, dirtyNets); err != nil {
+		return nil, err
+	}
+	return &e.res, nil
+}
+
+// ReanalyzeInto is Reanalyze filling caller-owned storage (see AnalyzeInto).
+func (e *Engine) ReanalyzeInto(dst *Result, in Input, opt Options, dirtyNets []int32) error {
+	if !e.hasBase || opt != e.baseOpt || !e.clkMatchesBase(in) {
+		return e.AnalyzeInto(dst, in, opt)
+	}
+	e.beginReEpoch()
+	e.stats = ReStats{Incremental: true, DirtyNets: len(dirtyNets)}
+	for _, s := range dirtyNets {
+		if s < 0 || int(s) >= len(e.rcStamp) {
+			// A Seq outside the engine's net table means the RC views
+			// disagree with the netlist this Engine was built on
+			// (extract.DiffRC reports exactly that for mismatched view
+			// sizes) — not a valid incremental basis. Honor the fallback
+			// contract instead of silently dropping the net.
+			return e.AnalyzeInto(dst, in, opt)
+		}
+		e.rcStamp[s] = e.reEpoch
+	}
+
+	// Re-seed flop Q sources whose output net's RC changed: the clk->Q
+	// delay depends on the net's load. Primary-input seeds are
+	// RC-independent and keep their retained values.
+	for i, ff := range e.flops {
+		q := e.qNet[i]
+		if q < 0 || e.rcStamp[q] != e.reEpoch {
+			continue
+		}
+		load := e.loadOf(q, in, opt)
+		d := ff.Cell.Seq.ClkQWorst(opt.ClockSlewPs, load)
+		arr := e.clkArr(in, ff.Seq) + d
+		slew := extract.SlewDegrade(opt.InputSlewPs, 0)
+		if e.stamp[q] != e.epoch || arr != e.arr[q] || slew != e.slew[q] {
+			e.valStamp[q] = e.reEpoch
+		}
+		e.set(q, arr, slew, int32(ff.Seq))
+	}
+
+	// Cone propagation over the levelized order: a cell re-evaluates iff
+	// its output net's RC changed (load), any fanin net's RC changed
+	// (wire delay / slew degradation into this cell), or any fanin's
+	// recomputed arrival differs from the retained state. Levelization
+	// guarantees every fanin's valStamp is final before its consumers are
+	// visited; a re-evaluation that reproduces the retained value
+	// bit-identically stops the cone right there.
+	for _, inst := range e.order {
+		out := e.outSeq[inst.Seq]
+		if out < 0 {
+			continue
+		}
+		need := e.rcStamp[out] == e.reEpoch
+		if !need {
+			for row := e.arcStart[inst.Seq]; row < e.arcStart[inst.Seq+1]; row++ {
+				if n := e.arcNet[row]; n >= 0 && (e.rcStamp[n] == e.reEpoch || e.valStamp[n] == e.reEpoch) {
+					need = true
+					break
+				}
+			}
+		}
+		if !need {
+			continue
+		}
+		e.stats.RecomputedCells++
+		bestArr, bestSlew, ok := e.evalCell(inst, out, in, opt)
+		if !ok {
+			// Whether a net is driven at all is structural, not
+			// RC-dependent: it was unset in the retained state too.
+			continue
+		}
+		if e.stamp[out] != e.epoch || bestArr != e.arr[out] || bestSlew != e.slew[out] {
+			e.valStamp[out] = e.reEpoch
+		}
+		e.set(out, bestArr, bestSlew, int32(inst.Seq))
+	}
+
+	// Endpoint checks: re-evaluate only flops whose D net is in a dirty
+	// cone (arrival changed) or carries changed RC (wire-to-D changed).
+	// All other entries of the endpoint table are still exact.
+	for i, ff := range e.flops {
+		d := e.dNet[i]
+		if d < 0 || (e.rcStamp[d] != e.reEpoch && e.valStamp[d] != e.reEpoch) {
+			continue
+		}
+		e.stats.RecomputedEndpoints++
+		e.checkEndpoint(i, ff, in, opt)
+	}
+	e.recordBase(in, opt)
+	return e.finishInto(dst, in)
+}
+
+// seedSources stamps arrivals at primary inputs and flop Q outputs.
+func (e *Engine) seedSources(in Input, opt Options) {
+	for _, p := range e.nl.Ports {
 		if p.Dir == netlist.In && p.Net != nil && !p.Net.IsClock {
 			e.set(int32(p.Net.Seq), 0, opt.InputSlewPs, -1)
 		}
@@ -239,89 +464,112 @@ func (e *Engine) Analyze(in Input, opt Options) (*Result, error) {
 		d := ff.Cell.Seq.ClkQWorst(opt.ClockSlewPs, load)
 		e.set(q, e.clkArr(in, ff.Seq)+d, extract.SlewDegrade(opt.InputSlewPs, 0), int32(ff.Seq))
 	}
+}
 
-	worstSlew := 0.0
-	// Propagation through combinational cells in levelized topo order.
-	for _, inst := range e.order {
-		out := e.outSeq[inst.Seq]
-		if out < 0 {
+// evalCell computes one combinational cell's output arrival and slew from
+// its stamped fanin nets — the single unit of propagation work, shared
+// verbatim by the full and the incremental pass so both produce
+// bit-identical values. ok is false when no fanin is driven.
+func (e *Engine) evalCell(inst *netlist.Instance, out int32, in Input, opt Options) (bestArr, bestSlew float64, ok bool) {
+	load := e.loadOf(out, in, opt)
+	bestArr = math.Inf(-1)
+	for row := e.arcStart[inst.Seq]; row < e.arcStart[inst.Seq+1]; row++ {
+		inNet := e.arcNet[row]
+		if inNet < 0 || e.stamp[inNet] != e.epoch {
+			continue // clock, unconnected, or undriven/constant-like
+		}
+		a := e.arcTab[row]
+		if a == nil {
 			continue
 		}
-		load := e.loadOf(out, in, opt)
-		bestArr := math.Inf(-1)
-		bestSlew := 0.0
-		for row := e.arcStart[inst.Seq]; row < e.arcStart[inst.Seq+1]; row++ {
-			inNet := e.arcNet[row]
-			if inNet < 0 || e.stamp[inNet] != e.epoch {
-				continue // clock, unconnected, or undriven/constant-like
-			}
-			a := e.arcTab[row]
-			if a == nil {
-				continue
-			}
-			wire := e.elmoreOf(inNet, e.arcSink[row], in)
-			sinkSlew := extract.SlewDegrade(e.slew[inNet], wire)
-			d := a.WorstDelay(sinkSlew, load)
-			cand := e.arr[inNet] + wire + d
-			if cand > bestArr {
-				bestArr = cand
-				outSlewR := a.SlewRise.Lookup(sinkSlew, load)
-				outSlewF := a.SlewFall.Lookup(sinkSlew, load)
-				bestSlew = math.Max(outSlewR, outSlewF)
-			}
-		}
-		if math.IsInf(bestArr, -1) {
-			continue
-		}
-		e.set(out, bestArr, bestSlew, int32(inst.Seq))
-		if bestSlew > worstSlew {
-			worstSlew = bestSlew
+		wire := e.elmoreOf(inNet, e.arcSink[row], in)
+		sinkSlew := extract.SlewDegrade(e.slew[inNet], wire)
+		d := a.WorstDelay(sinkSlew, load)
+		cand := e.arr[inNet] + wire + d
+		if cand > bestArr {
+			bestArr = cand
+			outSlewR := a.SlewRise.Lookup(sinkSlew, load)
+			outSlewF := a.SlewFall.Lookup(sinkSlew, load)
+			bestSlew = math.Max(outSlewR, outSlewF)
 		}
 	}
-	res.WorstSlewPs = worstSlew
+	if math.IsInf(bestArr, -1) {
+		return 0, 0, false
+	}
+	return bestArr, bestSlew, true
+}
 
-	// Endpoint checks at flop D pins: period >= arrival + setup - capture
-	// clock arrival (launch arrival already includes its clock insertion).
-	minPeriod := 0.0
-	critNet, critFF := int32(-1), -1
-	for i, ff := range e.flops {
-		dNet := e.dNet[i]
-		if dNet < 0 || e.stamp[dNet] != e.epoch {
+// checkEndpoint evaluates flop i's setup check into the per-endpoint
+// table: period >= arrival + setup - capture clock arrival (launch arrival
+// already includes its clock insertion).
+func (e *Engine) checkEndpoint(i int, ff *netlist.Instance, in Input, opt Options) {
+	dNet := e.dNet[i]
+	if dNet < 0 || e.stamp[dNet] != e.epoch {
+		e.endOK[i] = false
+		return
+	}
+	a := e.arr[dNet]
+	wire := e.elmoreOf(dNet, e.dSink[i], in)
+	need := a + wire + ff.Cell.Seq.SetupPs - e.clkArr(in, ff.Seq)
+	if in.ClockArrivalPs == nil {
+		need += opt.DefaultSkewPs
+	}
+	e.endNeed[i] = need
+	e.endArr[i] = a
+	e.endOK[i] = true
+}
+
+// finishInto reduces the propagation state and endpoint table into dst:
+// worst slew over all driven combinational outputs, the binding endpoint
+// (recomputed exactly over the whole table, so improved cones can unseat a
+// previously-critical check), and the traced critical path.
+func (e *Engine) finishInto(dst *Result, in Input) error {
+	*dst = Result{CriticalPath: dst.CriticalPath[:0]}
+	worstSlew := 0.0
+	for _, inst := range e.order {
+		out := e.outSeq[inst.Seq]
+		if out < 0 || e.stamp[out] != e.epoch {
 			continue
 		}
-		a := e.arr[dNet]
-		wire := e.elmoreOf(dNet, e.dSink[i], in)
-		need := a + wire + ff.Cell.Seq.SetupPs - e.clkArr(in, ff.Seq)
-		if in.ClockArrivalPs == nil {
-			need += opt.DefaultSkewPs
+		if e.slew[out] > worstSlew {
+			worstSlew = e.slew[out]
 		}
-		res.RegToReg++
-		if need > minPeriod {
-			minPeriod = need
-			critNet = dNet
+	}
+	dst.WorstSlewPs = worstSlew
+
+	minPeriod := 0.0
+	critNet, critFF := int32(-1), -1
+	for i := range e.flops {
+		if !e.endOK[i] {
+			continue
+		}
+		dst.RegToReg++
+		if e.endNeed[i] > minPeriod {
+			minPeriod = e.endNeed[i]
+			critNet = e.dNet[i]
 			critFF = i
 		}
-		if a > res.MaxArrivalPs {
-			res.MaxArrivalPs = a
+		if e.endArr[i] > dst.MaxArrivalPs {
+			dst.MaxArrivalPs = e.endArr[i]
 		}
 	}
 	if minPeriod <= 0 {
-		return nil, fmt.Errorf("sta: no constrained register-to-register paths")
+		return fmt.Errorf("sta: no constrained register-to-register paths")
 	}
-	res.MinPeriodPs = minPeriod
-	res.AchievedFreqGHz = 1000.0 / minPeriod
+	dst.MinPeriodPs = minPeriod
+	dst.AchievedFreqGHz = 1000.0 / minPeriod
 
 	// Trace the critical path backwards.
 	if critFF >= 0 {
-		res.CriticalPath = append(res.CriticalPath, PathPoint{Inst: e.flops[critFF].Name, ArrivalPs: minPeriod})
+		dst.CriticalPath = append(dst.CriticalPath, PathPoint{Inst: e.flops[critFF].Name, ArrivalPs: minPeriod})
 		n := critNet
 		for n >= 0 {
 			drvSeq := e.from[n]
 			if drvSeq < 0 {
 				break
 			}
-			drv := nl.Instances[drvSeq]
-			res.CriticalPath = append(res.CriticalPath, PathPoint{Inst: drv.Name, ArrivalPs: e.arr[n]})
+			drv := e.nl.Instances[drvSeq]
+			dst.CriticalPath = append(dst.CriticalPath, PathPoint{Inst: drv.Name, ArrivalPs: e.arr[n]})
 			if drv.Cell.IsSeq() {
 				break
 			}
@@ -341,11 +589,38 @@ func (e *Engine) Analyze(in Input, opt Options) (*Result, error) {
 			n = best
 		}
 		// Reverse for launch-to-capture order.
-		for i, j := 0, len(res.CriticalPath)-1; i < j; i, j = i+1, j-1 {
-			res.CriticalPath[i], res.CriticalPath[j] = res.CriticalPath[j], res.CriticalPath[i]
+		for i, j := 0, len(dst.CriticalPath)-1; i < j; i, j = i+1, j-1 {
+			dst.CriticalPath[i], dst.CriticalPath[j] = dst.CriticalPath[j], dst.CriticalPath[i]
 		}
 	}
-	return res, nil
+	return nil
+}
+
+// recordBase marks the retained state as a valid Reanalyze basis under the
+// given analysis conditions. The clock table is copied into Engine-owned
+// storage: a caller that reuses one clock buffer and mutates it in place
+// between analyses must not make clkMatchesBase compare the buffer against
+// itself.
+func (e *Engine) recordBase(in Input, opt Options) {
+	e.hasBase = true
+	e.baseOpt = opt
+	e.baseClk = append(e.baseClk[:0], in.ClockArrivalPs...)
+	e.baseClkNil = in.ClockArrivalPs == nil
+}
+
+// clkMatchesBase reports whether an input's clock arrivals are the ones
+// the retained state was computed under (element-exact; nil and empty are
+// distinct because nil switches the default-skew charge on).
+func (e *Engine) clkMatchesBase(in Input) bool {
+	if (in.ClockArrivalPs == nil) != e.baseClkNil || len(in.ClockArrivalPs) != len(e.baseClk) {
+		return false
+	}
+	for i, v := range in.ClockArrivalPs {
+		if v != e.baseClk[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // beginEpoch opens a fresh arrival epoch, lazily invalidating arr/slew/from.
@@ -358,6 +633,23 @@ func (e *Engine) beginEpoch() {
 			e.stamp[i] = 0
 		}
 		e.epoch = 1
+	}
+}
+
+// beginReEpoch opens a fresh dirty-tracking epoch for one Reanalyze call,
+// lazily sizing the stamp arrays on first use.
+func (e *Engine) beginReEpoch() {
+	if e.rcStamp == nil {
+		e.rcStamp = make([]uint32, len(e.stamp))
+		e.valStamp = make([]uint32, len(e.stamp))
+	}
+	e.reEpoch++
+	if e.reEpoch == 0 {
+		for i := range e.rcStamp {
+			e.rcStamp[i] = 0
+			e.valStamp[i] = 0
+		}
+		e.reEpoch = 1
 	}
 }
 
@@ -420,9 +712,9 @@ func Analyze(nl *netlist.Netlist, in Input, opt Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := e.Analyze(in, opt)
-	if err != nil {
+	var res Result
+	if err := e.AnalyzeInto(&res, in, opt); err != nil {
 		return nil, err
 	}
-	return res.Clone(), nil
+	return &res, nil
 }

@@ -18,8 +18,8 @@ echo "== tier-1: go build && go test =="
 go build ./...
 go test ./...
 
-echo "== benchmarks (Flow|STAReuse|BuildDEF|BuildTree|SweepShared, -benchtime=${BENCHTIME}) =="
-BENCH_OUT="$(go test -run=NONE -bench='Flow|STAReuse|BuildDEF|BuildTree|SweepShared' -benchmem -benchtime="${BENCHTIME}" . ./internal/core ./internal/route 2>&1)"
+echo "== benchmarks (Flow|STAReuse|BuildDEF|BuildTree|SweepShared|SweepIncremental, -benchtime=${BENCHTIME}) =="
+BENCH_OUT="$(go test -run=NONE -bench='Flow|STAReuse|BuildDEF|BuildTree|SweepShared|SweepIncremental' -benchmem -benchtime="${BENCHTIME}" . ./internal/core ./internal/route 2>&1)"
 echo "${BENCH_OUT}"
 
 DATE="$(date +%Y%m%d)"
