@@ -3,11 +3,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 
 	"repro/internal/cell"
 	"repro/internal/lef"
@@ -17,6 +20,8 @@ import (
 func main() {
 	outDir := flag.String("out", "", "write <arch>.lib and <arch>.lef files here")
 	flag.Parse()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	ffet := cell.NewLibrary(tech.NewFFET())
 	cfet := cell.NewLibrary(tech.NewCFET())
 	fmt.Println("== Fig 4: area gain w.r.t 4T CFET ==")
@@ -51,6 +56,12 @@ func main() {
 		cfet.Cell("DFFD1").Seq.ClkQWorst(20, 1), cfet.Cell("DFFD1").Seq.SetupPs)
 
 	if *outDir != "" {
+		// Don't start writing library files into an interrupted run's
+		// output directory.
+		if ctx.Err() != nil {
+			fmt.Fprintln(os.Stderr, "interrupted: skipping library dump")
+			os.Exit(1)
+		}
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
 			log.Fatal(err)
 		}

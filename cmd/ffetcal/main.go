@@ -3,9 +3,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"os"
+	"os/signal"
 	"sync"
+	"syscall"
 
 	"repro/internal/cell"
 	"repro/internal/core"
@@ -22,6 +26,11 @@ func main() {
 	sdc := flag.Float64("sdc", 1.3, "CFET pin access factor")
 	regs := flag.Int("regs", 32, "register count")
 	flag.Parse()
+
+	// SIGINT/SIGTERM cancel the sweep: in-flight runs stop within one
+	// stage, their cells report the cancellation, and the exit is non-zero.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	ffet := cell.NewLibrary(tech.NewFFET())
 	cfet := cell.NewLibrary(tech.NewCFET())
@@ -71,7 +80,7 @@ func main() {
 					ropt.PinAccessFactor = *sdc
 				}
 				cfg.Route = ropt
-				res, err := core.RunFlow(sp.nl, cfg)
+				res, err := core.RunFlowCtx(ctx, sp.nl, cfg)
 				if err != nil {
 					results[si*len(utils)+ui] = result{si, ui, -1, false, err.Error(), 0, 0}
 					return
@@ -98,5 +107,9 @@ func main() {
 			fmt.Printf("  %s d=%-5d", mark, r.drv)
 		}
 		fmt.Println()
+	}
+	if ctx.Err() != nil {
+		fmt.Fprintln(os.Stderr, "interrupted: sweep incomplete")
+		os.Exit(1)
 	}
 }

@@ -5,14 +5,19 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/exp"
 )
 
@@ -30,6 +35,12 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// SIGINT/SIGTERM cancel in-flight sweeps: running experiments drain
+	// within one stage per in-flight point, their partial tables still
+	// print (cancelled points as error cells), and the exit is non-zero.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	suite.Ctx = ctx
 	want := map[string]bool{}
 	for _, id := range strings.Split(*only, ",") {
 		if id != "" {
@@ -56,25 +67,39 @@ func main() {
 		{"fig12", suite.Fig12},
 		{"fig13", suite.Fig13},
 	}
+	// One failed sweep point doesn't kill the report: its table prints
+	// with error cells, the failure goes to stderr, and later experiments
+	// still run. Only a cancellation stops the whole job list.
+	failed := false
 	for _, j := range jobs {
 		if !sel(j.id) {
 			continue
 		}
 		t0 := time.Now()
 		t, err := j.run()
+		if t != nil {
+			t.Print(os.Stdout)
+			fmt.Printf("  (%s in %s)\n\n", j.id, time.Since(t0).Round(time.Millisecond))
+			if *outDir != "" {
+				if err := os.MkdirAll(*outDir, 0o755); err != nil {
+					log.Fatal(err)
+				}
+				path := filepath.Join(*outDir, t.ID+".csv")
+				if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
 		if err != nil {
-			log.Fatalf("%s: %v", j.id, err)
-		}
-		t.Print(os.Stdout)
-		fmt.Printf("  (%s in %s)\n\n", j.id, time.Since(t0).Round(time.Millisecond))
-		if *outDir != "" {
-			if err := os.MkdirAll(*outDir, 0o755); err != nil {
-				log.Fatal(err)
-			}
-			path := filepath.Join(*outDir, t.ID+".csv")
-			if err := os.WriteFile(path, []byte(t.CSV()), 0o644); err != nil {
-				log.Fatal(err)
+			failed = true
+			fmt.Fprintf(os.Stderr, "%s: %v\n", j.id, err)
+			if errors.Is(err, core.ErrCancelled) || ctx.Err() != nil {
+				fmt.Fprintln(os.Stderr, "interrupted; stopping")
+				break
 			}
 		}
+	}
+	if failed {
+		os.Exit(1)
 	}
 }

@@ -4,9 +4,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/cell"
@@ -42,11 +47,28 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// SIGINT/SIGTERM cancel the in-flight run: the pipeline stops within
+	// one stage boundary (or mid-stage inside the long loops), partial
+	// stage timings are still reported, and the exit is non-zero with the
+	// classified error.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	// Drive the pipeline one stage at a time so progress (and the cost of
 	// each stage) is visible as it happens.
 	for s := core.StageSynth; int(s) < core.NumStages; s++ {
-		if err := f.RunTo(s); err != nil {
-			log.Fatalf("stage %v: %v", s, err)
+		if err := f.RunToCtx(ctx, s); err != nil {
+			res := f.Result()
+			fmt.Fprintln(os.Stderr, "partial stage timings:")
+			for d := core.StageSynth; int(d) < core.NumStages; d++ {
+				if res.StageTimes[d] > 0 {
+					fmt.Fprintf(os.Stderr, "  %-9v %8s\n", d, res.StageTimes[d].Round(time.Microsecond))
+				}
+			}
+			if errors.Is(err, core.ErrCancelled) {
+				fmt.Fprintf(os.Stderr, "interrupted after %s\n", time.Since(t0).Round(time.Millisecond))
+			}
+			fmt.Fprintf(os.Stderr, "flow failed: %v\n", err)
+			os.Exit(1)
 		}
 		res := f.Result()
 		if !*quiet {

@@ -39,6 +39,8 @@
 package ffet
 
 import (
+	"context"
+
 	"repro/internal/cell"
 	"repro/internal/core"
 	"repro/internal/exp"
@@ -73,6 +75,27 @@ type (
 	Suite = exp.Suite
 	// Table is a printable experiment result.
 	Table = exp.Table
+	// FlowError is the classified error every failed flow run returns:
+	// errors.Is-matchable against the Err* sentinels below, carrying the
+	// failing stage and config name.
+	FlowError = core.FlowError
+)
+
+// Error taxonomy: every error a flow session returns wraps exactly one of
+// these sentinels (match with errors.Is).
+var (
+	// ErrInvalidConfig rejects a structurally impossible FlowConfig.
+	ErrInvalidConfig = core.ErrInvalidConfig
+	// ErrCancelled reports a run stopped by its context.
+	ErrCancelled = core.ErrCancelled
+	// ErrStagePanic reports a panic contained at a stage boundary.
+	ErrStagePanic = core.ErrStagePanic
+	// ErrStageFailed reports a stage's own hard error.
+	ErrStageFailed = core.ErrStageFailed
+	// ErrSessionDead rejects use of a session after a hard error.
+	ErrSessionDead = core.ErrSessionDead
+	// ErrForkRace rejects a Fork or RunTo that overlapped a RunTo.
+	ErrForkRace = core.ErrForkRace
 )
 
 // Architecture constants.
@@ -130,6 +153,13 @@ func NewFlowConfig(p Pattern, targetGHz, util float64) FlowConfig {
 // RunFlow executes the full physical implementation + PPA flow.
 func RunFlow(nl *Netlist, cfg FlowConfig) (*FlowResult, error) {
 	return core.RunFlow(nl, cfg)
+}
+
+// RunFlowCtx is RunFlow under a context: cancellation stops the pipeline
+// within one stage boundary (or inside the long route/place/STA loops)
+// and returns an ErrCancelled-classified FlowError.
+func RunFlowCtx(ctx context.Context, nl *Netlist, cfg FlowConfig) (*FlowResult, error) {
+	return core.RunFlowCtx(ctx, nl, cfg)
 }
 
 // NewFlow opens a checkpointable staged flow session: RunTo executes to

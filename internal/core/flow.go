@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"slices"
 	"strings"
@@ -63,12 +64,16 @@ func DefaultFlowConfig(pattern tech.Pattern, targetGHz, util float64) FlowConfig
 // validateFlowConfig rejects structurally impossible configs and
 // normalizes defaulted knobs. Shared by NewFlow and Flow.Fork so a
 // mutated fork config passes exactly the checks a fresh session would.
+// Failures are classified as ErrInvalidConfig.
 func validateFlowConfig(st *tech.Stack, cfg *FlowConfig) error {
+	invalid := func(err error) error {
+		return &FlowError{Kind: ErrInvalidConfig, Stage: stageNone, Config: cfg.Name, Err: err}
+	}
 	if err := st.Validate(cfg.Pattern); err != nil {
-		return err
+		return invalid(err)
 	}
 	if cfg.BackPinFraction > 0 && cfg.Pattern.Back == 0 {
-		return fmt.Errorf("core: backside pins need backside routing layers")
+		return invalid(fmt.Errorf("backside pins need backside routing layers"))
 	}
 	if cfg.MaxDRVs <= 0 {
 		cfg.MaxDRVs = 10
@@ -83,6 +88,12 @@ type FlowResult struct {
 
 	Valid  bool
 	Reason string // why the run is invalid, if it is
+
+	// Err carries the classified error that killed this point's run when
+	// the result is a failure placeholder in a sweep table (exp fills it
+	// in so one dead point cannot abort its whole table). Always nil on a
+	// result produced by a completed run.
+	Err error
 
 	// Physical metrics.
 	CoreAreaUm2     float64
@@ -138,11 +149,17 @@ func (r *FlowResult) DRVs() int { return r.DRVsFront + r.DRVsBack }
 // FlowResult with Valid=false rather than an error; errors indicate
 // malformed inputs.
 func RunFlow(nl *netlist.Netlist, cfg FlowConfig) (*FlowResult, error) {
+	return RunFlowCtx(context.Background(), nl, cfg)
+}
+
+// RunFlowCtx is RunFlow under a context; see Flow.RunToCtx for the
+// cancellation and error-classification semantics.
+func RunFlowCtx(ctx context.Context, nl *netlist.Netlist, cfg FlowConfig) (*FlowResult, error) {
 	f, err := newFlow(nl, cfg, false)
 	if err != nil {
 		return nil, err
 	}
-	return f.Run()
+	return f.RunCtx(ctx)
 }
 
 // pinLocation returns the physical location of a pin: port position or the

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -9,6 +11,7 @@ import (
 	"repro/internal/cts"
 	"repro/internal/def"
 	"repro/internal/extract"
+	"repro/internal/faultinject"
 	"repro/internal/floorplan"
 	"repro/internal/geom"
 	"repro/internal/netlist"
@@ -49,6 +52,16 @@ var stageNames = [NumStages]string{
 	"synth", "floorplan", "powerplan", "place", "cts",
 	"partition", "route", "def", "extract", "sta", "power",
 }
+
+// stageSites are the fault-injection site names consulted at each stage
+// entry, precomputed so the (normally disabled) hook costs no per-call
+// string concatenation.
+var stageSites = func() (sites [NumStages]string) {
+	for i, name := range stageNames {
+		sites[i] = "core.stage." + name
+	}
+	return
+}()
 
 // String returns the stage's short name.
 func (s Stage) String() string {
@@ -124,9 +137,11 @@ func firstAffectedStage(old, new FlowConfig) Stage {
 // post-global-placement) and forked children get their own Snapshot.
 // Forked runs are bit-identical to from-scratch runs of the same config.
 //
-// A Flow is not safe for concurrent use, but independent forked sessions
-// may run concurrently: from StagePartition on, every stage only reads
-// the shared netlist.
+// Independent forked sessions may run concurrently: from StagePartition
+// on, every stage only reads the shared netlist. A single session is
+// guarded against concurrent misuse rather than serialized: overlapping
+// RunTo calls, or a Fork while the parent is mid-RunTo, fail fast with
+// ErrForkRace instead of corrupting checkpoint state.
 type Flow struct {
 	cfg   FlowConfig
 	input *netlist.Netlist
@@ -135,6 +150,24 @@ type Flow struct {
 	// keepSnaps enables the stage-boundary netlist checkpoints Fork
 	// needs. Off for one-shot RunFlow calls, which fork nothing.
 	keepSnaps bool
+
+	// mu guards the session bookkeeping below (next, halted, err,
+	// running, epoch). The long stage bodies execute outside the lock
+	// under the running flag's exclusive ownership; Fork copies
+	// checkpoint state under the lock and fails fast when it cannot.
+	mu sync.Mutex
+	// running marks a RunToCtx in flight. A second RunTo, or a Fork,
+	// arriving while it is set returns ErrForkRace.
+	running bool
+	// epoch counts observable state transitions (stage completions,
+	// halts, hard errors). Fork records it before the expensive
+	// netlist snapshot it takes outside the lock and fails with
+	// ErrForkRace if the parent advanced mid-copy.
+	epoch uint64
+	// runCtx is the context of the RunToCtx in flight; stage bodies
+	// thread it into the cancellable inner loops. Only touched by the
+	// running goroutine.
+	runCtx context.Context
 
 	next        Stage // first stage not yet executed
 	halted      bool  // an early stage declared the run invalid
@@ -208,15 +241,35 @@ func (f *Flow) Config() FlowConfig { return f.cfg }
 
 // NextStage returns the first stage that has not yet executed;
 // Stage(NumStages) once the pipeline is complete.
-func (f *Flow) NextStage() Stage { return f.next }
+func (f *Flow) NextStage() Stage {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.next
+}
 
 // Done reports whether the stage has executed (or was skipped because an
 // earlier stage halted the run as invalid).
-func (f *Flow) Done(s Stage) bool { return s < f.next || f.halted }
+func (f *Flow) Done(s Stage) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return s < f.next || f.halted
+}
 
 // Halted reports whether an early stage declared the run invalid
 // (infeasible powerplan, placement violation); later stages are skipped.
-func (f *Flow) Halted() bool { return f.halted }
+func (f *Flow) Halted() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.halted
+}
+
+// Err returns the hard error that killed the session, nil while it is
+// healthy.
+func (f *Flow) Err() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.err
+}
 
 // Workspace exposes the working netlist after StageSynth (nil before):
 // positions after StagePlace, clock buffers after StageCTS. Callers must
@@ -246,31 +299,120 @@ func (f *Flow) RouteResult(side tech.Side) *route.Result {
 // StagePower). Already-executed stages never re-run — calling RunTo
 // twice with the same target is free, which makes a Flow a resumable
 // checkpoint. If an earlier stage halted the run as invalid, RunTo is a
-// no-op; inspect Result. A hard error kills the session and is returned
-// from every subsequent call.
+// no-op; inspect Result. A hard error kills the session; every
+// subsequent call returns ErrSessionDead wrapping the original error.
 func (f *Flow) RunTo(target Stage) error {
-	if f.err != nil {
-		return f.err
+	return f.RunToCtx(context.Background(), target)
+}
+
+// stageEnterHook, when set (tests only), runs at every stage entry before
+// the stage body — the deterministic way to hold a session mid-RunTo.
+var stageEnterHook func(*Flow, Stage)
+
+// RunToCtx is RunTo under a context: cancellation is observed at every
+// stage boundary and inside the three long-running inner loops (route A*
+// expansion, placement refinement passes, STA levelized propagation), so
+// a cancel returns within one stage — classified as ErrCancelled — after
+// a bounded number of inner iterations. A cancelled run is a hard error:
+// a stage was interrupted mid-mutation, so the session is dead and retry
+// means forking a healthy parent or opening a fresh session.
+//
+// A RunToCtx overlapping another RunToCtx on the same session fails fast
+// with ErrForkRace without touching the pipeline.
+func (f *Flow) RunToCtx(ctx context.Context, target Stage) error {
+	if ctx == nil {
+		ctx = context.Background()
 	}
+	f.mu.Lock()
+	if f.err != nil {
+		defer f.mu.Unlock()
+		return f.deadErrLocked()
+	}
+	if f.running {
+		defer f.mu.Unlock()
+		return &FlowError{Kind: ErrForkRace, Stage: f.next, Config: f.cfg.Name,
+			Err: errors.New("RunTo while another RunTo is in flight")}
+	}
+	f.running = true
+	f.runCtx = ctx
+	f.mu.Unlock()
+	defer func() {
+		f.mu.Lock()
+		f.running = false
+		f.runCtx = nil
+		f.mu.Unlock()
+	}()
+
 	if target > StagePower {
 		target = StagePower
 	}
+	done := ctx.Done()
 	for !f.halted && f.next <= target {
 		s := f.next
+		if done != nil {
+			select {
+			case <-done:
+				return f.kill(&FlowError{Kind: ErrCancelled, Stage: s,
+					Config: f.cfg.Name, Err: ctx.Err()})
+			default:
+			}
+		}
+		if stageEnterHook != nil {
+			stageEnterHook(f, s)
+		}
 		t0 := time.Now()
-		if err := stageFns[s](f); err != nil {
-			f.err = err
-			return err
+		if err := f.runStage(s); err != nil {
+			return f.kill(classify(s, f.cfg.Name, err))
 		}
 		f.res.StageTimes[s] = time.Since(t0)
+		f.mu.Lock()
 		f.next = s + 1
+		f.epoch++
+		f.mu.Unlock()
 	}
 	return nil
 }
 
+// runStage executes one stage body with panic containment and the fault
+// hook: a panicking stage surfaces as ErrStagePanic on this session only,
+// never as a process crash.
+func (f *Flow) runStage(s Stage) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = panicError(s, f.cfg.Name, r)
+		}
+	}()
+	if err := faultinject.Fire(stageSites[s]); err != nil {
+		return err
+	}
+	return stageFns[s](f)
+}
+
+// kill records the session's first hard error — the session is dead from
+// here on — and returns it.
+func (f *Flow) kill(err error) error {
+	f.mu.Lock()
+	f.err = err
+	f.epoch++
+	f.mu.Unlock()
+	return err
+}
+
+// deadErrLocked wraps the error that killed the session as
+// ErrSessionDead for calls arriving after the death; callers hold mu.
+func (f *Flow) deadErrLocked() error {
+	return &FlowError{Kind: ErrSessionDead, Stage: f.next, Config: f.cfg.Name, Err: f.err}
+}
+
 // Run executes the remaining stages and returns the assembled result.
 func (f *Flow) Run() (*FlowResult, error) {
-	if err := f.RunTo(StagePower); err != nil {
+	return f.RunCtx(context.Background())
+}
+
+// RunCtx is Run under a context; see RunToCtx for cancellation and
+// error-classification semantics.
+func (f *Flow) RunCtx(ctx context.Context) (*FlowResult, error) {
+	if err := f.RunToCtx(ctx, StagePower); err != nil {
 		return nil, err
 	}
 	return f.Result(), nil
@@ -281,7 +423,10 @@ func (f *Flow) Run() (*FlowResult, error) {
 // Reason; a halted or partial pipeline yields Valid=false with the
 // metrics of the stages that did run.
 func (f *Flow) Result() *FlowResult {
-	f.res.Valid = int(f.next) == NumStages && f.res.Reason == ""
+	f.mu.Lock()
+	next := f.next
+	f.mu.Unlock()
+	f.res.Valid = int(next) == NumStages && f.res.Reason == ""
 	return f.res
 }
 
@@ -290,9 +435,21 @@ func (f *Flow) Result() *FlowResult {
 // return. The session itself stays healthy (Fork can still branch off
 // any stage before the halt).
 func (f *Flow) halt(s Stage, reason string) {
+	f.mu.Lock()
 	f.res.Reason = reason
 	f.reasonStage = s
 	f.halted = true
+	f.epoch++
+	f.mu.Unlock()
+}
+
+// stageCtx returns the context of the RunToCtx in flight (Background for
+// stage bodies invoked outside a run, which cannot happen today).
+func (f *Flow) stageCtx() context.Context {
+	if f.runCtx != nil {
+		return f.runCtx
+	}
+	return context.Background()
 }
 
 // Fork clones the session under a mutated config, resuming at the
@@ -306,15 +463,31 @@ func (f *Flow) halt(s Stage, reason string) {
 // divergence stage, the child simply resumes wherever the parent
 // stopped. Run the parent to the deepest shared stage first (e.g.
 // RunTo(StageCTS) before a BackPinFraction sweep) to maximize reuse.
+//
+// Fork is safe under arbitrary concurrency: forking a parent that is
+// mid-RunTo fails fast with ErrForkRace (no partial checkpoint is ever
+// shared), as does a fork that observes the parent advancing while the
+// child's netlist snapshot was being taken. Concurrent forks off a
+// quiescent parent serialize on the session lock; the expensive deep
+// snapshot happens outside it.
 func (f *Flow) Fork(mutate func(*FlowConfig)) (*Flow, error) {
+	f.mu.Lock()
 	if f.err != nil {
-		return nil, f.err
+		defer f.mu.Unlock()
+		return nil, f.deadErrLocked()
 	}
+	if f.running {
+		defer f.mu.Unlock()
+		return nil, &FlowError{Kind: ErrForkRace, Stage: f.next, Config: f.cfg.Name,
+			Err: errors.New("fork off a parent mid-RunTo")}
+	}
+	epoch := f.epoch
 	cfg := f.cfg
 	if mutate != nil {
 		mutate(&cfg)
 	}
 	if err := validateFlowConfig(f.st, &cfg); err != nil {
+		f.mu.Unlock()
 		return nil, err
 	}
 	resume := firstAffectedStage(f.cfg, cfg)
@@ -355,18 +528,22 @@ func (f *Flow) Fork(mutate func(*FlowConfig)) (*Flow, error) {
 	// own Snapshot of the matching checkpoint; from StagePartition on,
 	// the final netlist is shared read-only. A child that inherited a
 	// halt will never execute a stage, so it skips the deep copies (the
-	// checkpoint pointers still carry over for its own forks).
+	// checkpoint pointers still carry over for its own forks). The deep
+	// Snapshot is deferred to after the session lock is released — the
+	// checkpoints are immutable once recorded, so only the pointer reads
+	// need the lock.
+	var snapSrc *netlist.Netlist
 	if resume > StageSynth {
 		child.synthSnap = f.synthSnap
 		switch {
 		case resume <= StagePlace:
 			if !child.halted {
-				child.work = f.synthSnap.Snapshot()
+				snapSrc = f.synthSnap
 			}
 		case resume == StageCTS:
 			child.placeSnap = f.placeSnap
 			if !child.halted {
-				child.work = f.placeSnap.Snapshot()
+				snapSrc = f.placeSnap
 			}
 		default:
 			child.placeSnap = f.placeSnap
@@ -420,6 +597,22 @@ func (f *Flow) Fork(mutate func(*FlowConfig)) (*Flow, error) {
 			child.staEng = f.staEng
 		}
 		child.baseRC = f.baseRC
+	}
+	f.mu.Unlock()
+
+	if snapSrc != nil {
+		child.work = snapSrc.Snapshot()
+	}
+
+	// Epoch recheck: if the parent ran, halted, or died while the deep
+	// snapshot was being taken, the prefix this child copied may mix two
+	// generations of parent state — fail fast rather than hand it out.
+	f.mu.Lock()
+	raced := f.epoch != epoch
+	f.mu.Unlock()
+	if raced {
+		return nil, &FlowError{Kind: ErrForkRace, Stage: resume, Config: cfg.Name,
+			Err: errors.New("parent advanced while fork was copying checkpoint state")}
 	}
 	return child, nil
 }
@@ -533,7 +726,9 @@ func (f *Flow) stagePlace() error {
 		popt = place.DefaultOptions()
 		popt.Seed = f.cfg.Seed
 	}
-	place.Global(f.work, f.fp, popt)
+	if err := place.GlobalCtx(f.stageCtx(), f.work, f.fp, popt); err != nil {
+		return err
+	}
 	if f.keepSnaps {
 		f.placeSnap = f.work.Snapshot()
 	}
@@ -555,11 +750,16 @@ func (f *Flow) stageCTS() error {
 	f.ctsRes = ctsRes
 	f.res.CTSBuffers = ctsRes.Buffers
 	f.res.RealUtilization = float64(f.work.CellAreaNm2()) / float64(f.fp.Core.Area())
+	ctx := f.stageCtx()
 	if err := place.Legalize(f.work, f.fp, f.pp.Blockages); err != nil {
+		// A legalization failure is a property of the config (run invalid,
+		// session healthy), not a session fault.
 		f.halt(StageCTS, fmt.Sprintf("placement violation: %v", err))
 		return nil
 	}
-	place.Refine(f.work, f.fp, f.pp.Blockages, 3)
+	if err := place.RefineCtx(ctx, f.work, f.fp, f.pp.Blockages, 3); err != nil {
+		return err
+	}
 	f.res.HPWLUm = float64(place.HPWL(f.work, f.fp)) / 1000
 	return nil
 }
@@ -608,6 +808,7 @@ func (f *Flow) stageRoute() error {
 		frontErr, backErr error
 		wg                sync.WaitGroup
 	)
+	ctx := f.stageCtx()
 	runSide := func(side tech.Side, nets []*route.Net, out **route.Result, errOut *error) {
 		defer wg.Done()
 		layers := f.st.SideRoutingLayers(f.cfg.Pattern, side)
@@ -616,7 +817,7 @@ func (f *Flow) stageRoute() error {
 			*errOut = err
 			return
 		}
-		*out, *errOut = r.Run(nets)
+		*out, *errOut = r.RunCtx(ctx, nets)
 	}
 	if len(f.sides.Front) > 0 {
 		wg.Add(1)
@@ -738,11 +939,12 @@ func (f *Flow) stageSTA() error {
 	// by exp.Suite, so the stored Result must not alias the Engine's
 	// reusable storage.
 	staRes := &sta.Result{}
+	ctx := f.stageCtx()
 	var err error
 	if f.haveDirty {
-		err = eng.ReanalyzeInto(staRes, in, staOpt, f.dirtyRC)
+		err = eng.ReanalyzeIntoCtx(ctx, staRes, in, staOpt, f.dirtyRC)
 	} else {
-		err = eng.AnalyzeInto(staRes, in, staOpt)
+		err = eng.AnalyzeIntoCtx(ctx, staRes, in, staOpt)
 	}
 	if err != nil {
 		return err

@@ -5,6 +5,8 @@
 package exp
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
@@ -14,6 +16,7 @@ import (
 	"repro/internal/cell"
 	"repro/internal/core"
 	"repro/internal/cts"
+	"repro/internal/faultinject"
 	"repro/internal/netlist"
 	"repro/internal/place"
 	"repro/internal/riscv"
@@ -124,10 +127,15 @@ type Suite struct {
 	// exists only for differential tests and apples-to-apples
 	// benchmarking of the sharing itself.
 	DisablePrefixSharing bool
-	ffetNl               *netlist.Netlist
-	cfetNl               *netlist.Netlist
-	mu                   sync.Mutex
-	results              map[runKey]*core.FlowResult
+	// Ctx, when non-nil, cancels in-flight sweeps: every flow session a
+	// sweep starts runs under it, so a cancel drains the pool within one
+	// stage per in-flight point and the cancelled points report
+	// core.ErrCancelled in their error cells.
+	Ctx     context.Context
+	ffetNl  *netlist.Netlist
+	cfetNl  *netlist.Netlist
+	mu      sync.Mutex
+	results map[runKey]*core.FlowResult
 	// synthRoots caches one staged session per synthesis-input class,
 	// run through StageSynth only: every sweep point in that class forks
 	// off it instead of re-running synthesis — across tables, not just
@@ -167,6 +175,14 @@ func (s *Suite) netlistFor(arch tech.Arch) *netlist.Netlist {
 		return s.ffetNl
 	}
 	return s.cfetNl
+}
+
+// ctx returns the suite's sweep context.
+func (s *Suite) ctx() context.Context {
+	if s.Ctx != nil {
+		return s.Ctx
+	}
+	return context.Background()
 }
 
 // runKey is the comparable memo key of a flow run: the architecture and
@@ -223,10 +239,12 @@ func classify(arch tech.Arch, cfg core.FlowConfig) (synthKey, prefixKey) {
 }
 
 // synthRoot is a lazily-built shared session run through StageSynth.
+// Build failures are never cached: the next point of the class retries
+// from scratch, so a transient fault (an injected error, a cancelled
+// context) cannot poison every later sweep of the class.
 type synthRoot struct {
-	once sync.Once
+	mu   sync.Mutex
 	flow *core.Flow
-	err  error
 }
 
 // lookup returns a memoized result, or nil.
@@ -255,7 +273,7 @@ func (s *Suite) store(key runKey, res *core.FlowResult) *core.FlowResult {
 // invalid point would poison every later sweep of the same class.
 // Point-specific validation happens where it belongs, at the Fork that
 // adopts the point's full config.
-func (s *Suite) synthRootFor(arch tech.Arch, cfg core.FlowConfig) (*core.Flow, error) {
+func (s *Suite) synthRootFor(arch tech.Arch, cfg core.FlowConfig) (flow *core.Flow, err error) {
 	sk, _ := classify(arch, cfg)
 	s.mu.Lock()
 	root, ok := s.synthRoots[sk]
@@ -264,21 +282,30 @@ func (s *Suite) synthRootFor(arch tech.Arch, cfg core.FlowConfig) (*core.Flow, e
 		s.synthRoots[sk] = root
 	}
 	s.mu.Unlock()
-	root.once.Do(func() {
-		rootCfg := core.DefaultFlowConfig(tech.Pattern{Front: 1}, sk.target, 0.70)
-		rootCfg.Synth = sk.synth
-		f, err := core.NewFlow(s.netlistFor(arch), rootCfg)
-		if err != nil {
-			root.err = err
-			return
+	root.mu.Lock()
+	defer root.mu.Unlock()
+	if root.flow != nil {
+		return root.flow, nil
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			flow, err = nil, core.NewPanicError(cfg.Name, r)
 		}
-		if err := f.RunTo(core.StageSynth); err != nil {
-			root.err = err
-			return
-		}
-		root.flow = f
-	})
-	return root.flow, root.err
+	}()
+	if err := faultinject.Fire("exp.synthroot"); err != nil {
+		return nil, err
+	}
+	rootCfg := core.DefaultFlowConfig(tech.Pattern{Front: 1}, sk.target, 0.70)
+	rootCfg.Synth = sk.synth
+	f, err := core.NewFlow(s.netlistFor(arch), rootCfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.RunToCtx(s.ctx(), core.StageSynth); err != nil {
+		return nil, err
+	}
+	root.flow = f
+	return root.flow, nil
 }
 
 // Run executes (or recalls) one flow run.
@@ -287,11 +314,25 @@ func (s *Suite) Run(arch tech.Arch, cfg core.FlowConfig) (*core.FlowResult, erro
 	if r := s.lookup(key); r != nil {
 		return r, nil
 	}
-	res, err := core.RunFlow(s.netlistFor(arch), cfg)
+	res, err := core.RunFlowCtx(s.ctx(), s.netlistFor(arch), cfg)
 	if err != nil {
 		return nil, err
 	}
 	return s.store(key, res), nil
+}
+
+// errorResult builds the failure placeholder a dead sweep point
+// contributes to its table: an invalid result carrying the classified
+// error. Placeholders are never memoized, so a retry after the fault
+// clears gets a clean run.
+func errorResult(spec runSpec, err error) *core.FlowResult {
+	return &core.FlowResult{
+		Config: spec.cfg,
+		Arch:   spec.arch,
+		Valid:  false,
+		Reason: "error: " + err.Error(),
+		Err:    err,
+	}
 }
 
 // runSpec is one point of a parallel sweep.
@@ -312,13 +353,25 @@ type runSpec struct {
 // (back-pin-fraction DoEs). Forked runs are bit-identical to
 // from-scratch runs, so tables are byte-identical to the unshared path
 // at any parallelism.
+//
+// Failures are contained per point: a dead point (hard error, contained
+// panic, cancellation) lands in the table as an errorResult placeholder
+// while its siblings, the synthesis-root cache, and the memo stay
+// healthy. runAll still reports the damage — the returned error joins
+// every distinct point error — but callers get the full table either
+// way.
 func (s *Suite) runAll(specs []runSpec) ([]*core.FlowResult, error) {
 	out := make([]*core.FlowResult, len(specs))
 	// Dedupe pending work by memo key so one sweep never runs a point
-	// twice (tables routinely repeat a baseline config).
+	// twice (tables routinely repeat a baseline config). Each pending
+	// point resolves to exactly one of res or err; every point has a
+	// single writer (its worker goroutine, or its group's builder before
+	// any leaf spawns), so neither field needs a lock.
 	type pendingPoint struct {
 		spec runSpec
 		idxs []int
+		res  *core.FlowResult
+		err  error
 	}
 	pending := make(map[runKey]*pendingPoint)
 	var pendingOrder []runKey
@@ -342,29 +395,52 @@ func (s *Suite) runAll(specs []runSpec) ([]*core.FlowResult, error) {
 
 	sem := make(chan struct{}, s.maxParallel())
 	var wg sync.WaitGroup
-	var errMu sync.Mutex
-	var firstErr error
-	fail := func(err error) {
-		errMu.Lock()
-		if firstErr == nil {
-			firstErr = err
-		}
-		errMu.Unlock()
-	}
 	finish := func(p *pendingPoint, res *core.FlowResult) {
-		res = s.store(keyOf(p.spec.arch, p.spec.cfg), res)
-		for _, i := range p.idxs {
-			out[i] = res
+		p.res = s.store(keyOf(p.spec.arch, p.spec.cfg), res)
+	}
+	// collect runs after the pool drains: it fans each point's result (or
+	// failure placeholder) out to its sweep slots and joins the distinct
+	// point errors. Points a group failure killed share one error value,
+	// so the root cause is reported once, not once per sibling.
+	collect := func() ([]*core.FlowResult, error) {
+		var errs []error
+		seen := make(map[error]bool)
+		for _, key := range pendingOrder {
+			p := pending[key]
+			if p.err == nil && p.res == nil {
+				p.err = core.Classify(p.spec.cfg.Name, errors.New("exp: sweep point never resolved"))
+			}
+			res := p.res
+			if p.err != nil {
+				res = errorResult(p.spec, p.err)
+				if !seen[p.err] {
+					seen[p.err] = true
+					errs = append(errs, p.err)
+				}
+			}
+			for _, i := range p.idxs {
+				out[i] = res
+			}
 		}
+		return out, errors.Join(errs...)
 	}
 	// runScratch is the unshared path: one full flow per point.
 	runScratch := func(p *pendingPoint) {
 		defer wg.Done()
 		sem <- struct{}{}
 		defer func() { <-sem }()
-		res, err := core.RunFlow(s.netlistFor(p.spec.arch), p.spec.cfg)
+		defer func() {
+			if r := recover(); r != nil {
+				p.err = core.NewPanicError(p.spec.cfg.Name, r)
+			}
+		}()
+		if err := faultinject.Fire("exp.scratch"); err != nil {
+			p.err = core.Classify(p.spec.cfg.Name, err)
+			return
+		}
+		res, err := core.RunFlowCtx(s.ctx(), s.netlistFor(p.spec.arch), p.spec.cfg)
 		if err != nil {
-			fail(err)
+			p.err = core.Classify(p.spec.cfg.Name, err)
 			return
 		}
 		finish(p, res)
@@ -376,7 +452,7 @@ func (s *Suite) runAll(specs []runSpec) ([]*core.FlowResult, error) {
 			go runScratch(pending[key])
 		}
 		wg.Wait()
-		return out, firstErr
+		return collect()
 	}
 
 	// Group pending points by shared-prefix class.
@@ -406,62 +482,109 @@ func (s *Suite) runAll(specs []runSpec) ([]*core.FlowResult, error) {
 		defer wg.Done()
 		sem <- struct{}{}
 		defer func() { <-sem }()
+		defer func() {
+			if r := recover(); r != nil {
+				p.err = core.NewPanicError(p.spec.cfg.Name, r)
+			}
+		}()
+		if err := faultinject.Fire("exp.leaf"); err != nil {
+			p.err = core.Classify(p.spec.cfg.Name, err)
+			return
+		}
 		cfg := p.spec.cfg
 		leaf, err := base.Fork(func(c *core.FlowConfig) { *c = cfg })
 		if err != nil {
-			fail(err)
+			p.err = core.Classify(p.spec.cfg.Name, err)
 			return
 		}
-		res, err := leaf.Run()
+		res, err := leaf.RunCtx(s.ctx())
 		if err != nil {
-			fail(err)
+			p.err = core.Classify(p.spec.cfg.Name, err)
 			return
 		}
 		finish(p, res)
 	}
-	// runGroup builds the group's shared prefix (forked off the
-	// synthesis root, run through CTS), runs the group's first point to
-	// completion as the leader, then fans the remaining points out as
-	// forks of the finished leader: every sibling inherits the leader's
-	// StageSTA checkpoint (timing engine + RC baseline) and pays only for
-	// the timing cones its own partition/routing delta touches. Forked
-	// runs are bit-identical to scratch runs, so the leader topology is
+	// buildPrefix builds a group's shared placed-and-clocked prefix: a
+	// fork of the synthesis root run through StageCTS. A panic here is
+	// contained and surfaces as the group error.
+	buildPrefix := func(g *prefixGroup) (mid *core.Flow, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				mid, err = nil, core.NewPanicError(g.first.cfg.Name, r)
+			}
+		}()
+		if err := faultinject.Fire("exp.group"); err != nil {
+			return nil, err
+		}
+		root, err := s.synthRootFor(g.first.arch, g.first.cfg)
+		if err != nil {
+			return nil, err
+		}
+		first := g.first.cfg
+		mid, err = root.Fork(func(c *core.FlowConfig) { *c = first })
+		if err == nil {
+			err = mid.RunToCtx(s.ctx(), core.StageCTS)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return mid, nil
+	}
+	// runLeader runs a group's first point to completion off the shared
+	// prefix. On success the finished session becomes the fork base for
+	// every sibling, which then inherits the leader's StageSTA checkpoint
+	// (timing engine + RC baseline) and pays only for the timing cones
+	// its own partition/routing delta touches. On any failure — hard
+	// error, contained panic, per-point validation — only the leader's
+	// point dies; siblings fall back to forking the placed-and-clocked
+	// prefix, whose session a dead leader cannot corrupt (leader work
+	// happens in the leader's own fork).
+	runLeader := func(leader *pendingPoint, mid *core.Flow) (base *core.Flow) {
+		base = mid
+		defer func() {
+			if r := recover(); r != nil {
+				leader.err = core.NewPanicError(leader.spec.cfg.Name, r)
+			}
+		}()
+		if err := faultinject.Fire("exp.leader"); err != nil {
+			leader.err = core.Classify(leader.spec.cfg.Name, err)
+			return
+		}
+		leaderCfg := leader.spec.cfg
+		leaderFlow, err := mid.Fork(func(c *core.FlowConfig) { *c = leaderCfg })
+		if err != nil {
+			leader.err = core.Classify(leader.spec.cfg.Name, err)
+			return
+		}
+		res, err := leaderFlow.RunCtx(s.ctx())
+		if err != nil {
+			leader.err = core.Classify(leader.spec.cfg.Name, err)
+			return
+		}
+		finish(leader, res)
+		return leaderFlow
+	}
+	// runGroup builds the group's shared prefix, runs the leader while
+	// still holding the group's pool slot, then fans the remaining points
+	// out as forks of whatever base the leader left behind. Forked runs
+	// are bit-identical to scratch runs, so the leader topology is
 	// invisible in the tables.
 	runGroup := func(g *prefixGroup) {
 		defer wg.Done()
 		sem <- struct{}{}
-		root, err := s.synthRootFor(g.first.arch, g.first.cfg)
+		mid, err := buildPrefix(g)
 		if err != nil {
 			<-sem
-			fail(err)
+			// The whole group shares the prefix, so its death fails every
+			// point at once — with one shared classified error value, so
+			// the sweep's joined error reports the root cause once.
+			err = core.Classify(g.first.cfg.Name, err)
+			for _, p := range g.points {
+				p.err = err
+			}
 			return
 		}
-		first := g.first.cfg
-		mid, err := root.Fork(func(c *core.FlowConfig) { *c = first })
-		if err == nil {
-			err = mid.RunTo(core.StageCTS)
-		}
-		if err != nil {
-			<-sem
-			fail(err)
-			return
-		}
-		// Leader: the first pending point, run to completion while still
-		// holding the group's pool slot. Siblings fork off the finished
-		// session; if the leader can't run (per-point validation), they
-		// fall back to the placed-and-clocked prefix.
-		base := mid
-		leader := g.points[0]
-		leaderCfg := leader.spec.cfg
-		leaderFlow, err := mid.Fork(func(c *core.FlowConfig) { *c = leaderCfg })
-		if err != nil {
-			fail(err)
-		} else if res, err := leaderFlow.Run(); err != nil {
-			fail(err)
-		} else {
-			finish(leader, res)
-			base = leaderFlow
-		}
+		base := runLeader(g.points[0], mid)
 		<-sem
 		for _, p := range g.points[1:] {
 			wg.Add(1)
@@ -475,7 +598,7 @@ func (s *Suite) runAll(specs []runSpec) ([]*core.FlowResult, error) {
 		go runGroup(groups[pk])
 	}
 	wg.Wait()
-	return out, firstErr
+	return collect()
 }
 
 func (s *Suite) maxParallel() int {

@@ -1,12 +1,51 @@
 package exp
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
 	"repro/internal/core"
 	"repro/internal/tech"
 )
+
+// errClass names the taxonomy kind of a classified sweep-point error,
+// for compact table cells.
+func errClass(err error) string {
+	switch {
+	case errors.Is(err, core.ErrCancelled):
+		return "cancelled"
+	case errors.Is(err, core.ErrStagePanic):
+		return "panic"
+	case errors.Is(err, core.ErrInvalidConfig):
+		return "invalid-config"
+	case errors.Is(err, core.ErrSessionDead):
+		return "session-dead"
+	case errors.Is(err, core.ErrForkRace):
+		return "fork-race"
+	case errors.Is(err, core.ErrStageFailed):
+		return "stage-failed"
+	}
+	return "unclassified"
+}
+
+// validCell renders a result's validity column: the usual true/false, or
+// the error class when the point is a failure placeholder.
+func validCell(r *core.FlowResult) string {
+	if r.Err != nil {
+		return "error: " + errClass(r.Err)
+	}
+	return fmt.Sprintf("%v", r.Valid)
+}
+
+// numCell blanks a metric cell when its point died: a dead point's
+// zero-valued metrics would otherwise read as real data.
+func numCell(r *core.FlowResult, rendered string) string {
+	if r.Err != nil {
+		return "-"
+	}
+	return rendered
+}
 
 // Fig04 reproduces the standard-cell area comparison (3.5T FFET vs 4T
 // CFET, 28 cells).
@@ -147,8 +186,9 @@ func (s *Suite) Table2() *Table {
 	return t
 }
 
-// areaUtilSweep runs a utilization sweep for one configuration, returning
-// the valid points.
+// areaUtilSweep runs a utilization sweep for one configuration. The
+// result slice always covers the full grid — dead points are failure
+// placeholders — and the error joins whatever killed them.
 func (s *Suite) areaUtilSweep(arch tech.Arch, pattern tech.Pattern, backPins float64, target float64) ([]*core.FlowResult, error) {
 	var specs []runSpec
 	for _, u := range s.utilSweep() {
@@ -175,14 +215,8 @@ func maxValidUtil(results []*core.FlowResult) (float64, float64) {
 
 // Fig08a compares core area vs utilization: CFET vs FFET FM12BM12.
 func (s *Suite) Fig08a() (*Table, error) {
-	ffet, err := s.areaUtilSweep(tech.FFET, tech.Pattern{Front: 12, Back: 12}, 0.5, 1.5)
-	if err != nil {
-		return nil, err
-	}
-	cfet, err := s.areaUtilSweep(tech.CFET, tech.Pattern{Front: 12}, 0, 1.5)
-	if err != nil {
-		return nil, err
-	}
+	ffet, fErr := s.areaUtilSweep(tech.FFET, tech.Pattern{Front: 12, Back: 12}, 0.5, 1.5)
+	cfet, cErr := s.areaUtilSweep(tech.CFET, tech.Pattern{Front: 12}, 0, 1.5)
 	t := &Table{
 		ID:     "fig08a",
 		Title:  "Core area vs utilization: CFET vs FFET FM12BM12 (target 1.5 GHz)",
@@ -191,8 +225,8 @@ func (s *Suite) Fig08a() (*Table, error) {
 	for i := range ffet {
 		t.Rows = append(t.Rows, []string{
 			f1(ffet[i].Config.Utilization * 100),
-			f1(cfet[i].CoreAreaUm2), fmt.Sprintf("%v", cfet[i].Valid),
-			f1(ffet[i].CoreAreaUm2), fmt.Sprintf("%v", ffet[i].Valid),
+			numCell(cfet[i], f1(cfet[i].CoreAreaUm2)), validCell(cfet[i]),
+			numCell(ffet[i], f1(ffet[i].CoreAreaUm2)), validCell(ffet[i]),
 		})
 	}
 	fu, fa := maxValidUtil(ffet)
@@ -201,7 +235,7 @@ func (s *Suite) Fig08a() (*Table, error) {
 		fmt.Sprintf("max util: FFET FM12BM12 %.0f%% (paper 86%%), CFET %.0f%%", fu*100, cu*100),
 		fmt.Sprintf("min core area: FFET %.1f um2, CFET %.1f um2 -> %.1f%% reduction (paper -25.1%%)",
 			fa, ca, 100*(1-fa/ca)))
-	return t, nil
+	return t, errors.Join(fErr, cErr)
 }
 
 // Fig08b reports the core layouts at a common utilization (dimensions and
@@ -239,14 +273,8 @@ func (s *Suite) Fig08b() (*Table, error) {
 // Fig08c compares core area vs utilization: CFET vs FFET FM12 (frontside
 // signals only).
 func (s *Suite) Fig08c() (*Table, error) {
-	ffet, err := s.areaUtilSweep(tech.FFET, tech.Pattern{Front: 12}, 0, 1.5)
-	if err != nil {
-		return nil, err
-	}
-	cfet, err := s.areaUtilSweep(tech.CFET, tech.Pattern{Front: 12}, 0, 1.5)
-	if err != nil {
-		return nil, err
-	}
+	ffet, fErr := s.areaUtilSweep(tech.FFET, tech.Pattern{Front: 12}, 0, 1.5)
+	cfet, cErr := s.areaUtilSweep(tech.CFET, tech.Pattern{Front: 12}, 0, 1.5)
 	t := &Table{
 		ID:     "fig08c",
 		Title:  "Core area vs utilization: CFET vs FFET FM12 (single-sided signals)",
@@ -255,8 +283,8 @@ func (s *Suite) Fig08c() (*Table, error) {
 	for i := range ffet {
 		t.Rows = append(t.Rows, []string{
 			f1(ffet[i].Config.Utilization * 100),
-			f1(cfet[i].CoreAreaUm2), fmt.Sprintf("%v", cfet[i].Valid),
-			f1(ffet[i].CoreAreaUm2), fmt.Sprintf("%v", ffet[i].Valid),
+			numCell(cfet[i], f1(cfet[i].CoreAreaUm2)), validCell(cfet[i]),
+			numCell(ffet[i], f1(ffet[i].CoreAreaUm2)), validCell(ffet[i]),
 		})
 	}
 	fu, fa := maxValidUtil(ffet)
@@ -264,7 +292,7 @@ func (s *Suite) Fig08c() (*Table, error) {
 	t.Notes = append(t.Notes,
 		fmt.Sprintf("max util: FFET FM12 %.0f%% (paper 76%%), CFET %.0f%%", fu*100, cu*100),
 		fmt.Sprintf("min area gain %.1f%% (paper -15.4%%)", 100*(1-fa/ca)))
-	return t, nil
+	return t, errors.Join(fErr, cErr)
 }
 
 // Fig09 sweeps the synthesis target and reports power vs achieved
@@ -276,10 +304,7 @@ func (s *Suite) Fig09() (*Table, error) {
 		specs = append(specs, runSpec{tech.CFET, core.DefaultFlowConfig(tech.Pattern{Front: 12}, tgt, util)})
 		specs = append(specs, runSpec{tech.FFET, core.DefaultFlowConfig(tech.Pattern{Front: 12}, tgt, util)})
 	}
-	rs, err := s.runAll(specs)
-	if err != nil {
-		return nil, err
-	}
+	rs, sweepErr := s.runAll(specs)
 	t := &Table{
 		ID:     "fig09",
 		Title:  "Power vs achieved frequency at 76% utilization: CFET vs FFET FM12",
@@ -290,8 +315,8 @@ func (s *Suite) Fig09() (*Table, error) {
 		c, f := rs[i], rs[i+1]
 		t.Rows = append(t.Rows, []string{
 			f2(c.Config.TargetFreqGHz),
-			f3s(c.AchievedFreqGHz), f3s(c.PowerUW / 1000),
-			f3s(f.AchievedFreqGHz), f3s(f.PowerUW / 1000),
+			numCell(c, f3s(c.AchievedFreqGHz)), numCell(c, f3s(c.PowerUW/1000)),
+			numCell(f, f3s(f.AchievedFreqGHz)), numCell(f, f3s(f.PowerUW/1000)),
 		})
 		if f.AchievedFreqGHz > fMax {
 			fMax, fPwr = f.AchievedFreqGHz, f.PowerUW
@@ -311,7 +336,7 @@ func (s *Suite) Fig09() (*Table, error) {
 			fmt.Sprintf("energy/cycle: FFET %.3f vs CFET %.3f pJ -> %+.1f%% (paper power -11.9%% at matched freq)",
 				fE/1000, cE/1000, 100*(fE/cE-1)))
 	}
-	return t, nil
+	return t, sweepErr
 }
 
 // Fig10 reports achieved frequency vs core area at a 1.5 GHz target
@@ -326,10 +351,7 @@ func (s *Suite) Fig10() (*Table, error) {
 		specs = append(specs, runSpec{tech.CFET, core.DefaultFlowConfig(tech.Pattern{Front: 12}, 1.5, u)})
 		specs = append(specs, runSpec{tech.FFET, core.DefaultFlowConfig(tech.Pattern{Front: 12}, 1.5, u)})
 	}
-	rs, err := s.runAll(specs)
-	if err != nil {
-		return nil, err
-	}
+	rs, sweepErr := s.runAll(specs)
 	t := &Table{
 		ID:     "fig10",
 		Title:  "Achieved frequency vs core area (target 1.5 GHz): CFET vs FFET FM12",
@@ -340,8 +362,8 @@ func (s *Suite) Fig10() (*Table, error) {
 		c, f := rs[i], rs[i+1]
 		t.Rows = append(t.Rows, []string{
 			f1(c.Config.Utilization * 100),
-			f1(c.CoreAreaUm2), f3s(c.AchievedFreqGHz),
-			f1(f.CoreAreaUm2), f3s(f.AchievedFreqGHz),
+			numCell(c, f1(c.CoreAreaUm2)), numCell(c, f3s(c.AchievedFreqGHz)),
+			numCell(f, f1(f.CoreAreaUm2)), numCell(f, f3s(f.AchievedFreqGHz)),
 		})
 		if f.Valid && f.AchievedFreqGHz > fBest {
 			fBest = f.AchievedFreqGHz
@@ -355,7 +377,7 @@ func (s *Suite) Fig10() (*Table, error) {
 			"max freq: FFET %.3f vs CFET %.3f GHz -> %+.1f%% (paper +23.4%% at respective max)",
 			fBest, cBest, 100*(fBest/cBest-1)))
 	}
-	return t, nil
+	return t, sweepErr
 }
 
 // Fig11 sweeps the input-pin density DoEs on FM12BM12 across utilization.
@@ -373,10 +395,7 @@ func (s *Suite) Fig11() (*Table, error) {
 			specs = append(specs, runSpec{tech.FFET, cfg})
 		}
 	}
-	rs, err := s.runAll(specs)
-	if err != nil {
-		return nil, err
-	}
+	rs, sweepErr := s.runAll(specs)
 	t := &Table{
 		ID:     "fig11",
 		Title:  "Power-frequency across pin-density DoEs (FM12BM12, util 46-76%)",
@@ -395,8 +414,8 @@ func (s *Suite) Fig11() (*Table, error) {
 			t.Rows = append(t.Rows, []string{
 				fmt.Sprintf("FP%.2gBP%.2g", 1-bp, bp),
 				f1(r.Config.Utilization * 100),
-				f3s(r.AchievedFreqGHz), f3s(r.PowerUW / 1000),
-				fmt.Sprintf("%v", r.Valid),
+				numCell(r, f3s(r.AchievedFreqGHz)), numCell(r, f3s(r.PowerUW/1000)),
+				validCell(r),
 			})
 			if r.Valid {
 				if means[bp] == nil {
@@ -416,7 +435,7 @@ func (s *Suite) Fig11() (*Table, error) {
 		}
 	}
 	t.Notes = append(t.Notes, "paper: FP0.5BP0.5 and FP0.6BP0.4 best; FP0.96BP0.04 worst")
-	return t, nil
+	return t, sweepErr
 }
 
 // Table3 co-optimizes pin density and layer splits at 12 total layers
@@ -446,10 +465,7 @@ func (s *Suite) Table3() (*Table, error) {
 			specs = append(specs, runSpec{tech.FFET, cfg})
 		}
 	}
-	rs, err := s.runAll(specs)
-	if err != nil {
-		return nil, err
-	}
+	rs, sweepErr := s.runAll(specs)
 	t := &Table{
 		ID:     "table3",
 		Title:  "Pin density x routing layer co-optimization vs FFET FM12 baseline",
@@ -469,13 +485,13 @@ func (s *Suite) Table3() (*Table, error) {
 			t.Rows = append(t.Rows, []string{
 				fmt.Sprintf("FP%.2gBP%.2g", 1-d.bp, d.bp),
 				p.String(),
-				pc(100 * (r.AchievedFreqGHz/base.AchievedFreqGHz - 1)),
-				pc(100 * (rE/baseE - 1)),
-				fmt.Sprintf("%v", r.Valid),
+				numCell(r, pc(100*(r.AchievedFreqGHz/base.AchievedFreqGHz-1))),
+				numCell(r, pc(100*(rE/baseE-1))),
+				validCell(r),
 			})
 		}
 	}
-	return t, nil
+	return t, sweepErr
 }
 
 // Fig12 finds max utilization while shrinking both sides' layer counts.
@@ -490,15 +506,16 @@ func (s *Suite) Fig12() (*Table, error) {
 		Header: []string{"layers/side", "max util %"},
 		Notes:  []string{"paper: flat 86% down to 4 layers/side, ~70% at 2"},
 	}
+	var errs []error
 	for _, n := range layerCounts {
 		rs, err := s.areaUtilSweep(tech.FFET, tech.Pattern{Front: n, Back: n}, 0.5, 1.5)
 		if err != nil {
-			return nil, err
+			errs = append(errs, err)
 		}
 		u, _ := maxValidUtil(rs)
 		t.Rows = append(t.Rows, []string{fmt.Sprintf("%d", n), f1(u * 100)})
 	}
-	return t, nil
+	return t, errors.Join(errs...)
 }
 
 // Fig13 tracks power efficiency while shrinking both sides' layer counts
@@ -514,10 +531,7 @@ func (s *Suite) Fig13() (*Table, error) {
 		cfg.BackPinFraction = 0.5
 		specs = append(specs, runSpec{tech.FFET, cfg})
 	}
-	rs, err := s.runAll(specs)
-	if err != nil {
-		return nil, err
-	}
+	rs, sweepErr := s.runAll(specs)
 	t := &Table{
 		ID:     "fig13",
 		Title:  "Power efficiency of FFET FP0.5BP0.5 vs routing layers per side (util 76%)",
@@ -528,12 +542,12 @@ func (s *Suite) Fig13() (*Table, error) {
 	for i, n := range layerCounts {
 		r := rs[i]
 		eff := r.EffGHzPerW
-		if n == 12 {
+		if n == 12 && r.Err == nil {
 			eff12 = eff
 		}
 		t.Rows = append(t.Rows, []string{
-			fmt.Sprintf("%d", n), f3s(r.AchievedFreqGHz), f3s(r.PowerUW / 1000),
-			f1(eff), fmt.Sprintf("%v", r.Valid),
+			fmt.Sprintf("%d", n), numCell(r, f3s(r.AchievedFreqGHz)), numCell(r, f3s(r.PowerUW/1000)),
+			numCell(r, f1(eff)), validCell(r),
 		})
 	}
 	if eff12 > 0 {
@@ -544,5 +558,5 @@ func (s *Suite) Fig13() (*Table, error) {
 			}
 		}
 	}
-	return t, nil
+	return t, sweepErr
 }

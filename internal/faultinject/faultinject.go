@@ -1,0 +1,255 @@
+// Package faultinject is a deterministic, seed-driven fault-injection
+// hook for robustness testing of the flow pipeline.
+//
+// Production code consults the hook at named sites (stage boundaries,
+// sweep-worker entry points, long-loop checkpoints) via Fire. With no
+// schedule active — the default — Fire is a single atomic load returning
+// nil, so instrumented code pays nothing. Tests Activate a Schedule built
+// from a seed; the schedule then decides, purely from (seed, site,
+// per-site hit index), which hits inject a fault and of which kind:
+//
+//   - Error:  Fire returns an error wrapping ErrInjected;
+//   - Panic:  Fire panics with a PanicValue (the flow's stage recovery is
+//     expected to contain it);
+//   - Cancel: Fire invokes the schedule's cancel hook (typically a
+//     context.CancelFunc) and returns nil — the work keeps running until
+//     it observes the cancellation, exactly like a real cancel.
+//
+// Decisions are deterministic per (site, hit index) even under
+// concurrency: each site keeps its own hit counter, so the set of firing
+// hits is a pure function of the seed, regardless of which goroutine
+// reaches a given hit.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Kind classifies an injected fault.
+type Kind uint8
+
+// Fault kinds.
+const (
+	None Kind = iota
+	Error
+	Panic
+	Cancel
+)
+
+// String returns the kind's short name.
+func (k Kind) String() string {
+	switch k {
+	case Error:
+		return "error"
+	case Panic:
+		return "panic"
+	case Cancel:
+		return "cancel"
+	}
+	return "none"
+}
+
+// ErrInjected is the sentinel every injected error wraps; callers match it
+// with errors.Is to tell injected faults from organic failures.
+var ErrInjected = errors.New("faultinject: injected error")
+
+// PanicValue is the value injected panics carry, so recovery sites (and
+// tests inspecting recovered values) can identify them.
+type PanicValue struct {
+	Site string
+	Hit  uint64
+}
+
+// String renders the panic value.
+func (p PanicValue) String() string {
+	return fmt.Sprintf("faultinject: injected panic at %s (hit %d)", p.Site, p.Hit)
+}
+
+// Fired records one fault that fired.
+type Fired struct {
+	Site string
+	Hit  uint64
+	Kind Kind
+}
+
+// Schedule decides deterministically, from a seed, which site hits inject
+// a fault and of which kind. A Schedule is safe for concurrent use.
+type Schedule struct {
+	seed  uint64
+	oneIn uint64 // a hit faults when hash % oneIn == 0; 0 disables
+	kinds []Kind
+	sites map[string]bool // nil = every site is eligible
+	// onCancel is invoked for Cancel faults (typically a context.CancelFunc).
+	onCancel func()
+
+	mu     sync.Mutex
+	counts map[string]*uint64
+	fired  []Fired
+}
+
+// Option configures a Schedule.
+type Option func(*Schedule)
+
+// WithRate sets the fault rate to roughly one in every oneIn hits
+// (decided per hit by the deterministic hash). oneIn <= 1 faults every
+// eligible hit.
+func WithRate(oneIn uint64) Option {
+	return func(s *Schedule) {
+		if oneIn < 1 {
+			oneIn = 1
+		}
+		s.oneIn = oneIn
+	}
+}
+
+// WithKinds restricts the kinds a schedule draws from (default: Error,
+// Panic, and Cancel when a cancel hook is set, else Error and Panic).
+func WithKinds(kinds ...Kind) Option {
+	return func(s *Schedule) { s.kinds = append([]Kind(nil), kinds...) }
+}
+
+// WithSites restricts injection to the named sites; other sites never
+// fault (their hit counters still advance, keeping decisions stable).
+func WithSites(sites ...string) Option {
+	return func(s *Schedule) {
+		s.sites = make(map[string]bool, len(sites))
+		for _, site := range sites {
+			s.sites[site] = true
+		}
+	}
+}
+
+// WithCancelFunc sets the hook Cancel faults invoke.
+func WithCancelFunc(fn func()) Option {
+	return func(s *Schedule) { s.onCancel = fn }
+}
+
+// New builds a schedule for a seed. With no options it faults roughly one
+// in every 16 hits, drawing from every kind it can honor.
+func New(seed uint64, opts ...Option) *Schedule {
+	s := &Schedule{seed: seed, oneIn: 16, counts: make(map[string]*uint64)}
+	for _, o := range opts {
+		o(s)
+	}
+	if len(s.kinds) == 0 {
+		s.kinds = []Kind{Error, Panic}
+		if s.onCancel != nil {
+			s.kinds = append(s.kinds, Cancel)
+		}
+	}
+	return s
+}
+
+// Seed returns the schedule's seed.
+func (s *Schedule) Seed() uint64 { return s.seed }
+
+// Fired returns a copy of the faults fired so far, in firing order.
+func (s *Schedule) Fired() []Fired {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Fired(nil), s.fired...)
+}
+
+// FiredByKind counts fired faults of one kind.
+func (s *Schedule) FiredByKind(k Kind) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, f := range s.fired {
+		if f.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// splitmix64 is the SplitMix64 output function — a strong, allocation-free
+// mixer for the per-hit decision hash.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// siteHash folds a site name into a uint64 (FNV-1a).
+func siteHash(site string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(site); i++ {
+		h ^= uint64(site[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// nextHit atomically advances and returns the site's hit index.
+func (s *Schedule) nextHit(site string) uint64 {
+	s.mu.Lock()
+	c := s.counts[site]
+	if c == nil {
+		c = new(uint64)
+		s.counts[site] = c
+	}
+	s.mu.Unlock()
+	return atomic.AddUint64(c, 1) - 1
+}
+
+// fire consults the schedule at one site hit; see Fire.
+func (s *Schedule) fire(site string) error {
+	hit := s.nextHit(site)
+	if s.sites != nil && !s.sites[site] {
+		return nil
+	}
+	h := splitmix64(s.seed ^ splitmix64(siteHash(site)+hit))
+	if s.oneIn == 0 || h%s.oneIn != 0 {
+		return nil
+	}
+	kind := s.kinds[(h>>32)%uint64(len(s.kinds))]
+	s.mu.Lock()
+	s.fired = append(s.fired, Fired{Site: site, Hit: hit, Kind: kind})
+	s.mu.Unlock()
+	switch kind {
+	case Error:
+		return fmt.Errorf("%w at %s (hit %d, seed %#x)", ErrInjected, site, hit, s.seed)
+	case Panic:
+		panic(PanicValue{Site: site, Hit: hit})
+	case Cancel:
+		if s.onCancel != nil {
+			s.onCancel()
+		}
+	}
+	return nil
+}
+
+// active is the process-wide installed schedule; nil (the default) means
+// every Fire call is a no-op costing one atomic load.
+var active atomic.Pointer[Schedule]
+
+// Enabled reports whether a schedule is active.
+func Enabled() bool { return active.Load() != nil }
+
+// Fire consults the active schedule at a named site: it returns an
+// injected error, panics with a PanicValue, invokes the schedule's cancel
+// hook, or — in the overwhelmingly common disabled case — returns nil
+// after a single atomic load.
+func Fire(site string) error {
+	s := active.Load()
+	if s == nil {
+		return nil
+	}
+	return s.fire(site)
+}
+
+// Activate installs the schedule process-wide and returns the function
+// that deactivates it. Only one schedule may be active at a time;
+// Activate panics if another is already installed (tests must serialize
+// their schedules).
+func Activate(s *Schedule) (deactivate func()) {
+	if !active.CompareAndSwap(nil, s) {
+		panic("faultinject: a schedule is already active")
+	}
+	return func() { active.CompareAndSwap(s, nil) }
+}

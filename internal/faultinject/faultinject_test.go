@@ -1,0 +1,155 @@
+package faultinject
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+// drive fires a schedule over a fixed site/hit sequence, recovering
+// injected panics, and returns the observed fired list.
+func drive(s *Schedule, sites []string, hitsPerSite int) []Fired {
+	for i := 0; i < hitsPerSite; i++ {
+		for _, site := range sites {
+			func() {
+				defer func() { recover() }()
+				_ = s.fire(site)
+			}()
+		}
+	}
+	return s.Fired()
+}
+
+func TestScheduleDeterministicPerSeed(t *testing.T) {
+	sites := []string{"a", "b", "core.stage.route"}
+	for seed := uint64(0); seed < 20; seed++ {
+		f1 := drive(New(seed, WithRate(4)), sites, 50)
+		f2 := drive(New(seed, WithRate(4)), sites, 50)
+		if len(f1) != len(f2) {
+			t.Fatalf("seed %d: fired %d vs %d", seed, len(f1), len(f2))
+		}
+		for i := range f1 {
+			if f1[i] != f2[i] {
+				t.Fatalf("seed %d: fired[%d] = %+v vs %+v", seed, i, f1[i], f2[i])
+			}
+		}
+	}
+}
+
+func TestScheduleDeterministicUnderConcurrency(t *testing.T) {
+	// The set of (site, hit) decisions must not depend on which goroutine
+	// reaches a hit: hammer one site from many goroutines and compare the
+	// fired set (order aside) with a serial run.
+	serial := drive(New(7, WithRate(3), WithKinds(Error)), []string{"s"}, 400)
+	conc := New(7, WithRate(3), WithKinds(Error))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				_ = conc.fire("s")
+			}
+		}()
+	}
+	wg.Wait()
+	want := map[Fired]bool{}
+	for _, f := range serial {
+		want[f] = true
+	}
+	got := conc.Fired()
+	if len(got) != len(serial) {
+		t.Fatalf("concurrent fired %d, serial %d", len(got), len(serial))
+	}
+	for _, f := range got {
+		if !want[f] {
+			t.Fatalf("concurrent fired unexpected %+v", f)
+		}
+	}
+}
+
+func TestRateOneFiresEveryHit(t *testing.T) {
+	s := New(1, WithRate(1), WithKinds(Error))
+	for i := 0; i < 10; i++ {
+		if err := s.fire("x"); !errors.Is(err, ErrInjected) {
+			t.Fatalf("hit %d: err = %v, want ErrInjected", i, err)
+		}
+	}
+	if n := s.FiredByKind(Error); n != 10 {
+		t.Fatalf("fired = %d, want 10", n)
+	}
+}
+
+func TestSiteFilter(t *testing.T) {
+	s := New(3, WithRate(1), WithKinds(Error), WithSites("only"))
+	if err := s.fire("other"); err != nil {
+		t.Fatalf("filtered site fired: %v", err)
+	}
+	if err := s.fire("only"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("eligible site did not fire: %v", err)
+	}
+	for _, f := range s.Fired() {
+		if f.Site != "only" {
+			t.Fatalf("fired at filtered site %q", f.Site)
+		}
+	}
+}
+
+func TestPanicKindCarriesPanicValue(t *testing.T) {
+	s := New(5, WithRate(1), WithKinds(Panic))
+	defer func() {
+		r := recover()
+		pv, ok := r.(PanicValue)
+		if !ok {
+			t.Fatalf("recovered %T (%v), want PanicValue", r, r)
+		}
+		if pv.Site != "p" || pv.Hit != 0 {
+			t.Fatalf("PanicValue = %+v", pv)
+		}
+	}()
+	_ = s.fire("p")
+	t.Fatal("fire did not panic")
+}
+
+func TestCancelKindInvokesHook(t *testing.T) {
+	called := 0
+	s := New(9, WithRate(1), WithKinds(Cancel), WithCancelFunc(func() { called++ }))
+	if err := s.fire("c"); err != nil {
+		t.Fatalf("cancel fault returned error: %v", err)
+	}
+	if called != 1 {
+		t.Fatalf("cancel hook called %d times, want 1", called)
+	}
+}
+
+func TestActivateLifecycle(t *testing.T) {
+	if Enabled() {
+		t.Fatal("schedule active at test start")
+	}
+	if err := Fire("anywhere"); err != nil {
+		t.Fatalf("disabled Fire: %v", err)
+	}
+	s := New(2, WithRate(1), WithKinds(Error), WithSites("live"))
+	deactivate := Activate(s)
+	if !Enabled() {
+		t.Fatal("Enabled false after Activate")
+	}
+	if err := Fire("live"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("active Fire: %v", err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("second Activate did not panic")
+			}
+		}()
+		Activate(New(3))
+	}()
+	deactivate()
+	if Enabled() {
+		t.Fatal("Enabled true after deactivate")
+	}
+	if err := Fire("live"); err != nil {
+		t.Fatalf("Fire after deactivate: %v", err)
+	}
+}

@@ -8,6 +8,7 @@ package place
 
 import (
 	"cmp"
+	"context"
 	"fmt"
 	"math/rand"
 	"slices"
@@ -18,6 +19,21 @@ import (
 	"repro/internal/geom"
 	"repro/internal/netlist"
 )
+
+// pollCtx returns ctx's error once it is cancelled, nil before. done is
+// ctx.Done(), hoisted by the caller; a nil done (Background context)
+// makes the check free.
+func pollCtx(ctx context.Context, done <-chan struct{}) error {
+	if done == nil {
+		return nil
+	}
+	select {
+	case <-done:
+		return fmt.Errorf("place: cancelled: %w", ctx.Err())
+	default:
+		return nil
+	}
+}
 
 // Options tunes placement.
 type Options struct {
@@ -95,6 +111,16 @@ func HPWL(nl *netlist.Netlist, fp *floorplan.Plan) int64 {
 // alternating attraction (move to connected centroid) and density
 // spreading passes. Fixed instances are never moved.
 func Global(nl *netlist.Netlist, fp *floorplan.Plan, opt Options) {
+	// A Background context never cancels, so the error is unreachable.
+	_ = GlobalCtx(context.Background(), nl, fp, opt)
+}
+
+// GlobalCtx is Global under a context: cancellation is observed between
+// refinement iterations and the pass is abandoned mid-placement (the
+// netlist holds partial positions — callers must treat a cancelled
+// placement as unusable).
+func GlobalCtx(ctx context.Context, nl *netlist.Netlist, fp *floorplan.Plan, opt Options) error {
+	done := ctx.Done()
 	rng := rand.New(rand.NewSource(opt.Seed))
 	W, H := fp.Core.W(), fp.Core.H()
 	for _, inst := range nl.Instances {
@@ -113,6 +139,9 @@ func Global(nl *netlist.Netlist, fp *floorplan.Plan, opt Options) {
 	// all rebuilt in place instead of reallocated per pass.
 	ws := newGlobalWorkspace(len(nl.Instances))
 	for it := 0; it < opt.GlobalIters; it++ {
+		if err := pollCtx(ctx, done); err != nil {
+			return err
+		}
 		ws.attract(nl, fp, opt)
 		ws.attract(nl, fp, opt)
 		if it%2 == 1 || it == opt.GlobalIters-1 {
@@ -122,6 +151,7 @@ func Global(nl *netlist.Netlist, fp *floorplan.Plan, opt Options) {
 	// Local density cleanup then a last pull.
 	ws.spread(nl, fp, opt)
 	ws.attract(nl, fp, opt)
+	return nil
 }
 
 // rankSpread redistributes cells uniformly along each axis by rank,
@@ -572,6 +602,15 @@ func CheckLegal(nl *netlist.Netlist, fp *floorplan.Plan, blockages map[int][]geo
 // Typical detailed-placement cleanup after legalization. Blockages are
 // honored by clamping each slide against the row's blocked intervals.
 func Refine(nl *netlist.Netlist, fp *floorplan.Plan, blockages map[int][]geom.Interval, passes int) {
+	// A Background context never cancels, so the error is unreachable.
+	_ = RefineCtx(context.Background(), nl, fp, blockages, passes)
+}
+
+// RefineCtx is Refine under a context: cancellation is observed between
+// row-sliding passes and at every row within a pass. A cancelled
+// refinement leaves the placement legal (each completed slide preserves
+// legality) but callers treat it as unusable for determinism.
+func RefineCtx(ctx context.Context, nl *netlist.Netlist, fp *floorplan.Plan, blockages map[int][]geom.Interval, passes int) error {
 	rowH := fp.Stack.CellHeightNm()
 	type rowCells struct {
 		cells []*netlist.Instance
@@ -638,8 +677,12 @@ func Refine(nl *netlist.Netlist, fp *floorplan.Plan, blockages map[int][]geom.In
 		rowYs = append(rowYs, y)
 	}
 	sort.Slice(rowYs, func(i, j int) bool { return rowYs[i] < rowYs[j] })
+	done := ctx.Done()
 	for pass := 0; pass < passes; pass++ {
 		for _, y := range rowYs {
+			if err := pollCtx(ctx, done); err != nil {
+				return err
+			}
 			r := rows[y]
 			sort.Slice(r.cells, func(i, j int) bool { return r.cells[i].Pos.X < r.cells[j].Pos.X })
 			for i, inst := range r.cells {
@@ -681,4 +724,5 @@ func Refine(nl *netlist.Netlist, fp *floorplan.Plan, blockages map[int][]geom.In
 		}
 	}
 	_ = rowH
+	return nil
 }

@@ -1,0 +1,50 @@
+package route
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/tech"
+)
+
+// TestRunCtxCancelled pins the router's cancellation contract: a cancelled
+// context aborts the run with the context cause in the chain, and the
+// Router stays reusable — the next Run resets the grid and routes exactly
+// like a fresh router.
+func TestRunCtxCancelled(t *testing.T) {
+	core := geom.R(0, 0, 10000, 10000)
+	r, err := NewRouter(core, tech.Front, ffetFrontLayers(12), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nets := []*Net{
+		mkNet(0, "n1", geom.Pt(500, 500), geom.Pt(8500, 6500)),
+		mkNet(1, "n2", geom.Pt(1500, 9500), geom.Pt(9500, 500)),
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := r.RunCtx(ctx, nets); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run = %v, want context.Canceled in chain", err)
+	}
+
+	// Partial usage state from the aborted run must not leak into the
+	// next one: the reused router's result must match a fresh router's.
+	got, err := r.Run(nets)
+	if err != nil {
+		t.Fatalf("Run after cancel: %v", err)
+	}
+	fresh, err := NewRouter(core, tech.Front, ffetFrontLayers(12), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fresh.Run(nets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.DRVs != want.DRVs || got.WirelenNm != want.WirelenNm {
+		t.Errorf("post-cancel run (drv=%d wl=%d) != fresh (drv=%d wl=%d)",
+			got.DRVs, got.WirelenNm, want.DRVs, want.WirelenNm)
+	}
+}

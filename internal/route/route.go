@@ -30,6 +30,7 @@
 package route
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -241,6 +242,38 @@ type Router struct {
 	edgeNets [][]edgeOwner
 	cand     []bool
 	sweepPos int
+
+	// Cancellation state for the Run in flight: done is the context's
+	// Done channel (nil when the run is not cancellable, making every
+	// poll a single comparison), pollCtr rate-limits the channel check to
+	// one in cancelCheckEvery A* expansions.
+	ctx     context.Context
+	done    <-chan struct{}
+	pollCtr uint32
+}
+
+// cancelCheckEvery is the A*-expansion interval between cancellation
+// checks: small enough that a cancel lands within a few thousand pops,
+// large enough that the check never shows up in a profile. Must be a
+// power of two.
+const cancelCheckEvery = 4096
+
+// pollCancel returns the run's cancellation error at a bounded interval
+// of calls, nil otherwise.
+func (r *Router) pollCancel() error {
+	if r.done == nil {
+		return nil
+	}
+	r.pollCtr++
+	if r.pollCtr&(cancelCheckEvery-1) != 0 {
+		return nil
+	}
+	select {
+	case <-r.done:
+		return fmt.Errorf("route: cancelled: %w", r.ctx.Err())
+	default:
+		return nil
+	}
 }
 
 // NewRouter builds the routing grid for a side of the core area. layers
@@ -386,6 +419,19 @@ type netRoute struct {
 
 // Run routes all nets and returns the result with layer-assigned trees.
 func (r *Router) Run(nets []*Net) (*Result, error) {
+	return r.RunCtx(context.Background(), nets)
+}
+
+// RunCtx is Run under a context: cancellation is observed per routed net,
+// per negotiation iteration, and — inside the A* core — every
+// cancelCheckEvery expansions, so even a single huge net aborts within a
+// bounded number of inner iterations. A cancelled router holds partial
+// usage state; Run resets the grid, so the Router itself stays reusable.
+func (r *Router) RunCtx(ctx context.Context, nets []*Net) (*Result, error) {
+	r.ctx = ctx
+	r.done = ctx.Done()
+	r.pollCtr = 0
+	defer func() { r.ctx, r.done = nil, nil }()
 	for _, n := range nets {
 		drivers := 0
 		for _, p := range n.Pins {
@@ -440,11 +486,20 @@ func (r *Router) Run(nets []*Net) (*Result, error) {
 
 	presFac := 1.0
 	for _, nr := range order {
-		r.routeNet(nr, presFac)
+		if err := r.routeNet(nr, presFac); err != nil {
+			return nil, err
+		}
 	}
 	prevOver := 1 << 30
 	stale := 0
 	for it := 0; it < r.opt.Iterations; it++ {
+		if r.done != nil {
+			select {
+			case <-r.done:
+				return nil, fmt.Errorf("route: cancelled: %w", ctx.Err())
+			default:
+			}
+		}
 		over := r.overflowedEdges()
 		if len(over) == 0 {
 			break
@@ -488,7 +543,10 @@ func (r *Router) Run(nets []*Net) (*Result, error) {
 				continue
 			}
 			r.unroute(nr)
-			r.routeNet(nr, presFac)
+			if err := r.routeNet(nr, presFac); err != nil {
+				r.sweepPos = -1
+				return nil, err
+			}
 		}
 		r.sweepPos = -1
 	}
@@ -538,8 +596,10 @@ func (r *Router) Run(nets []*Net) (*Result, error) {
 	return res, nil
 }
 
-// routeNet routes the net's MST topology with A*, updating usage.
-func (r *Router) routeNet(nr *netRoute, presFac float64) {
+// routeNet routes the net's MST topology with A*, updating usage. On
+// cancellation the net's partial commits stay in the usage arrays; the
+// caller abandons the whole Run (the next Run resets the grid).
+func (r *Router) routeNet(nr *netRoute, presFac float64) error {
 	s := r.sc
 	s.beginNet()
 	nr.edges = nr.edges[:0]
@@ -576,8 +636,10 @@ func (r *Router) routeNet(nr *netRoute, presFac float64) {
 				break
 			}
 		}
-		r.astar(nr, int(s.pinX[bestFrom]), int(s.pinY[bestFrom]),
-			int(s.pinX[best]), int(s.pinY[best]), presFac)
+		if err := r.astar(nr, int(s.pinX[bestFrom]), int(s.pinY[bestFrom]),
+			int(s.pinX[best]), int(s.pinY[best]), presFac); err != nil {
+			return err
+		}
 		s.inTree[best] = true
 		for i := 1; i < k; i++ {
 			if !s.inTree[i] {
@@ -587,6 +649,7 @@ func (r *Router) routeNet(nr *netRoute, presFac float64) {
 			}
 		}
 	}
+	return nil
 }
 
 // ownedEdgeCost is the near-free cost of re-riding an edge the net
@@ -629,10 +692,10 @@ const astarWindowMargin = 4
 // Otherwise the margin grows and the search re-runs. Segments of nets
 // with owned (near-free) edges break the cost ≥ 1 premise and run
 // unwindowed.
-func (r *Router) astar(nr *netRoute, sx, sy, tx, ty int, presFac float64) {
+func (r *Router) astar(nr *netRoute, sx, sy, tx, ty int, presFac float64) error {
 	g, s := r.g, r.sc
 	if sx == tx && sy == ty {
-		return
+		return nil
 	}
 	manh := float64(geom.Abs(sx-tx) + geom.Abs(sy-ty))
 	lox, loy, hix, hiy := 0, 0, g.w-1, g.h-1
@@ -645,7 +708,10 @@ func (r *Router) astar(nr *netRoute, sx, sy, tx, ty int, presFac float64) {
 			hix = min(max(sx, tx)+margin, g.w-1)
 			hiy = min(max(sy, ty)+margin, g.h-1)
 		}
-		cost, found := r.search(nr, sx, sy, tx, ty, presFac, lox, loy, hix, hiy)
+		cost, found, err := r.search(nr, sx, sy, tx, ty, presFac, lox, loy, hix, hiy)
+		if err != nil {
+			return err
+		}
 		if !windowed {
 			break
 		}
@@ -665,11 +731,11 @@ func (r *Router) astar(nr *netRoute, sx, sy, tx, ty int, presFac float64) {
 	for !(cx == sx && cy == sy) {
 		cell := int32(cy*g.w + cx)
 		if s.visitEpoch[cell] != s.epoch {
-			return // unreachable; should not happen on a connected grid
+			return nil // unreachable; should not happen on a connected grid
 		}
 		p := s.prev[cell]
 		if p < 0 {
-			return
+			return nil
 		}
 		px, py := int(p)%g.w, int(p)/g.w
 		var eid int32
@@ -698,12 +764,13 @@ func (r *Router) astar(nr *netRoute, sx, sy, tx, ty int, presFac float64) {
 		}
 		cx, cy = px, py
 	}
+	return nil
 }
 
 // search runs one A* pass restricted to the [lox,hix]×[loy,hiy] window,
 // leaving dist/prev in the scratch arena, and returns the target's
 // g-cost. It allocates nothing once the frontier slice has warmed up.
-func (r *Router) search(nr *netRoute, sx, sy, tx, ty int, presFac float64, lox, loy, hix, hiy int) (float64, bool) {
+func (r *Router) search(nr *netRoute, sx, sy, tx, ty int, presFac float64, lox, loy, hix, hiy int) (float64, bool, error) {
 	g, s := r.g, r.sc
 	s.beginSearch()
 	s.pq.reset()
@@ -714,9 +781,12 @@ func (r *Router) search(nr *netRoute, sx, sy, tx, ty int, presFac float64, lox, 
 	s.touch(sid)
 	s.dist[sid] = 0
 	for s.pq.len() > 0 {
+		if err := r.pollCancel(); err != nil {
+			return 0, false, err
+		}
 		cur := s.pq.pop()
 		if cur.node == tid {
-			return cur.cost, true
+			return cur.cost, true, nil
 		}
 		if cur.cost > s.dist[cur.node] {
 			continue
@@ -760,7 +830,7 @@ func (r *Router) search(nr *netRoute, sx, sy, tx, ty int, presFac float64, lox, 
 			}
 		}
 	}
-	return math.MaxFloat64, false
+	return math.MaxFloat64, false, nil
 }
 
 // addOwner records the net as an owner of the edge in the reverse index,

@@ -20,6 +20,7 @@
 package sta
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -27,6 +28,20 @@ import (
 	"repro/internal/liberty"
 	"repro/internal/netlist"
 )
+
+// cancelCheckEvery is the interval, in propagated cells, between
+// cancellation checks inside the levelized loops: a cancel lands within a
+// bounded number of inner iterations without the check ever showing up in
+// a profile. Must be a power of two.
+const cancelCheckEvery = 4096
+
+// cancelled builds the error a cancelled propagation returns. The engine's
+// retained state is partially updated at that point, so callers of the
+// Ctx variants also see hasBase dropped: the next Reanalyze falls back to
+// a full pass instead of trusting a half-propagated basis.
+func cancelled(ctx context.Context) error {
+	return fmt.Errorf("sta: cancelled during propagation: %w", ctx.Err())
+}
 
 // Options configures analysis.
 type Options struct {
@@ -315,10 +330,27 @@ func (e *Engine) Analyze(in Input, opt Options) (*Result, error) {
 // when its capacity suffices: a warmed caller-owned Result makes repeated
 // analysis allocation-free without borrowing Engine-owned storage.
 func (e *Engine) AnalyzeInto(dst *Result, in Input, opt Options) error {
+	return e.AnalyzeIntoCtx(context.Background(), dst, in, opt)
+}
+
+// AnalyzeIntoCtx is AnalyzeInto under a context: cancellation is observed
+// every cancelCheckEvery cells of the levelized propagation. A cancelled
+// analysis leaves the engine without a retained basis (the propagation
+// state is partial), so the next call on this engine runs full.
+func (e *Engine) AnalyzeIntoCtx(ctx context.Context, dst *Result, in Input, opt Options) error {
+	done := ctx.Done()
 	e.beginEpoch()
 	e.stats = ReStats{}
 	e.seedSources(in, opt)
-	for _, inst := range e.order {
+	for i, inst := range e.order {
+		if done != nil && i&(cancelCheckEvery-1) == 0 {
+			select {
+			case <-done:
+				e.hasBase = false
+				return cancelled(ctx)
+			default:
+			}
+		}
 		out := e.outSeq[inst.Seq]
 		if out < 0 {
 			continue
@@ -331,6 +363,14 @@ func (e *Engine) AnalyzeInto(dst *Result, in Input, opt Options) error {
 		e.set(out, bestArr, bestSlew, int32(inst.Seq))
 	}
 	for i, ff := range e.flops {
+		if done != nil && i&(cancelCheckEvery-1) == 0 {
+			select {
+			case <-done:
+				e.hasBase = false
+				return cancelled(ctx)
+			default:
+			}
+		}
 		e.stats.RecomputedEndpoints++
 		e.checkEndpoint(i, ff, in, opt)
 	}
@@ -361,9 +401,17 @@ func (e *Engine) Reanalyze(in Input, opt Options, dirtyNets []int32) (*Result, e
 
 // ReanalyzeInto is Reanalyze filling caller-owned storage (see AnalyzeInto).
 func (e *Engine) ReanalyzeInto(dst *Result, in Input, opt Options, dirtyNets []int32) error {
+	return e.ReanalyzeIntoCtx(context.Background(), dst, in, opt, dirtyNets)
+}
+
+// ReanalyzeIntoCtx is ReanalyzeInto under a context; see AnalyzeIntoCtx
+// for the cancellation semantics (a cancelled re-propagation likewise
+// drops the retained basis).
+func (e *Engine) ReanalyzeIntoCtx(ctx context.Context, dst *Result, in Input, opt Options, dirtyNets []int32) error {
 	if !e.hasBase || opt != e.baseOpt || !e.clkMatchesBase(in) {
-		return e.AnalyzeInto(dst, in, opt)
+		return e.AnalyzeIntoCtx(ctx, dst, in, opt)
 	}
+	done := ctx.Done()
 	e.beginReEpoch()
 	e.stats = ReStats{Incremental: true, DirtyNets: len(dirtyNets)}
 	for _, s := range dirtyNets {
@@ -373,7 +421,7 @@ func (e *Engine) ReanalyzeInto(dst *Result, in Input, opt Options, dirtyNets []i
 			// (extract.DiffRC reports exactly that for mismatched view
 			// sizes) — not a valid incremental basis. Honor the fallback
 			// contract instead of silently dropping the net.
-			return e.AnalyzeInto(dst, in, opt)
+			return e.AnalyzeIntoCtx(ctx, dst, in, opt)
 		}
 		e.rcStamp[s] = e.reEpoch
 	}
@@ -403,7 +451,15 @@ func (e *Engine) ReanalyzeInto(dst *Result, in Input, opt Options, dirtyNets []i
 	// guarantees every fanin's valStamp is final before its consumers are
 	// visited; a re-evaluation that reproduces the retained value
 	// bit-identically stops the cone right there.
-	for _, inst := range e.order {
+	for i, inst := range e.order {
+		if done != nil && i&(cancelCheckEvery-1) == 0 {
+			select {
+			case <-done:
+				e.hasBase = false
+				return cancelled(ctx)
+			default:
+			}
+		}
 		out := e.outSeq[inst.Seq]
 		if out < 0 {
 			continue

@@ -19,12 +19,22 @@ go build ./...
 go test ./...
 
 echo "== benchmarks (Flow|STAReuse|BuildDEF|BuildTree|SweepShared|SweepIncremental, -benchtime=${BENCHTIME}) =="
-BENCH_OUT="$(go test -run=NONE -bench='Flow|STAReuse|BuildDEF|BuildTree|SweepShared|SweepIncremental' -benchmem -benchtime="${BENCHTIME}" . ./internal/core ./internal/route 2>&1)"
+# Fail fast: a failing bench run (build error, panicking benchmark) must
+# exit non-zero without leaving a partial BENCH_<date>.json behind, so
+# the snapshot is written to a temp file and only moved into place after
+# the run succeeded and at least one benchmark row parsed.
+if ! BENCH_OUT="$(go test -run=NONE -bench='Flow|STAReuse|BuildDEF|BuildTree|SweepShared|SweepIncremental' -benchmem -benchtime="${BENCHTIME}" . ./internal/core ./internal/route 2>&1)"; then
+  echo "${BENCH_OUT}"
+  echo "bench run failed; no snapshot written" >&2
+  exit 1
+fi
 echo "${BENCH_OUT}"
 
 DATE="$(date +%Y%m%d)"
 COMMIT="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
 SNAPSHOT="BENCH_${DATE}.json"
+TMP_SNAPSHOT="$(mktemp "${SNAPSHOT}.XXXXXX.tmp")"
+trap 'rm -f "${TMP_SNAPSHOT}"' EXIT
 
 # Parse benchmark rows into JSON. Benchmarks that print tables interleave
 # their output between the name and the timing fields, so remember the
@@ -49,7 +59,16 @@ BEGIN { printf "{\n  \"date\": \"%s\",\n  \"commit\": \"%s\",\n  \"benchmarks\":
     name = ""
 }
 END { printf "\n  ]\n}\n" }
-' > "${SNAPSHOT}"
+' > "${TMP_SNAPSHOT}"
+
+# Refuse to publish a snapshot that parsed no benchmark rows — that means
+# the awk scrape broke or the bench filter matched nothing.
+if ! grep -q '"ns_op"' "${TMP_SNAPSHOT}"; then
+  echo "no benchmark rows parsed; no snapshot written" >&2
+  exit 1
+fi
+mv "${TMP_SNAPSHOT}" "${SNAPSHOT}"
+trap - EXIT
 
 echo "== snapshot: ${SNAPSHOT} =="
 cat "${SNAPSHOT}"
