@@ -197,23 +197,31 @@ func buildDEF(nl *netlist.Netlist, fp *floorplan.Plan, pp *powerplan.Result, rr 
 			StepX:  fp.Stack.CPPNm,
 		})
 	}
-	for _, inst := range nl.Instances {
-		d.AddComponent(&def.Component{
+	// Components, pins and nets are bulk-allocated (one arena per kind,
+	// pointers into it): a DEF view is rebuilt per side per flow, and
+	// per-object allocation here dominated the whole flow's alloc count.
+	compArena := make([]def.Component, len(nl.Instances))
+	for i, inst := range nl.Instances {
+		compArena[i] = def.Component{
 			Name:  inst.Name,
 			Macro: inst.Cell.Name,
 			Pos:   inst.Pos,
 			Fixed: inst.Fixed,
-		})
+		}
+		d.AddComponent(&compArena[i])
 	}
-	for _, p := range nl.Ports {
+	pinLayer := fmt.Sprintf("%sM2", side)
+	ioArena := make([]def.IOPin, len(nl.Ports))
+	for i, p := range nl.Ports {
 		dir := "INPUT"
 		if p.Dir == netlist.Out {
 			dir = "OUTPUT"
 		}
-		d.Pins = append(d.Pins, &def.IOPin{
+		ioArena[i] = def.IOPin{
 			Name: p.Name, Net: p.Name, Dir: dir,
-			Layer: fmt.Sprintf("%sM2", side), Pos: p.Pos,
-		})
+			Layer: pinLayer, Pos: p.Pos,
+		}
+		d.Pins = append(d.Pins, &ioArena[i])
 	}
 	// BSPDN stripes live on the backside; tap cells appear in both views
 	// (they span the wafer).
@@ -224,18 +232,51 @@ func buildDEF(nl *netlist.Netlist, fp *floorplan.Plan, pp *powerplan.Result, rr 
 		d.AddComponent(c)
 	}
 	if rr != nil {
-		d.Nets = make([]*def.Net, 0, len(rr.Trees))
 		// Trees is net-Seq indexed; nets without a sub-net on this side
-		// are nil slots.
+		// are nil slots. Pre-count so every per-net slice comes out of a
+		// shared arena (capacity-capped, so stray appends reallocate
+		// instead of clobbering the next net's range).
+		nNets, nPins, nWires, nVias := 0, 0, 0, 0
 		for _, tree := range rr.Trees {
 			if tree == nil {
 				continue
 			}
-			dn := &def.Net{
-				Name:  tree.Name,
-				Pins:  make([]def.NetPin, 0, len(tree.Pins)),
-				Wires: make([]def.Wire, 0, len(tree.Edges)),
+			nNets++
+			nPins += len(tree.Pins)
+			nWires += len(tree.Edges)
+			for _, e := range tree.Edges {
+				if e.Vias > 0 {
+					nVias++
+				}
 			}
+		}
+		d.Nets = make([]*def.Net, 0, nNets)
+		netArena := make([]def.Net, 0, nNets)
+		pinArena := make([]def.NetPin, 0, nPins)
+		wireArena := make([]def.Wire, 0, nWires)
+		viaArena := make([]def.Via, 0, nVias)
+		m1Layer := fmt.Sprintf("%sM1", side)
+		for _, tree := range rr.Trees {
+			if tree == nil {
+				continue
+			}
+			po, wo, vo := len(pinArena), len(wireArena), len(viaArena)
+			nv := 0
+			for _, e := range tree.Edges {
+				if e.Vias > 0 {
+					nv++
+				}
+			}
+			pinArena = pinArena[:po+len(tree.Pins)]
+			wireArena = wireArena[:wo+len(tree.Edges)]
+			viaArena = viaArena[:vo+nv]
+			netArena = append(netArena, def.Net{
+				Name:  tree.Name,
+				Pins:  pinArena[po : po : po+len(tree.Pins)],
+				Wires: wireArena[wo : wo : wo+len(tree.Edges)],
+				Vias:  viaArena[vo : vo : vo+nv],
+			})
+			dn := &netArena[len(netArena)-1]
 			// Names are rendered only here, at the serialization
 			// boundary — and "rendered" means referencing the existing
 			// instance/pin name strings, never concatenating them.
@@ -247,7 +288,7 @@ func buildDEF(nl *netlist.Netlist, fp *floorplan.Plan, pp *powerplan.Result, rr 
 			for _, e := range tree.Edges {
 				layer := e.Layer.Name
 				if layer == "" {
-					layer = fmt.Sprintf("%sM1", side)
+					layer = m1Layer
 				}
 				dn.Wires = append(dn.Wires, def.Wire{
 					Layer: layer,

@@ -7,9 +7,11 @@
 package cts
 
 import (
+	"cmp"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
+	"strings"
 
 	"repro/internal/floorplan"
 	"repro/internal/geom"
@@ -65,7 +67,19 @@ func Run(nl *netlist.Netlist, fp *floorplan.Plan, opt Options) (*Result, error) 
 	if len(sinks) == 0 {
 		return nil, fmt.Errorf("cts: clock net has no flop sinks")
 	}
-	sort.Slice(sinks, func(i, j int) bool { return sinks[i].Inst.Name < sinks[j].Inst.Name })
+	slices.SortFunc(sinks, func(a, b netlist.PinRef) int { return strings.Compare(a.Inst.Name, b.Inst.Name) })
+	// Strip every collected sink from the clock net in one
+	// order-preserving pass. The tree build reattaches each to its leaf
+	// net via Reconnect, which then finds nothing left to remove on the
+	// clock net — one linear pass instead of a quadratic
+	// remove-one-at-a-time over a root net with thousands of sinks.
+	keep := clk.Sinks[:0]
+	for _, s := range clk.Sinks {
+		if s.IsPort() || !s.Inst.Cell.IsSeq() {
+			keep = append(keep, s)
+		}
+	}
+	clk.Sinks = keep
 
 	t := &treeBuilder{nl: nl, fp: fp, opt: opt}
 	rootNode, err := t.build(sinks, 0)
@@ -146,18 +160,18 @@ func (t *treeBuilder) build(sinks []netlist.PinRef, depth int) (*node, error) {
 	bb := geom.BBox(pts)
 	byX := bb.W() >= bb.H()
 	order := append([]netlist.PinRef(nil), sinks...)
-	sort.SliceStable(order, func(i, j int) bool {
-		a, b := order[i].Inst.Pos, order[j].Inst.Pos
+	slices.SortStableFunc(order, func(x, y netlist.PinRef) int {
+		a, b := x.Inst.Pos, y.Inst.Pos
 		if byX {
 			if a.X != b.X {
-				return a.X < b.X
+				return cmp.Compare(a.X, b.X)
 			}
 		} else {
 			if a.Y != b.Y {
-				return a.Y < b.Y
+				return cmp.Compare(a.Y, b.Y)
 			}
 		}
-		return order[i].Inst.Name < order[j].Inst.Name
+		return strings.Compare(x.Inst.Name, y.Inst.Name)
 	})
 	mid := len(order) / 2
 	left, err := t.build(order[:mid], depth+1)

@@ -15,7 +15,6 @@ import (
 
 	"repro/internal/cell"
 	"repro/internal/core"
-	"repro/internal/cts"
 	"repro/internal/faultinject"
 	"repro/internal/netlist"
 	"repro/internal/place"
@@ -212,9 +211,15 @@ type synthKey struct {
 	synth  synth.Options
 }
 
-// prefixKey identifies the placed-and-clocked prefix class: configs in
-// the same class share everything through StageCTS and diverge only at
-// StagePartition or later (back-pin fraction, routing, analysis knobs).
+// prefixKey identifies the placed prefix class: configs in the same
+// class share everything through StagePlace. CTS options are deliberately
+// not part of the key — a point whose CTS delta diverges from the group
+// leader forks at StageCTS and re-legalizes only the buffer delta against
+// the retained placement basis (place.LegalizeDelta), so CTS-option
+// sweeps share one placed prefix instead of replaying placement per
+// option. Points that also match the leader's CTS diverge at
+// StagePartition or later (back-pin fraction, routing, analysis knobs)
+// exactly as before.
 type prefixKey struct {
 	sk      synthKey
 	util    float64
@@ -222,7 +227,6 @@ type prefixKey struct {
 	pattern tech.Pattern
 	seed    int64
 	place   place.Options
-	cts     cts.Options
 }
 
 func classify(arch tech.Arch, cfg core.FlowConfig) (synthKey, prefixKey) {
@@ -234,7 +238,6 @@ func classify(arch tech.Arch, cfg core.FlowConfig) (synthKey, prefixKey) {
 		pattern: cfg.Pattern,
 		seed:    cfg.Seed,
 		place:   cfg.Place,
-		cts:     cfg.CTS,
 	}
 }
 

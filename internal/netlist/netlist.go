@@ -427,50 +427,81 @@ func (nl *Netlist) Snapshot() *Netlist {
 		netByName:  make(map[string]*Net, len(nl.Nets)),
 		portByName: make(map[string]*Port, len(nl.Ports)),
 	}
-	netMap := make(map[*Net]*Net, len(nl.Nets))
+	// Seq doubles as the slice index for nets, instances and ports, so
+	// cross references resolve through out's own slices — no pointer
+	// remap tables. Structs and per-object tables come out of bulk
+	// arenas (full slice expressions below keep later appends from
+	// clobbering arena neighbors); a fork-heavy sweep snapshots per
+	// point, and the arena layout cuts both the allocation count and
+	// the GC scan surface of every retained checkpoint.
+	netArena := make([]Net, len(nl.Nets))
 	for i, n := range nl.Nets {
-		nn := &Net{Name: n.Name, Seq: n.Seq, IsClock: n.IsClock}
+		nn := &netArena[i]
+		*nn = Net{Name: n.Name, Seq: n.Seq, IsClock: n.IsClock}
 		out.Nets[i] = nn
 		out.netByName[n.Name] = nn
-		netMap[n] = nn
 	}
-	instMap := make(map[*Instance]*Instance, len(nl.Instances))
+	nConns := 0
+	for _, inst := range nl.Instances {
+		nConns += len(inst.conns)
+	}
+	instArena := make([]Instance, len(nl.Instances))
+	connArena := make([]*Net, nConns)
 	for i, inst := range nl.Instances {
-		ni := &Instance{
+		ni := &instArena[i]
+		conns := connArena[:len(inst.conns):len(inst.conns)]
+		connArena = connArena[len(inst.conns):]
+		*ni = Instance{
 			Name:  inst.Name,
 			Cell:  inst.Cell,
 			Seq:   inst.Seq,
 			Pos:   inst.Pos,
 			Fixed: inst.Fixed,
-			conns: make([]*Net, len(inst.conns)),
+			conns: conns,
 		}
 		for j, c := range inst.conns {
 			if c != nil {
-				ni.conns[j] = netMap[c]
+				conns[j] = out.Nets[c.Seq]
 			}
 		}
 		out.Instances[i] = ni
 		out.instByName[inst.Name] = ni
-		instMap[inst] = ni
 	}
-	portMap := make(map[*Port]*Port, len(nl.Ports))
+	portArena := make([]Port, len(nl.Ports))
 	for i, p := range nl.Ports {
-		np := &Port{Name: p.Name, Dir: p.Dir, Seq: p.Seq, Pos: p.Pos, Net: netMap[p.Net]}
+		np := &portArena[i]
+		*np = Port{Name: p.Name, Dir: p.Dir, Seq: p.Seq, Pos: p.Pos}
+		if p.Net != nil {
+			np.Net = out.Nets[p.Net.Seq]
+		}
 		out.Ports[i] = np
 		out.portByName[p.Name] = np
-		portMap[p] = np
 	}
 	ref := func(r PinRef) PinRef {
-		return PinRef{Inst: instMap[r.Inst], Pin: r.Pin, Port: portMap[r.Port]}
+		nr := PinRef{Pin: r.Pin}
+		if r.Inst != nil {
+			nr.Inst = out.Instances[r.Inst.Seq]
+		}
+		if r.Port != nil {
+			nr.Port = out.Ports[r.Port.Seq]
+		}
+		return nr
 	}
+	nSinks := 0
+	for _, n := range nl.Nets {
+		nSinks += len(n.Sinks)
+	}
+	sinkArena := make([]PinRef, nSinks)
 	for i, n := range nl.Nets {
 		nn := out.Nets[i]
 		nn.Driver = ref(n.Driver)
 		if n.Sinks != nil {
-			nn.Sinks = make([]PinRef, len(n.Sinks))
+			sinks := sinkArena[:len(n.Sinks):len(n.Sinks)]
+			sinkArena = sinkArena[len(n.Sinks):]
 			for j, s := range n.Sinks {
-				nn.Sinks[j] = ref(s)
+				sinks[j] = ref(s)
 			}
+			nn.Sinks = sinks
 		}
 	}
 	return out

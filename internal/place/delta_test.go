@@ -1,0 +1,285 @@
+package place
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/cts"
+	"repro/internal/floorplan"
+	"repro/internal/geom"
+	"repro/internal/netlist"
+	"repro/internal/powerplan"
+	"repro/internal/tech"
+)
+
+// deltaFixture is a globally-placed (pre-legalization) design plus its
+// retained legalization basis.
+type deltaFixture struct {
+	nl    *netlist.Netlist
+	fp    *floorplan.Plan
+	pp    *powerplan.Result
+	basis *LegalBasis
+}
+
+func newDeltaFixture(t *testing.T, util float64) *deltaFixture {
+	t.Helper()
+	nl := smallDesign(t)
+	fp, err := floorplan.New(lib.Stack, nl.CellAreaNm2(), util, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, err := powerplan.Plan(fp, tech.Pattern{Front: 12, Back: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	Global(nl, fp, DefaultOptions())
+	basis := NewLegalBasis(nl, fp, pp.Blockages)
+	if basis == nil {
+		t.Fatal("NewLegalBasis failed on a legalizable design")
+	}
+	return &deltaFixture{nl: nl, fp: fp, pp: pp, basis: basis}
+}
+
+// runBoth applies mutate to two identical snapshots, legalizes one through
+// the delta path and one through the full path, and asserts bit-identical
+// positions plus a clean CheckLegal after the incremental path. mutate
+// returns the moved set (over the snapshot it is given).
+func (fx *deltaFixture) runBoth(t *testing.T, name string, mutate func(w *netlist.Netlist) []*netlist.Instance) {
+	t.Helper()
+	wantDelta := fx.nl.Snapshot()
+	wantFull := fx.nl.Snapshot()
+	moved := mutate(wantDelta)
+	mutate(wantFull)
+
+	if err := LegalizeDelta(wantDelta, fx.fp, fx.pp.Blockages, fx.basis, moved); err != nil {
+		t.Fatalf("%s: LegalizeDelta: %v", name, err)
+	}
+	if err := CheckLegal(wantDelta, fx.fp, fx.pp.Blockages); err != nil {
+		t.Fatalf("%s: delta placement illegal: %v", name, err)
+	}
+	if err := Legalize(wantFull, fx.fp, fx.pp.Blockages); err != nil {
+		t.Fatalf("%s: full Legalize: %v", name, err)
+	}
+	if len(wantDelta.Instances) != len(wantFull.Instances) {
+		t.Fatalf("%s: instance count diverged", name)
+	}
+	for i, a := range wantDelta.Instances {
+		b := wantFull.Instances[i]
+		if a.Pos != b.Pos {
+			t.Fatalf("%s: %s delta=%v full=%v — incremental placement not bit-identical",
+				name, a.Name, a.Pos, b.Pos)
+		}
+	}
+}
+
+// TestLegalizeDeltaMatchesFull is the property test pinning the delta
+// legalizer to the full path: random moved-cell subsets (including empty
+// and all-moved), blockage-adjacent targets, and the CTS buffer-insertion
+// shape the flow actually produces must all legalize bit-identically.
+func TestLegalizeDeltaMatchesFull(t *testing.T) {
+	fx := newDeltaFixture(t, 0.7)
+	W, H := fx.fp.Core.W(), fx.fp.Core.H()
+
+	movable := make([]*netlist.Instance, 0, len(fx.nl.Instances))
+	for _, inst := range fx.nl.Instances {
+		if !inst.Fixed {
+			movable = append(movable, inst)
+		}
+	}
+
+	fx.runBoth(t, "empty", func(w *netlist.Netlist) []*netlist.Instance { return nil })
+
+	for _, size := range []int{1, 5, 50, len(movable)} {
+		rng := rand.New(rand.NewSource(int64(size)))
+		// The seq/position choices must be identical across the two
+		// snapshots, so draw them once against the fixture.
+		picks := make([]int, size)
+		targets := make([]geom.Point, size)
+		perm := rng.Perm(len(movable))
+		for i := 0; i < size; i++ {
+			picks[i] = movable[perm[i]].Seq
+			targets[i] = geom.Pt(rng.Int63n(W+1), rng.Int63n(H+1))
+		}
+		fx.runBoth(t, "random", func(w *netlist.Netlist) []*netlist.Instance {
+			moved := make([]*netlist.Instance, size)
+			for i, seq := range picks {
+				inst := w.Instances[seq]
+				inst.Pos = targets[i]
+				moved[i] = inst
+			}
+			return moved
+		})
+	}
+
+	// Blockage-adjacent: park moved cells exactly at blocked-interval
+	// edges of blocked rows, where probe/take boundary behavior is
+	// touchiest.
+	rowH := fx.fp.Stack.CellHeightNm()
+	type edge struct {
+		seq int
+		pos geom.Point
+	}
+	var edges []edge
+	i := 0
+	for ri := 0; ri < len(fx.fp.Rows) && len(edges) < 12; ri++ {
+		for _, b := range fx.pp.Blockages[ri] {
+			if i >= len(movable) {
+				break
+			}
+			edges = append(edges,
+				edge{movable[i].Seq, geom.Pt(b.Lo, int64(ri)*rowH)},
+				edge{movable[(i+1)%len(movable)].Seq, geom.Pt(b.Hi, int64(ri)*rowH)})
+			i += 2
+		}
+	}
+	if len(edges) == 0 {
+		t.Fatal("no blockages to test against")
+	}
+	fx.runBoth(t, "blockage-adjacent", func(w *netlist.Netlist) []*netlist.Instance {
+		seen := make(map[int]bool)
+		var moved []*netlist.Instance
+		for _, e := range edges {
+			inst := w.Instances[e.seq]
+			inst.Pos = e.pos
+			if !seen[e.seq] {
+				seen[e.seq] = true
+				moved = append(moved, inst)
+			}
+		}
+		return moved
+	})
+
+	// CTS buffer insertion: the exact structural delta the flow's
+	// StageCTS produces — new buffers at cluster centroids, base cells
+	// untouched.
+	nBase := len(fx.nl.Instances)
+	fx.runBoth(t, "cts-buffers", func(w *netlist.Netlist) []*netlist.Instance {
+		if _, err := cts.Run(w, fx.fp, cts.DefaultOptions()); err != nil {
+			t.Fatal(err)
+		}
+		moved := make([]*netlist.Instance, 0, len(w.Instances)-nBase)
+		for _, inst := range w.Instances[nBase:] {
+			if !inst.Fixed {
+				moved = append(moved, inst)
+			}
+		}
+		return moved
+	})
+
+	// CTS insertion under a non-default fanout limit (the sweep shape).
+	fx.runBoth(t, "cts-buffers-fanout8", func(w *netlist.Netlist) []*netlist.Instance {
+		if _, err := cts.Run(w, fx.fp, cts.Options{MaxLeafFanout: 8, BufferDrive: 4}); err != nil {
+			t.Fatal(err)
+		}
+		moved := make([]*netlist.Instance, 0, len(w.Instances)-nBase)
+		for _, inst := range w.Instances[nBase:] {
+			if !inst.Fixed {
+				moved = append(moved, inst)
+			}
+		}
+		return moved
+	})
+}
+
+// TestLegalizeDeltaBasisMismatch pins the fallback contract: a basis that
+// does not describe the netlist is rejected with ErrBasisMismatch and the
+// placement is left untouched for the caller's full Legalize.
+func TestLegalizeDeltaBasisMismatch(t *testing.T) {
+	fx := newDeltaFixture(t, 0.7)
+
+	// An undeclared move must be caught by verification.
+	w := fx.nl.Snapshot()
+	var victim *netlist.Instance
+	for _, inst := range w.Instances {
+		if !inst.Fixed {
+			victim = inst
+			break
+		}
+	}
+	before := victim.Pos
+	victim.Pos = geom.Pt(before.X+fx.fp.Stack.CPPNm, before.Y)
+	err := LegalizeDelta(w, fx.fp, fx.pp.Blockages, fx.basis, nil)
+	if !errors.Is(err, ErrBasisMismatch) {
+		t.Fatalf("undeclared move: err = %v, want ErrBasisMismatch", err)
+	}
+	if victim.Pos.X != before.X+fx.fp.Stack.CPPNm {
+		t.Error("mismatch rejection must not mutate positions")
+	}
+
+	// A nil basis and a Fixed moved cell are both mismatches.
+	if err := LegalizeDelta(w, fx.fp, fx.pp.Blockages, nil, nil); !errors.Is(err, ErrBasisMismatch) {
+		t.Fatalf("nil basis: err = %v, want ErrBasisMismatch", err)
+	}
+	var fixed *netlist.Instance
+	for _, inst := range w.Instances {
+		if inst.Fixed {
+			fixed = inst
+			break
+		}
+	}
+	if fixed != nil {
+		err := LegalizeDelta(w, fx.fp, fx.pp.Blockages, fx.basis, []*netlist.Instance{fixed})
+		if !errors.Is(err, ErrBasisMismatch) {
+			t.Fatalf("fixed moved cell: err = %v, want ErrBasisMismatch", err)
+		}
+	}
+}
+
+// TestRefineRefsMatchesRefine pins the retained-refs refinement to the
+// direct path: a patched basis over a CTS delta must slide every cell to
+// the same position RefineCtx computes from scratch.
+func TestRefineRefsMatchesRefine(t *testing.T) {
+	fx := newDeltaFixture(t, 0.7)
+	basis := NewRefineBasis(fx.nl, fx.fp)
+
+	run := func(patched bool) *netlist.Netlist {
+		w := fx.nl.Snapshot()
+		var dirty []int32
+		if clk := w.ClockNet(); clk != nil {
+			if clk.Driver.Inst != nil {
+				dirty = append(dirty, int32(clk.Driver.Inst.Seq))
+			}
+			for _, s := range clk.Sinks {
+				if s.Inst != nil {
+					dirty = append(dirty, int32(s.Inst.Seq))
+				}
+			}
+		}
+		if _, err := cts.Run(w, fx.fp, cts.DefaultOptions()); err != nil {
+			t.Fatal(err)
+		}
+		if clk := w.ClockNet(); clk != nil {
+			for _, s := range clk.Sinks {
+				if s.Inst != nil {
+					dirty = append(dirty, int32(s.Inst.Seq))
+				}
+			}
+		}
+		if err := Legalize(w, fx.fp, fx.pp.Blockages); err != nil {
+			t.Fatal(err)
+		}
+		if patched {
+			refs, widths, ok := basis.PatchedRefs(w, fx.fp, dirty)
+			if !ok {
+				t.Fatal("PatchedRefs rejected a grown netlist")
+			}
+			if err := RefineRefsCtx(context.Background(), w, fx.fp, fx.pp.Blockages, 3, refs, widths); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			Refine(w, fx.fp, fx.pp.Blockages, 3)
+		}
+		if err := CheckLegal(w, fx.fp, fx.pp.Blockages); err != nil {
+			t.Fatalf("refined placement illegal: %v", err)
+		}
+		return w
+	}
+	a, b := run(true), run(false)
+	for i, ia := range a.Instances {
+		if ia.Pos != b.Instances[i].Pos {
+			t.Fatalf("%s: patched refine %v != direct refine %v", ia.Name, ia.Pos, b.Instances[i].Pos)
+		}
+	}
+}

@@ -12,7 +12,6 @@ import (
 	"fmt"
 	"math/rand"
 	"slices"
-	"sort"
 	"strings"
 
 	"repro/internal/floorplan"
@@ -138,6 +137,7 @@ func GlobalCtx(ctx context.Context, nl *netlist.Netlist, fp *floorplan.Plan, opt
 	// re-sorts, and the spread density grid with its per-bin cell lists —
 	// all rebuilt in place instead of reallocated per pass.
 	ws := newGlobalWorkspace(len(nl.Instances))
+	ws.buildRanks(nl)
 	for it := 0; it < opt.GlobalIters; it++ {
 		if err := pollCtx(ctx, done); err != nil {
 			return err
@@ -157,34 +157,28 @@ func GlobalCtx(ctx context.Context, nl *netlist.Netlist, fp *floorplan.Plan, opt
 // rankSpread redistributes cells uniformly along each axis by rank,
 // preserving relative order (Gordian-style linear scaling). It undoes the
 // central collapse of pure attraction while keeping neighborhoods intact.
+// The rank order comes from the workspace's retained axis buckets: only
+// buckets whose membership or keys changed since the previous pass are
+// re-sorted, and the (position, name) tiebreak compares precomputed
+// integer name ranks, never strings. Both are bit-invisible: names are
+// unique, so (position, nameRank) is the same total order as (position,
+// Name), and the concatenated per-bucket orders equal the full sort.
 func (ws *globalWorkspace) rankSpread(nl *netlist.Netlist, fp *floorplan.Plan) {
 	cells := ws.movableCells(nl)
 	if len(cells) < 2 {
 		return
 	}
 	W, H := fp.Core.W(), fp.Core.H()
-	// The (position, name) keys are total orders, so the unstable pdqsort
-	// produces the same permutation the seed's stable merge sort did —
-	// without its O(n log² n) rotations.
-	slices.SortFunc(cells, func(a, b *netlist.Instance) int {
-		if a.Pos.X != b.Pos.X {
-			return cmp.Compare(a.Pos.X, b.Pos.X)
-		}
-		return strings.Compare(a.Name, b.Name)
-	})
+	insts := nl.Instances
 	n := int64(len(cells) - 1)
-	for i, inst := range cells {
+	for i, seq := range ws.rankOrder(&ws.bx, cells, W, true) {
+		inst := insts[seq]
 		x := int64(i) * W / n
 		// Blend: 60% rank position, 40% attracted position.
 		inst.Pos = geom.Pt((x*3+inst.Pos.X*2)/5, inst.Pos.Y)
 	}
-	slices.SortFunc(cells, func(a, b *netlist.Instance) int {
-		if a.Pos.Y != b.Pos.Y {
-			return cmp.Compare(a.Pos.Y, b.Pos.Y)
-		}
-		return strings.Compare(a.Name, b.Name)
-	})
-	for i, inst := range cells {
+	for i, seq := range ws.rankOrder(&ws.by, cells, H, false) {
+		inst := insts[seq]
 		y := int64(i) * H / n
 		inst.Pos = geom.Pt(inst.Pos.X, (y*3+inst.Pos.Y*2)/5)
 	}
@@ -201,14 +195,159 @@ type globalWorkspace struct {
 	insts           []*netlist.Instance
 	cells           []*netlist.Instance // movable cells, rebuilt in place per pass
 	bins            []densityBin        // spread density grid, per-bin lists reused
+
+	// nameRank[seq] is the instance's position in the Name-sorted order,
+	// computed once per Global call. Every per-pass tiebreak that used to
+	// compare Name strings compares these ints instead; names are unique,
+	// so any (key, nameRank) order is exactly the (key, Name) order.
+	nameRank []int32
+	// axisKey[seq] is the current rankSpread pass's coordinate on the axis
+	// being ordered, snapshotted flat so bucket sorts read a contiguous
+	// array instead of chasing instance pointers.
+	axisKey []int64
+	// bx, by are the retained per-axis rank-order buckets: rankSpread
+	// re-sorts only buckets whose membership changed between passes.
+	bx, by axisBuckets
 }
 
 func newGlobalWorkspace(n int) *globalWorkspace {
 	return &globalWorkspace{
-		sumX: make([]int64, n),
-		sumY: make([]int64, n),
-		cnt:  make([]int64, n),
+		sumX:     make([]int64, n),
+		sumY:     make([]int64, n),
+		cnt:      make([]int64, n),
+		nameRank: make([]int32, n),
+		axisKey:  make([]int64, n),
 	}
+}
+
+// buildRanks fills nameRank with each instance's position in the
+// Name-sorted order. One string sort per Global call replaces the string
+// compares of every later spread/rankSpread tiebreak.
+func (ws *globalWorkspace) buildRanks(nl *netlist.Netlist) {
+	insts := nl.Instances
+	ord := make([]int32, len(insts))
+	for i := range ord {
+		ord[i] = int32(i)
+	}
+	slices.SortFunc(ord, func(a, b int32) int {
+		return strings.Compare(insts[a].Name, insts[b].Name)
+	})
+	for i, seq := range ord {
+		ws.nameRank[seq] = int32(i)
+	}
+}
+
+// axisBuckets is the retained bucketed order of one rankSpread axis. Cells
+// are binned by coordinate into equal-width buckets whose ranges partition
+// the axis, so concatenating the per-bucket sorted runs yields the full
+// (key, nameRank) order. Between passes the previous generation's
+// membership, keys and sorted runs are kept: a bucket whose member list
+// and keys are unchanged reuses its stored run verbatim, so a pass
+// re-sorts only the buckets attraction actually disturbed.
+type axisBuckets struct {
+	start, members, sorted []int32
+	keys                   []int64
+	cursor                 []int32
+
+	prevStart, prevMembers, prevSorted []int32
+	prevKeys                           []int64
+	valid                              bool
+}
+
+func growI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func growI64(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
+	}
+	return s[:n]
+}
+
+// axisBucketOf maps a clamped coordinate to its bucket. Equal keys always
+// land in the same bucket and the mapping is monotonic, so bucket ranges
+// never split a run of equal keys across a sort boundary.
+func axisBucketOf(k, span int64, nb int) int {
+	if k < 0 {
+		k = 0
+	} else if k > span {
+		k = span
+	}
+	return int(k * int64(nb) / (span + 1))
+}
+
+// rankOrder returns the movable cells as Instance.Seq values in ascending
+// (axis coordinate, nameRank) order, reusing ab's retained buckets.
+func (ws *globalWorkspace) rankOrder(ab *axisBuckets, cells []*netlist.Instance, span int64, axisX bool) []int32 {
+	n := len(cells)
+	nb := n/48 + 1
+	if nb > 256 {
+		nb = 256
+	}
+	ab.start = growI32(ab.start, nb+1)
+	ab.members = growI32(ab.members, n)
+	ab.sorted = growI32(ab.sorted, n)
+	ab.keys = growI64(ab.keys, n)
+	ab.cursor = growI32(ab.cursor, nb)
+	for i := range ab.start {
+		ab.start[i] = 0
+	}
+	key := ws.axisKey
+	for _, inst := range cells {
+		k := inst.Pos.X
+		if !axisX {
+			k = inst.Pos.Y
+		}
+		key[inst.Seq] = k
+		ab.start[axisBucketOf(k, span, nb)+1]++
+	}
+	for b := 1; b <= nb; b++ {
+		ab.start[b] += ab.start[b-1]
+	}
+	copy(ab.cursor, ab.start[:nb])
+	// Fill members in instance order within each bucket: the deterministic
+	// membership signature a clean-bucket check compares against.
+	for _, inst := range cells {
+		k := key[inst.Seq]
+		b := axisBucketOf(k, span, nb)
+		ab.members[ab.cursor[b]] = int32(inst.Seq)
+		ab.keys[ab.cursor[b]] = k
+		ab.cursor[b]++
+	}
+	rank := ws.nameRank
+	for b := 0; b < nb; b++ {
+		lo, hi := ab.start[b], ab.start[b+1]
+		seg := ab.sorted[lo:hi]
+		if ab.valid {
+			plo, phi := ab.prevStart[b], ab.prevStart[b+1]
+			if phi-plo == hi-lo &&
+				slices.Equal(ab.prevMembers[plo:phi], ab.members[lo:hi]) &&
+				slices.Equal(ab.prevKeys[plo:phi], ab.keys[lo:hi]) {
+				copy(seg, ab.prevSorted[plo:phi])
+				continue
+			}
+		}
+		copy(seg, ab.members[lo:hi])
+		slices.SortFunc(seg, func(a, c int32) int {
+			if key[a] != key[c] {
+				return cmp.Compare(key[a], key[c])
+			}
+			return cmp.Compare(rank[a], rank[c])
+		})
+	}
+	out := ab.sorted[:n]
+	// Retain this pass as the next pass's clean reference by swapping the
+	// generations; the returned slice stays untouched until the next call.
+	ab.start, ab.prevStart = ab.prevStart, ab.start
+	ab.members, ab.prevMembers = ab.prevMembers, ab.members
+	ab.keys, ab.prevKeys = ab.prevKeys, ab.keys
+	ab.sorted, ab.prevSorted = ab.prevSorted, ab.sorted
+	ab.valid = true
+	return out
 }
 
 // movableCells rebuilds the reusable movable-cell list in instance order
@@ -331,8 +470,13 @@ func (ws *globalWorkspace) spread(nl *netlist.Netlist, fp *floorplan.Plan, opt O
 				continue
 			}
 			// Push the overflow (cells beyond capacity) to the least-dense
-			// of the 4 neighbors, deterministically.
-			sort.Slice(b.cells, func(i, j int) bool { return b.cells[i].Name < b.cells[j].Name })
+			// of the 4 neighbors, deterministically. Ordering by the
+			// precomputed name rank is the Name order without the string
+			// compares.
+			rank := ws.nameRank
+			slices.SortFunc(b.cells, func(x, y *netlist.Instance) int {
+				return cmp.Compare(rank[x.Seq], rank[y.Seq])
+			})
 			over := b.area - capArea
 			for _, inst := range b.cells {
 				if over <= 0 {
@@ -369,19 +513,14 @@ func bestNeighbor(bins []densityBin, nb, bx, by int) (int, int) {
 	return tx, ty
 }
 
-// Legalize snaps every movable instance onto row sites without overlaps,
-// avoiding blocked intervals. It fails when the design cannot be legalized
-// (e.g. utilization above the tap-cell cap).
-func Legalize(nl *netlist.Netlist, fp *floorplan.Plan, blockages map[int][]geom.Interval) error {
-	cpp := fp.Stack.CPPNm
-	rowH := fp.Stack.CellHeightNm()
-
-	// Free intervals per row.
+// buildFreeLists computes each row's free intervals after subtracting its
+// blocked intervals (tap cells + halos).
+func buildFreeLists(fp *floorplan.Plan, blockages map[int][]geom.Interval) [][]geom.Interval {
 	free := make([][]geom.Interval, len(fp.Rows))
 	for i, r := range fp.Rows {
 		ivs := []geom.Interval{{Lo: r.X0, Hi: r.X1}}
 		blocked := append([]geom.Interval(nil), blockages[i]...)
-		sort.Slice(blocked, func(a, b int) bool { return blocked[a].Lo < blocked[b].Lo })
+		slices.SortFunc(blocked, func(a, b geom.Interval) int { return cmp.Compare(a.Lo, b.Lo) })
 		for _, b := range blocked {
 			var next []geom.Interval
 			for _, f := range ivs {
@@ -400,63 +539,92 @@ func Legalize(nl *netlist.Netlist, fp *floorplan.Plan, blockages map[int][]geom.
 		}
 		free[i] = ivs
 	}
+	return free
+}
 
-	// Place wide cells first within global-X order bands for stability.
+// legalCmp is the legalization processing order: wide cells first within
+// global-X order bands for stability, names breaking the remaining ties.
+func legalCmp(a, b *netlist.Instance) int {
+	if a.Pos.X != b.Pos.X {
+		return cmp.Compare(a.Pos.X, b.Pos.X)
+	}
+	if a.Cell.WidthCPP != b.Cell.WidthCPP {
+		return cmp.Compare(b.Cell.WidthCPP, a.Cell.WidthCPP)
+	}
+	return strings.Compare(a.Name, b.Name)
+}
+
+// legalOrder returns the movable instances in legalization order.
+func legalOrder(nl *netlist.Netlist) []*netlist.Instance {
 	movable := make([]*netlist.Instance, 0, len(nl.Instances))
 	for _, inst := range nl.Instances {
 		if !inst.Fixed {
 			movable = append(movable, inst)
 		}
 	}
-	sort.Slice(movable, func(i, j int) bool {
-		a, b := movable[i], movable[j]
-		if a.Pos.X != b.Pos.X {
-			return a.Pos.X < b.Pos.X
-		}
-		if a.Cell.WidthCPP != b.Cell.WidthCPP {
-			return a.Cell.WidthCPP > b.Cell.WidthCPP
-		}
-		return a.Name < b.Name
-	})
+	slices.SortFunc(movable, legalCmp)
+	return movable
+}
 
-	for _, inst := range movable {
-		w := inst.Cell.WidthNm(fp.Stack)
-		targetRow := int(geom.Clamp64(inst.Pos.Y/rowH, 0, int64(len(fp.Rows)-1)))
-		placed := false
-		// Jointly minimize X displacement and row distance over windows of
-		// increasing size, so a full local row spills to a neighbor row
-		// instead of teleporting along its own row.
-		for _, window := range []int{3, 8, len(fp.Rows)} {
-			bestCost := int64(1) << 62
-			bestRow, bestX := -1, int64(0)
-			for d := 0; d <= window; d++ {
-				rowPenalty := int64(d) * rowH
-				if rowPenalty >= bestCost {
-					break
-				}
-				for _, ri := range []int{targetRow - d, targetRow + d} {
-					if ri < 0 || ri >= len(fp.Rows) || (d == 0 && ri != targetRow) {
-						continue
-					}
-					if x, cost, ok := probe(free[ri], inst.Pos.X, w, cpp); ok {
-						if total := cost + rowPenalty; total < bestCost {
-							bestCost = total
-							bestRow, bestX = ri, x
-						}
-					}
-				}
-			}
-			if bestRow >= 0 {
-				take(&free[bestRow], bestX, w)
-				inst.Pos = geom.Pt(bestX, fp.Rows[bestRow].Y)
-				placed = true
+// legalWindows are the escalating row-search windows of placeOne: a full
+// local row spills to a neighbor row instead of teleporting along its own
+// row. The last window is replaced by the row count at probe time.
+var legalWindows = [3]int{3, 8, -1}
+
+// placeOne finds a cell's legal slot: it jointly minimizes X displacement
+// and row distance over windows of increasing size, returning the chosen
+// row/X, the winning total cost, and the index of the window that
+// succeeded. It never commits — callers take the slot. Every legalization
+// path (full, basis recording, delta) funnels through this one decision
+// procedure, so their placements cannot diverge.
+func placeOne(free [][]geom.Interval, nRows int, rowH, cpp int64, targetRow int, tx, w int64) (row int, x, cost int64, wnd int, ok bool) {
+	for wi, window := range legalWindows {
+		if window < 0 {
+			window = nRows
+		}
+		bestCost := int64(1) << 62
+		bestRow, bestX := -1, int64(0)
+		for d := 0; d <= window; d++ {
+			rowPenalty := int64(d) * rowH
+			if rowPenalty >= bestCost {
 				break
 			}
+			for _, ri := range [2]int{targetRow - d, targetRow + d} {
+				if ri < 0 || ri >= nRows || (d == 0 && ri != targetRow) {
+					continue
+				}
+				if px, pcost, pok := probe(free[ri], tx, w, cpp); pok {
+					if total := pcost + rowPenalty; total < bestCost {
+						bestCost = total
+						bestRow, bestX = ri, px
+					}
+				}
+			}
 		}
-		if !placed {
+		if bestRow >= 0 {
+			return bestRow, bestX, bestCost, wi, true
+		}
+	}
+	return 0, 0, 0, 0, false
+}
+
+// Legalize snaps every movable instance onto row sites without overlaps,
+// avoiding blocked intervals. It fails when the design cannot be legalized
+// (e.g. utilization above the tap-cell cap).
+func Legalize(nl *netlist.Netlist, fp *floorplan.Plan, blockages map[int][]geom.Interval) error {
+	cpp := fp.Stack.CPPNm
+	rowH := fp.Stack.CellHeightNm()
+	free := buildFreeLists(fp, blockages)
+	for _, inst := range legalOrder(nl) {
+		w := inst.Cell.WidthNm(fp.Stack)
+		targetRow := int(geom.Clamp64(inst.Pos.Y/rowH, 0, int64(len(fp.Rows)-1)))
+		row, x, _, _, ok := placeOne(free, len(fp.Rows), rowH, cpp, targetRow, inst.Pos.X, w)
+		if !ok {
 			return fmt.Errorf("place: cannot legalize %s (%d sites): placement violation",
 				inst.Name, inst.Cell.WidthCPP)
 		}
+		take(&free[row], x, w)
+		inst.Pos = geom.Pt(x, fp.Rows[row].Y)
 	}
 	return nil
 }
@@ -487,6 +655,15 @@ func probe(free []geom.Interval, target, w, cpp int64) (int64, int64, bool) {
 // take commits a slot previously returned by probe, splicing the free
 // list in place instead of rebuilding it.
 func take(free *[]geom.Interval, x, w int64) {
+	if !takeAt(free, x, w) {
+		panic("place: take without matching probe")
+	}
+}
+
+// takeAt is take reporting success instead of panicking: the delta
+// legalizer uses it to detect (impossible by construction, but gated
+// anyway) loss of a recorded slot and fall back to the full path.
+func takeAt(free *[]geom.Interval, x, w int64) bool {
 	f := *free
 	for i := range f {
 		iv := f[i]
@@ -506,9 +683,9 @@ func take(free *[]geom.Interval, x, w int64) {
 		default:
 			*free = append(f[:i], f[i+1:]...)
 		}
-		return
+		return true
 	}
-	panic("place: take without matching probe")
+	return false
 }
 
 // allocate finds a site-aligned slot of width w in the free list closest
@@ -557,11 +734,16 @@ func allocate(free *[]geom.Interval, target, w, cpp int64) (int64, bool) {
 // sit on rows inside the core, and that no instance intersects a blockage.
 func CheckLegal(nl *netlist.Netlist, fp *floorplan.Plan, blockages map[int][]geom.Interval) error {
 	rowH := fp.Stack.CellHeightNm()
+	nRows := len(fp.Rows)
 	type span struct {
 		lo, hi int64
-		name   string
+		seq    int32
 	}
-	rows := make(map[int][]span)
+	// Counting layout into one flat arena, rows as sub-slices: the check
+	// runs once per delta legalization, so it avoids the per-row map and
+	// string traffic of the naive bucketing (names resolve from Seq only
+	// on the failure path).
+	cnt := make([]int32, nRows+1)
 	for _, inst := range nl.Instances {
 		if inst.Fixed {
 			continue
@@ -570,27 +752,41 @@ func CheckLegal(nl *netlist.Netlist, fp *floorplan.Plan, blockages map[int][]geo
 			return fmt.Errorf("place: %s not on a row (y=%d)", inst.Name, inst.Pos.Y)
 		}
 		ri := int(inst.Pos.Y / rowH)
-		if ri < 0 || ri >= len(fp.Rows) {
+		if ri < 0 || ri >= nRows {
 			return fmt.Errorf("place: %s outside core rows", inst.Name)
 		}
+		cnt[ri+1]++
+	}
+	for i := 0; i < nRows; i++ {
+		cnt[i+1] += cnt[i]
+	}
+	spans := make([]span, cnt[nRows])
+	fill := make([]int32, nRows)
+	copy(fill, cnt[:nRows])
+	for _, inst := range nl.Instances {
+		if inst.Fixed {
+			continue
+		}
+		ri := int(inst.Pos.Y / rowH)
 		w := inst.Cell.WidthNm(fp.Stack)
 		if inst.Pos.X < fp.Rows[ri].X0 || inst.Pos.X+w > fp.Rows[ri].X1 {
 			return fmt.Errorf("place: %s outside row span", inst.Name)
 		}
-		s := span{inst.Pos.X, inst.Pos.X + w, inst.Name}
 		for _, b := range blockages[ri] {
-			if s.lo < b.Hi && b.Lo < s.hi {
+			if inst.Pos.X < b.Hi && b.Lo < inst.Pos.X+w {
 				return fmt.Errorf("place: %s overlaps tap blockage in row %d", inst.Name, ri)
 			}
 		}
-		rows[ri] = append(rows[ri], s)
+		spans[fill[ri]] = span{inst.Pos.X, inst.Pos.X + w, int32(inst.Seq)}
+		fill[ri]++
 	}
-	for ri, spans := range rows {
-		sort.Slice(spans, func(i, j int) bool { return spans[i].lo < spans[j].lo })
-		for i := 1; i < len(spans); i++ {
-			if spans[i].lo < spans[i-1].hi {
+	for ri := 0; ri < nRows; ri++ {
+		rs := spans[cnt[ri]:cnt[ri+1]]
+		slices.SortFunc(rs, func(a, b span) int { return cmp.Compare(a.lo, b.lo) })
+		for i := 1; i < len(rs); i++ {
+			if rs[i].lo < rs[i-1].hi {
 				return fmt.Errorf("place: %s overlaps %s in row %d",
-					spans[i].name, spans[i-1].name, ri)
+					nl.Instances[rs[i].seq].Name, nl.Instances[rs[i-1].seq].Name, ri)
 			}
 		}
 	}
@@ -611,96 +807,175 @@ func Refine(nl *netlist.Netlist, fp *floorplan.Plan, blockages map[int][]geom.In
 // refinement leaves the placement legal (each completed slide preserves
 // legality) but callers treat it as unusable for determinism.
 func RefineCtx(ctx context.Context, nl *netlist.Netlist, fp *floorplan.Plan, blockages map[int][]geom.Interval, passes int) error {
-	rowH := fp.Stack.CellHeightNm()
-	type rowCells struct {
-		cells []*netlist.Instance
+	return RefineRefsCtx(ctx, nl, fp, blockages, passes, CollectRefineRefs(nl), InstWidths(nl, fp))
+}
+
+// packRef encodes a refine endpoint as an int64: non-negative values are
+// an Instance.Seq, negative values are a bit-complemented Port.Seq. Only
+// the endpoint's X position feeds the slide median, so the pin name can
+// be dropped.
+func packRef(r netlist.PinRef) int64 {
+	if r.IsPort() {
+		return int64(^r.Port.Seq)
 	}
-	rows := make(map[int64]*rowCells)
+	return int64(r.Inst.Seq)
+}
+
+// appendInstRefs appends inst's refine endpoints — the other endpoints of
+// its small nets (fanout ≤ 24) — to the arena in deterministic pin order.
+func appendInstRefs(arena []int64, inst *netlist.Instance) []int64 {
+	consider := func(n *netlist.Net) {
+		if n == nil || n.Fanout() > 24 {
+			return
+		}
+		if n.Driver != (netlist.PinRef{}) && n.Driver.Inst != inst {
+			arena = append(arena, packRef(n.Driver))
+		}
+		for _, s := range n.Sinks {
+			if s.Inst != inst {
+				arena = append(arena, packRef(s))
+			}
+		}
+	}
+	for pi := range inst.Cell.Inputs {
+		consider(inst.ConnAt(pi))
+	}
+	consider(inst.OutputNet())
+	return arena
+}
+
+// CollectRefineRefs gathers every movable instance's refine endpoints
+// into one flat arena (three allocations for the whole netlist instead of
+// one slice per instance) and returns per-instance views indexed by Seq.
+// Connectivity is static during refinement, so the refs are collected
+// once; only endpoint positions are re-read per pass. core.Flow retains
+// the result across forks (RefineBasis) and re-collects only the
+// instances CTS rewired.
+func CollectRefineRefs(nl *netlist.Netlist) [][]int64 {
+	refs := make([][]int64, len(nl.Instances))
+	ends := make([]int, len(nl.Instances))
+	arena := make([]int64, 0, 8*len(nl.Instances))
+	for _, inst := range nl.Instances {
+		if !inst.Fixed {
+			arena = appendInstRefs(arena, inst)
+		}
+		ends[inst.Seq] = len(arena)
+	}
+	start := 0
+	for seq, end := range ends {
+		refs[seq] = arena[start:end:end]
+		start = end
+	}
+	return refs
+}
+
+// InstWidths returns every instance's width in nm, indexed by Seq.
+func InstWidths(nl *netlist.Netlist, fp *floorplan.Plan) []int64 {
+	widths := make([]int64, len(nl.Instances))
+	for _, inst := range nl.Instances {
+		widths[inst.Seq] = inst.Cell.WidthNm(fp.Stack)
+	}
+	return widths
+}
+
+// RefineRefsCtx is the refinement core over pre-collected endpoint refs
+// (CollectRefineRefs) and widths (InstWidths), both indexed by
+// Instance.Seq. It produces exactly the slides RefineCtx does — the
+// median only depends on the endpoint multiset — while letting callers
+// retain the collection across repeated refinements of the same
+// connectivity.
+func RefineRefsCtx(ctx context.Context, nl *netlist.Netlist, fp *floorplan.Plan, blockages map[int][]geom.Interval, passes int, refs [][]int64, widths []int64) error {
+	rowH := fp.Stack.CellHeightNm()
+	nRows := len(fp.Rows)
+	rows := make([][]*netlist.Instance, nRows)
 	for _, inst := range nl.Instances {
 		if inst.Fixed {
 			continue
 		}
-		r, ok := rows[inst.Pos.Y]
-		if !ok {
-			r = &rowCells{}
-			rows[inst.Pos.Y] = r
-		}
-		r.cells = append(r.cells, inst)
+		ri := int(geom.Clamp64(inst.Pos.Y/rowH, 0, int64(nRows-1)))
+		rows[ri] = append(rows[ri], inst)
 	}
-	// Connectivity is static during refinement, so the "other endpoint"
-	// pin refs of every instance are collected once up front; only their
-	// positions are re-read per pass. The xs scratch is shared across all
-	// median computations.
-	others := make([][]netlist.PinRef, len(nl.Instances))
-	collect := func(inst *netlist.Instance) []netlist.PinRef {
-		refs := make([]netlist.PinRef, 0, 8)
-		consider := func(n *netlist.Net) {
-			if n == nil || n.Fanout() > 24 {
-				return
-			}
-			if n.Driver != (netlist.PinRef{}) && n.Driver.Inst != inst {
-				refs = append(refs, n.Driver)
-			}
-			for _, s := range n.Sinks {
-				if s.Inst != inst {
-					refs = append(refs, s)
-				}
-			}
-		}
-		for _, p := range inst.Cell.Inputs {
-			consider(inst.Conn(p.Name))
-		}
-		consider(inst.OutputNet())
-		return refs
-	}
-	for _, inst := range nl.Instances {
-		if !inst.Fixed {
-			others[inst.Seq] = collect(inst)
-		}
-	}
+	insts, ports := nl.Instances, nl.Ports
 	var xs []int64
 	desired := func(inst *netlist.Instance) int64 {
-		refs := others[inst.Seq]
 		xs = xs[:0]
-		for _, ref := range refs {
-			xs = append(xs, pinPoint(ref, fp).X)
+		for _, r := range refs[inst.Seq] {
+			if r >= 0 {
+				xs = append(xs, insts[r].Pos.X+widths[r]/2)
+			} else {
+				xs = append(xs, ports[^r].Pos.X)
+			}
 		}
 		if len(xs) == 0 {
 			return inst.Pos.X
 		}
-		slices.Sort(xs)
-		return xs[len(xs)/2]
+		return medianInt64(xs)
+	}
+	// Post-legalization X positions in a row are unique (cells never
+	// overlap), so the unstable sort is deterministic; each slide stays
+	// strictly between its neighbors, so one sort covers every pass.
+	for _, cellsInRow := range rows {
+		slices.SortFunc(cellsInRow, func(a, b *netlist.Instance) int {
+			return cmp.Compare(a.Pos.X, b.Pos.X)
+		})
+	}
+	// Median cache with reverse-adjacency invalidation: a cell's median
+	// depends only on its refs' live positions, so it stays valid until
+	// one of those refs slides (ports never move). Passes after the
+	// first recompute only the cells a slide actually dirtied, which is
+	// the bulk of the refinement cost once the placement settles.
+	nInst := len(insts)
+	med := make([]int64, nInst)
+	medOK := make([]bool, nInst)
+	depCnt := make([]int32, nInst+1)
+	for j := range refs {
+		for _, r := range refs[j] {
+			if r >= 0 {
+				depCnt[r+1]++
+			}
+		}
+	}
+	for i := 0; i < nInst; i++ {
+		depCnt[i+1] += depCnt[i]
+	}
+	deps := make([]int32, depCnt[nInst])
+	fill := make([]int32, nInst)
+	copy(fill, depCnt[:nInst])
+	for j := range refs {
+		for _, r := range refs[j] {
+			if r >= 0 {
+				deps[fill[r]] = int32(j)
+				fill[r]++
+			}
+		}
 	}
 	cpp := fp.Stack.CPPNm
-	var rowYs []int64
-	for y := range rows {
-		rowYs = append(rowYs, y)
-	}
-	sort.Slice(rowYs, func(i, j int) bool { return rowYs[i] < rowYs[j] })
 	done := ctx.Done()
 	for pass := 0; pass < passes; pass++ {
-		for _, y := range rowYs {
+		movedAny := false
+		for ri := 0; ri < nRows; ri++ {
+			cellsInRow := rows[ri]
+			if len(cellsInRow) == 0 {
+				continue
+			}
 			if err := pollCtx(ctx, done); err != nil {
 				return err
 			}
-			r := rows[y]
-			sort.Slice(r.cells, func(i, j int) bool { return r.cells[i].Pos.X < r.cells[j].Pos.X })
-			for i, inst := range r.cells {
-				w := inst.Cell.WidthNm(fp.Stack)
+			for i, inst := range cellsInRow {
+				w := widths[inst.Seq]
 				lo := fp.Core.Lo.X
 				if i > 0 {
-					prev := r.cells[i-1]
-					lo = prev.Pos.X + prev.Cell.WidthNm(fp.Stack)
+					prev := cellsInRow[i-1]
+					lo = prev.Pos.X + widths[prev.Seq]
 				}
 				hi := fp.Core.Hi.X - w
-				if i+1 < len(r.cells) {
-					hi = r.cells[i+1].Pos.X - w
+				if i+1 < len(cellsInRow) {
+					hi = cellsInRow[i+1].Pos.X - w
 				}
 				if hi < lo {
 					continue
 				}
 				// Clamp the slide span against tap blockages in this row.
-				ri := int(inst.Pos.Y / rowH)
 				for _, b := range blockages[ri] {
 					if b.Hi <= inst.Pos.X && b.Hi > lo {
 						lo = b.Hi
@@ -712,17 +987,88 @@ func RefineCtx(ctx context.Context, nl *netlist.Netlist, fp *floorplan.Plan, blo
 				if hi < lo {
 					continue
 				}
-				want := geom.Clamp64(desired(inst)-w/2, lo, hi)
+				seq := inst.Seq
+				if !medOK[seq] {
+					med[seq] = desired(inst)
+					medOK[seq] = true
+				}
+				want := geom.Clamp64(med[seq]-w/2, lo, hi)
 				want = geom.SnapDown(want, 0, cpp)
 				if want < lo {
 					want += cpp
 				}
-				if want >= lo && want <= hi {
+				if want >= lo && want <= hi && want != inst.Pos.X {
 					inst.Pos = geom.Pt(want, inst.Pos.Y)
+					movedAny = true
+					for _, j := range deps[depCnt[seq]:depCnt[seq+1]] {
+						medOK[j] = false
+					}
+					if len(refs[seq]) == 0 {
+						// No refs: desired() falls back to the cell's
+						// own X, which this slide just changed.
+						medOK[seq] = false
+					}
 				}
 			}
 		}
+		// A pass with zero slides is a fixed point: every later pass
+		// recomputes the same medians over the same positions, so the
+		// remaining passes are provable no-ops.
+		if !movedAny {
+			break
+		}
 	}
-	_ = rowH
 	return nil
+}
+
+// medianInt64 returns the (len/2)-th smallest element — the value a full
+// sort would leave at xs[len(xs)/2] — via iterative quickselect,
+// scrambling xs in the process. Refinement medians run once per cell per
+// pass, and typical endpoint sets are large enough that selection beats
+// a full sort.
+func medianInt64(xs []int64) int64 {
+	k := len(xs) / 2
+	lo, hi := 0, len(xs)-1
+	for {
+		if hi-lo < 12 {
+			for i := lo + 1; i <= hi; i++ {
+				for j := i; j > lo && xs[j] < xs[j-1]; j-- {
+					xs[j], xs[j-1] = xs[j-1], xs[j]
+				}
+			}
+			return xs[k]
+		}
+		mid := (lo + hi) / 2
+		if xs[mid] < xs[lo] {
+			xs[mid], xs[lo] = xs[lo], xs[mid]
+		}
+		if xs[hi] < xs[lo] {
+			xs[hi], xs[lo] = xs[lo], xs[hi]
+		}
+		if xs[hi] < xs[mid] {
+			xs[hi], xs[mid] = xs[mid], xs[hi]
+		}
+		p := xs[mid]
+		i, j := lo, hi
+		for i <= j {
+			for xs[i] < p {
+				i++
+			}
+			for xs[j] > p {
+				j--
+			}
+			if i <= j {
+				xs[i], xs[j] = xs[j], xs[i]
+				i++
+				j--
+			}
+		}
+		if k <= j {
+			hi = j
+		} else if k >= i {
+			lo = i
+		} else {
+			return xs[k]
+		}
+	}
 }

@@ -5,9 +5,20 @@
 # memory stats, then writes a BENCH_<date>.json snapshot next to the
 # repo root so future PRs can track the performance trajectory.
 #
-# Usage: scripts/bench.sh [benchtime]   (default 5x)
+# Usage: scripts/bench.sh [--compare OLD.json] [benchtime]   (default 5x)
+#
+# With --compare OLD.json, after writing the new snapshot the per-
+# benchmark ns/op and allocs/op deltas against the old snapshot are
+# printed (negative = new run is faster / allocates less).
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+COMPARE=""
+if [[ "${1:-}" == "--compare" ]]; then
+  COMPARE="${2:?--compare requires a snapshot path}"
+  [[ -f "${COMPARE}" ]] || { echo "no such snapshot: ${COMPARE}" >&2; exit 1; }
+  shift 2
+fi
 
 BENCHTIME="${1:-5x}"
 
@@ -72,3 +83,37 @@ trap - EXIT
 
 echo "== snapshot: ${SNAPSHOT} =="
 cat "${SNAPSHOT}"
+
+# Snapshot rows are one benchmark per line, so the comparison scrapes
+# them with awk instead of requiring a JSON tool in the image.
+if [[ -n "${COMPARE}" ]]; then
+  echo "== compare: ${COMPARE} -> ${SNAPSHOT} =="
+  awk '
+  function field(line, key,    v) {
+      if (match(line, "\"" key "\": [0-9]+")) {
+          v = substr(line, RSTART, RLENGTH)
+          sub(".*: ", "", v)
+          return v
+      }
+      return ""
+  }
+  /"name":/ {
+      line = $0
+      match(line, /"name": "[^"]+"/)
+      name = substr(line, RSTART + 9, RLENGTH - 10)
+      if (NR == FNR) {
+          old_ns[name] = field(line, "ns_op")
+          old_al[name] = field(line, "allocs_op")
+          next
+      }
+      ns = field(line, "ns_op"); al = field(line, "allocs_op")
+      dns = "n/a"; dal = "n/a"
+      if (name in old_ns && old_ns[name] > 0)
+          dns = sprintf("%+.1f%%", 100 * (ns - old_ns[name]) / old_ns[name])
+      if (name in old_al && old_al[name] > 0 && al != "")
+          dal = sprintf("%+.1f%%", 100 * (al - old_al[name]) / old_al[name])
+      printf "%-55s ns/op %14s -> %14s (%s)   allocs/op %10s -> %10s (%s)\n",
+          name, old_ns[name], ns, dns, old_al[name], al, dal
+  }
+  ' "${COMPARE}" "${SNAPSHOT}"
+fi
