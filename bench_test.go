@@ -6,6 +6,7 @@
 package ffet_test
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sync"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/riscv"
 	"repro/internal/sta"
 	"repro/internal/tech"
+	"repro/internal/variation"
 )
 
 var (
@@ -343,4 +345,50 @@ func BenchmarkFlowSingleRun(b *testing.B) {
 				res.AchievedFreqGHz, res.PowerUW, res.CoreAreaUm2, res.Valid)
 		}
 	}
+}
+
+// BenchmarkVariationMC measures the Monte Carlo overlay-variation STA
+// sampling engine on the default quick-scale RISC-V design at the
+// default sigma: one placed-and-clocked flow provides the StageSTA
+// checkpoint, the sampler is built once, and each iteration runs a full
+// default-size study through it. The custom samples/sec metric is the
+// headline throughput number (target: >= 10,000 samples/sec); the
+// per-sample inner loop itself is pinned at 0 allocs/op by
+// variation.TestAllocsPerRunZero.
+func BenchmarkVariationMC(b *testing.B) {
+	s := getSuite(b)
+	nl, _, err := riscv.Generate(s.FFET, riscv.Config{Name: "rv32mc", Registers: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := core.DefaultFlowConfig(tech.Pattern{Front: 6, Back: 6}, 1.5, 0.72)
+	cfg.BackPinFraction = 0.5
+	f, err := core.NewFlow(nl, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := f.Run(); err != nil {
+		b.Fatal(err)
+	}
+	basis, err := f.VariationBasis()
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := variation.DefaultOptions()
+	sampler, err := variation.NewSampler(basis, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := sampler.Run(ctx); err != nil { // warm worker scratch
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sampler.Run(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N*opt.Samples)/b.Elapsed().Seconds(), "samples/sec")
 }

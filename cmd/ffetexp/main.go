@@ -66,6 +66,7 @@ func main() {
 		{"table3", suite.Table3},
 		{"fig12", suite.Fig12},
 		{"fig13", suite.Fig13},
+		{"mc", suite.VariationMC},
 	}
 	// One failed sweep point doesn't kill the report: its table prints
 	// with error cells, the failure goes to stderr, and later experiments

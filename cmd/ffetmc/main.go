@@ -1,0 +1,112 @@
+// Command ffetmc runs a Monte Carlo overlay-variation STA study on the
+// generated RISC-V core: one physical-implementation flow to the timing
+// checkpoint, then thousands of re-timed samples under per-side overlay
+// and parasitic perturbations, reporting the WNS/TNS distribution.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/cell"
+	"repro/internal/core"
+	"repro/internal/riscv"
+	"repro/internal/tech"
+	"repro/internal/variation"
+)
+
+func main() {
+	front := flag.Int("fm", 6, "frontside routing layers")
+	back := flag.Int("bm", 6, "backside routing layers")
+	target := flag.Float64("target", 1.5, "synthesis target frequency (GHz)")
+	util := flag.Float64("util", 0.72, "placement utilization")
+	backPins := flag.Float64("backpins", 0.5, "backside input pin density ratio")
+	regs := flag.Int("regs", 16, "architectural registers (8/16/32)")
+	samples := flag.Int("samples", 0, "Monte Carlo samples (0 = default)")
+	workers := flag.Int("workers", 0, "sampling goroutines (0 = GOMAXPROCS)")
+	seed := flag.Uint64("seed", 0, "PRNG seed (0 = default)")
+	sigma := flag.Float64("sigma", 0, "per-side overlay sigma in nm (0 = default)")
+	floor := flag.Float64("floor", 0, "screening floor in fF (0 = default)")
+	flag.Parse()
+
+	// SIGINT/SIGTERM cancel both the flow and the sampling loop; a
+	// cancelled run exits non-zero.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	lib := cell.NewLibrary(tech.NewFFET())
+	nl, _, err := riscv.Generate(lib, riscv.Config{Name: "rv32", Registers: *regs})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := core.DefaultFlowConfig(tech.Pattern{Front: *front, Back: *back}, *target, *util)
+	cfg.BackPinFraction = *backPins
+	f, err := core.NewFlow(nl, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	t0 := time.Now()
+	if err := f.RunToCtx(ctx, core.StageSTA); err != nil {
+		fail(err)
+	}
+	if f.Halted() {
+		log.Fatalf("flow halted: %s", f.Result().Reason)
+	}
+	basis, err := f.VariationBasis()
+	if err != nil {
+		log.Fatal(err)
+	}
+	flowDur := time.Since(t0)
+
+	opt := variation.DefaultOptions()
+	if *samples > 0 {
+		opt.Samples = *samples
+	}
+	if *workers > 0 {
+		opt.Workers = *workers
+	}
+	if *seed != 0 {
+		opt.Seed = *seed
+	}
+	if *sigma > 0 {
+		opt.SigmaNm = *sigma
+	}
+	if *floor > 0 {
+		opt.FloorFF = *floor
+	}
+	t1 := time.Now()
+	sum, err := variation.Study(ctx, basis, opt)
+	if err != nil {
+		fail(err)
+	}
+	mcDur := time.Since(t1)
+
+	fmt.Printf("design: pattern=%s backpins=%.0f%% nets=%d period=%.1fps (flow %s)\n",
+		cfg.Pattern, *backPins*100, len(basis.NetRC), basis.PeriodPs,
+		flowDur.Round(time.Millisecond))
+	fmt.Printf("model: sigma=%gnm/side capsens=%g/nm parasitic=%g floor=%gfF seed=%d\n",
+		opt.SigmaNm, opt.CapSensPerNm, opt.ParasiticSigma, opt.FloorFF, opt.Seed)
+	fmt.Printf("%d samples in %s (%.0f samples/sec, %d workers)\n",
+		sum.Samples, mcDur.Round(time.Millisecond),
+		float64(sum.Samples)/mcDur.Seconds(), opt.Workers)
+	fmt.Printf("WNS ps: mean=%.2f sigma=%.2f P50=%.2f P95=%.2f P99.7=%.2f\n",
+		sum.MeanWNSPs, sum.SigmaWNSPs, sum.P50WNSPs, sum.P95WNSPs, sum.P997WNSPs)
+	fmt.Printf("TNS ps: mean=%.2f sigma=%.2f P50=%.2f P95=%.2f P99.7=%.2f\n",
+		sum.MeanTNSPs, sum.SigmaTNSPs, sum.P50TNSPs, sum.P95TNSPs, sum.P997TNSPs)
+}
+
+// fail reports a run error, distinguishing an interrupt, and exits 1.
+func fail(err error) {
+	if errors.Is(err, core.ErrCancelled) || errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "interrupted")
+	}
+	fmt.Fprintf(os.Stderr, "ffetmc: %v\n", err)
+	os.Exit(1)
+}

@@ -22,6 +22,7 @@ import (
 	"repro/internal/sta"
 	"repro/internal/synth"
 	"repro/internal/tech"
+	"repro/internal/variation"
 )
 
 // Stage identifies one step of the physical implementation pipeline
@@ -326,6 +327,46 @@ func (f *Flow) RouteResult(side tech.Side) *route.Result {
 		return f.backRes
 	}
 	return f.frontRes
+}
+
+// VariationBasis exposes the StageSTA checkpoint as a Monte Carlo
+// overlay-variation basis: the session's retained timing engine (the
+// study forks it per worker — extraction is never re-run), the RC view
+// its state was computed under, the analysis conditions, the target
+// period, and the per-net per-side routed lengths that weight the two
+// overlay axes. The session must have completed StageSTA on a valid run;
+// the basis borrows session state, so the session must not be re-run or
+// forked-and-analyzed while a sampler is being built from it.
+func (f *Flow) VariationBasis() (*variation.Basis, error) {
+	if !f.Done(StageSTA) || f.Halted() {
+		return nil, fmt.Errorf("core: variation basis needs a valid session past StageSTA")
+	}
+	if f.staEng == nil || f.baseRC == nil {
+		return nil, fmt.Errorf("core: session has no retained timing basis")
+	}
+	staOpt := f.cfg.STA
+	if staOpt.InputSlewPs == 0 {
+		staOpt = sta.DefaultOptions()
+	}
+	fw := make([]int64, len(f.work.Nets))
+	bw := make([]int64, len(f.work.Nets))
+	for _, n := range f.work.Nets {
+		if t := f.frontRes.Tree(n.Seq); t != nil {
+			fw[n.Seq] = t.WirelenNm
+		}
+		if t := f.backRes.Tree(n.Seq); t != nil {
+			bw[n.Seq] = t.WirelenNm
+		}
+	}
+	return &variation.Basis{
+		Engine:         f.staEng,
+		NetRC:          f.baseRC,
+		ClockArrivalPs: f.ctsRes.ArrivalPs,
+		STAOpt:         staOpt,
+		PeriodPs:       1000.0 / f.cfg.TargetFreqGHz,
+		FrontWirelenNm: fw,
+		BackWirelenNm:  bw,
+	}, nil
 }
 
 // RunTo executes pipeline stages up to and including target (clamped to

@@ -313,3 +313,25 @@ func TestCSVQuoting(t *testing.T) {
 		t.Errorf("CSV() = %q, want %q", got, want)
 	}
 }
+
+// TestVariationMCTable exercises the Monte Carlo overlay experiment end
+// to end at quick scale: one leader flow, one back-pins-off fork, two
+// studies. Both variants must produce a non-degenerate distribution.
+func TestVariationMCTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("flow run in -short mode")
+	}
+	s := quickSuite(t)
+	tab, err := s.VariationMC()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d, want 2", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		if r[2] == "0.00" {
+			t.Errorf("variant %s: degenerate distribution (sigma %s)", r[0], r[2])
+		}
+	}
+}

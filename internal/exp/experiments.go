@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/tech"
+	"repro/internal/variation"
 )
 
 // errClass names the taxonomy kind of a classified sweep-point error,
@@ -559,4 +560,77 @@ func (s *Suite) Fig13() (*Table, error) {
 		}
 	}
 	return t, sweepErr
+}
+
+// VariationMC runs the overlay-variation Monte Carlo study of PAPERS.md's
+// FlipFET-vs-CFET benchmark on one placed-and-clocked FFET session: the
+// leader runs dual-sided pins (FP0.5BP0.5) through CTS, a fork flips the
+// back pins off (all-front — the single-sided CFET-like proxy with the
+// same cells, placement and clock tree), and both variants' StageSTA
+// checkpoints are sampled under the same overlay model and seed, so the
+// distributions differ only through pin sidedness.
+func (s *Suite) VariationMC() (*Table, error) {
+	pattern := tech.Pattern{Front: 6, Back: 6}
+	samples := 2048
+	if s.Scale == Full {
+		pattern = tech.Pattern{Front: 12, Back: 12}
+		samples = 8192
+	}
+	cfg := core.DefaultFlowConfig(pattern, 1.5, 0.72)
+	cfg.BackPinFraction = 0.5
+	leader, err := core.NewFlow(s.netlistFor(tech.FFET), cfg)
+	if err != nil {
+		return nil, err
+	}
+	ctx := s.ctx()
+	if err := leader.RunToCtx(ctx, core.StageCTS); err != nil {
+		return nil, err
+	}
+	proxy, err := leader.Fork(func(c *core.FlowConfig) { c.BackPinFraction = 0 })
+	if err != nil {
+		return nil, err
+	}
+	opt := variation.DefaultOptions()
+	opt.Samples = samples
+	// The exp tables trade throughput for fidelity: the lowered screening
+	// floor admits the mid-cap nets that carry much of the distribution's
+	// sigma (see variation.Options.FloorFF).
+	opt.FloorFF = 0.25
+	t := &Table{
+		ID:    "mc",
+		Title: "Overlay-variation Monte Carlo: dual-sided pins vs all-front proxy",
+		Header: []string{"variant", "mean WNS ps", "sigma ps",
+			"P50 ps", "P95 ps", "P99.7 ps", "mean TNS ps"},
+		Notes: []string{fmt.Sprintf(
+			"%d samples, overlay sigma %g nm/side, cap sens %g/nm, parasitic sigma %g, floor %g fF, seed %d",
+			opt.Samples, opt.SigmaNm, opt.CapSensPerNm, opt.ParasiticSigma, opt.FloorFF, opt.Seed)},
+	}
+	var sig [2]float64
+	for i, v := range []struct {
+		name string
+		f    *core.Flow
+	}{{"FP0.5BP0.5", leader}, {"FP1.0 proxy", proxy}} {
+		if err := v.f.RunToCtx(ctx, core.StageSTA); err != nil {
+			return nil, fmt.Errorf("%s: %w", v.name, err)
+		}
+		basis, err := v.f.VariationBasis()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", v.name, err)
+		}
+		sum, err := variation.Study(ctx, basis, opt)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", v.name, err)
+		}
+		sig[i] = sum.SigmaWNSPs
+		t.Rows = append(t.Rows, []string{
+			v.name, f2(sum.MeanWNSPs), f2(sum.SigmaWNSPs),
+			f2(sum.P50WNSPs), f2(sum.P95WNSPs), f2(sum.P997WNSPs), f2(sum.MeanTNSPs),
+		})
+	}
+	if sig[1] > 0 {
+		t.Notes = append(t.Notes, fmt.Sprintf(
+			"WNS sigma, dual-sided vs all-front: %+.1f%% (positive = dual-sided pins are more overlay-sensitive)",
+			100*(sig[0]/sig[1]-1)))
+	}
+	return t, nil
 }

@@ -77,20 +77,30 @@ func BenchmarkBuildTree(b *testing.B) {
 	if _, err := r.Run(nets); err != nil {
 		b.Fatal(err)
 	}
-	totalPins := 0
+	totalPins, totalEdges := 0, 0
 	for _, n := range nets {
 		totalPins += len(n.Pins)
 	}
+	for _, nr := range r.nets {
+		totalEdges += len(nr.edges)
+	}
 	pinArena := make([]int32, totalPins)
+	nodeArena := make([]geom.Point, totalEdges+len(r.nets))
+	edgeArena := make([]TreeEdge, totalEdges)
 	trees := make([]Tree, len(r.nets))
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		carved := 0
+		carved, nodeAt, edgeAt := 0, 0, 0
 		for j, nr := range r.nets {
 			k := len(nr.net.Pins)
-			r.buildTree(nr, &trees[j], pinArena[carved:carved+k:carved+k])
+			nn, ne := len(nr.edges)+1, len(nr.edges)
+			r.buildTree(nr, &trees[j], pinArena[carved:carved+k:carved+k],
+				nodeArena[nodeAt:nodeAt:nodeAt+nn],
+				edgeArena[edgeAt:edgeAt:edgeAt+ne])
 			carved += k
+			nodeAt += nn
+			edgeAt += ne
 		}
 	}
 }

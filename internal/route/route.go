@@ -564,21 +564,34 @@ func (r *Router) RunCtx(ctx context.Context, nets []*Net) (*Result, error) {
 		GridW:     r.g.w,
 		GridH:     r.g.h,
 	}
-	// Tree structs and pin-node tables are carved from two flat arenas
-	// sized up front: the result owns them, and per-net allocation drops
-	// to just the Nodes/Edges payload slices.
-	totalPins := 0
+	// Tree structs, pin-node tables and the Nodes/Edges payloads are all
+	// carved from flat arenas sized up front: the result owns them, and
+	// per-net allocation inside the tree-build loop drops to zero. A
+	// routed tree has at most len(edges)+1 nodes (it is a tree; pins bind
+	// to cells already on it), and the carves are capacity-capped so a
+	// stray append reallocates instead of clobbering the next net.
+	totalPins, totalEdges := 0, 0
 	for _, n := range nets {
 		totalPins += len(n.Pins)
 	}
+	for _, nr := range order {
+		totalEdges += len(nr.edges)
+	}
 	treeStore := make([]Tree, len(order))
 	pinNodeArena := make([]int32, totalPins)
-	carved := 0
+	nodeArena := make([]geom.Point, totalEdges+len(order))
+	edgeArena := make([]TreeEdge, totalEdges)
+	carved, nodeAt, edgeAt := 0, 0, 0
 	for i, nr := range order {
 		k := len(nr.net.Pins)
+		nn, ne := len(nr.edges)+1, len(nr.edges)
 		t := &treeStore[i]
-		r.buildTree(nr, t, pinNodeArena[carved:carved+k:carved+k])
+		r.buildTree(nr, t, pinNodeArena[carved:carved+k:carved+k],
+			nodeArena[nodeAt:nodeAt:nodeAt+nn],
+			edgeArena[edgeAt:edgeAt:edgeAt+ne])
 		carved += k
+		nodeAt += nn
+		edgeAt += ne
 		if res.Trees[nr.net.Seq] != nil {
 			return nil, fmt.Errorf("route: duplicate net Seq %d (%s and %s)",
 				nr.net.Seq, res.Trees[nr.net.Seq].Name, nr.net.Name)

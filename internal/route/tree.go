@@ -75,17 +75,19 @@ func netSalt(name string) uint32 {
 }
 
 // buildTree converts a net's committed grid edges into a rooted RC tree
-// with layer assignment, filling the caller-provided Tree and pin-node
-// table (pinNode must have len(nr.net.Pins) slots; Run carves both from
+// with layer assignment, filling the caller-provided Tree, pin-node
+// table, and Nodes/Edges payload slices (pinNode must have
+// len(nr.net.Pins) slots; nodes/edges must be empty with capacity for
+// len(nr.edges)+1 and len(nr.edges) entries — Run carves all three from
 // result-owned arenas). All intermediate state (node ids, adjacency, BFS
 // bookkeeping) lives in the router's epoch-stamped scratch arrays, so
-// only the Nodes/Edges payload slices are allocated here.
-func (r *Router) buildTree(nr *netRoute, t *Tree, pinNode []int32) {
+// this allocates nothing.
+func (r *Router) buildTree(nr *netRoute, t *Tree, pinNode []int32, nodes []geom.Point, edges []TreeEdge) {
 	g, s := r.g, r.sc
 	*t = Tree{
 		Name:    nr.net.Name,
-		Nodes:   make([]geom.Point, 0, len(nr.edges)+1),
-		Edges:   make([]TreeEdge, 0, len(nr.edges)),
+		Nodes:   nodes,
+		Edges:   edges,
 		Pins:    nr.net.Pins,
 		PinNode: pinNode,
 	}

@@ -1,6 +1,7 @@
 package sta
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -435,5 +436,74 @@ func TestAnalyzeIntoAllocsFree(t *testing.T) {
 		}
 	}); allocs != 0 {
 		t.Errorf("ReanalyzeInto allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestReanalyzeStateMatchesFull covers the state-only reanalysis entry
+// the Monte Carlo loop drives: chained ReanalyzeStateCtx calls on forked
+// engines (including forks of forks) must leave endpoint state whose
+// SlackStats match a from-scratch full analysis of the same view bit for
+// bit, at every chain step and fork depth.
+func TestReanalyzeStateMatchesFull(t *testing.T) {
+	opt := DefaultOptions()
+	for round := int64(0); round < 6; round++ {
+		rng := rand.New(rand.NewSource(500 + round))
+		nl := web(t, 5+int(round%3), 30+int(round)*5, 900+round)
+		clk := make([]float64, len(nl.Instances))
+		for i := range clk {
+			clk[i] = 12 * rng.Float64()
+		}
+		rc := randomRC(nl, rng)
+		base, err := NewEngine(nl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var res Result
+		if err := base.AnalyzeInto(&res, Input{NetRC: rc, ClockArrivalPs: clk}, opt); err != nil {
+			t.Fatal(err)
+		}
+		period := res.MinPeriodPs * 0.97 // slightly infeasible: nonzero TNS
+
+		eng := base.Fork()
+		cur := rc
+		for step := 0; step < 6; step++ {
+			if step == 3 {
+				// Re-fork mid-chain: the child inherits the chain state
+				// and must keep producing exact results.
+				eng = eng.Fork()
+			}
+			next := perturbRC(cur, rng, 0.2)
+			dirty := extract.DiffRC(nil, cur, next)
+			in := Input{NetRC: next, ClockArrivalPs: clk}
+			if err := eng.ReanalyzeStateCtx(context.Background(), in, opt, dirty); err != nil {
+				t.Fatal(err)
+			}
+			if !eng.Stats().Incremental {
+				t.Fatalf("round %d step %d: state reanalysis not incremental", round, step)
+			}
+			gotW, gotT := eng.SlackStats(period)
+
+			fresh, err := NewEngine(nl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var want Result
+			if err := fresh.AnalyzeInto(&want, in, opt); err != nil {
+				t.Fatal(err)
+			}
+			wantW, wantT := fresh.SlackStats(period)
+			if gotW != wantW || gotT != wantT {
+				t.Fatalf("round %d step %d: SlackStats (%v, %v) != full (%v, %v)",
+					round, step, gotW, gotT, wantW, wantT)
+			}
+			// The state must also still reduce into a bit-identical full
+			// Result (state-only and Into variants share one propagation).
+			var got Result
+			if err := eng.ReanalyzeInto(&got, in, opt, nil); err != nil {
+				t.Fatal(err)
+			}
+			requireSameResult(t, fmt.Sprintf("round %d step %d state", round, step), &got, &want)
+			cur = next
+		}
 	}
 }

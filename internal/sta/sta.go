@@ -143,6 +143,15 @@ type Engine struct {
 	arcSink  []int32
 	arcTab   []*liberty.Arc
 
+	// Flattened NLDM fast path (immutable, fork-shared): arcFlat maps an
+	// arc row to an entry of flats, or -1 when the arc's four tables do
+	// not share one axis pair and the generic liberty lookup applies.
+	// Sharing the axes lets one segment search + fraction pair serve the
+	// rise/fall delay and slew tables of an arc — the dominant cost of
+	// cell evaluation at Monte Carlo sampling rates.
+	arcFlat []int32
+	flats   []flatArc
+
 	// outSeq[i] is instance i's output net Seq, -1 when unconnected or a
 	// clock net (which combinational propagation never writes).
 	outSeq []int32
@@ -160,6 +169,16 @@ type Engine struct {
 	arr   []float64
 	slew  []float64
 	from  []int32 // Seq of the instance that set the arrival; -1 at sources
+
+	// Flat mirrors of the RC view the retained state was computed under
+	// (mutable, fork-copied): per-net load, per-arc-row wire delay into
+	// the row's sink pin, and per-flop wire delay into the D pin. A full
+	// analysis refreshes all three from the Input; Reanalyze refreshes
+	// only the dirty nets' entries. Propagation reads these flat arrays
+	// instead of chasing *extract.NetRC pointers per arc.
+	loadFF  []float64
+	wireArc []float64
+	wireD   []float64
 
 	// Per-endpoint setup state, aligned with flops: the required period
 	// and D-pin arrival of every constrained check from the last
@@ -180,32 +199,172 @@ type Engine struct {
 	// DefaultSkewPs) from a present-but-empty one (they don't).
 	baseClkNil bool
 
+	// Cone-walk adjacency (immutable, shared by forks): the forward
+	// indices Reanalyze needs to touch only the dirty fanout cones
+	// instead of scanning the whole levelized order per call.
+	levelOf   []int32 // per instance: levelized level index, -1 for flops/sources
+	driverOf  []int32 // per net: Seq of its combinational driver, -1 if flop/port-driven
+	consStart []int32 // per net: consumer rows consInst[consStart[n]:consStart[n+1]]
+	consInst  []int32 // combinational consumers (with a driven output), level order
+	dfStart   []int32 // per net: endpoint rows dFlop[dfStart[n]:dfStart[n+1]]
+	dFlop     []int32 // flop indices (into flops) whose D pin loads the net
+	qFlopOf   []int32 // per net: flop index whose Q output drives it, -1 otherwise
+
 	// Reanalyze dirty tracking, epoch-stamped like the arrival state:
 	// rcStamp marks nets whose RC changed this call, valStamp nets whose
 	// recomputed arrival or slew differs from the retained state.
 	reEpoch  uint32
 	rcStamp  []uint32
 	valStamp []uint32
+	// Cone-walk scratch, sized lazily with the stamps: a per-instance
+	// dedup stamp plus an intrusive per-level worklist (levelHead heads,
+	// instNext links), and the endpoint recheck list with its own stamp.
+	instStamp []uint32
+	endStamp  []uint32
+	instNext  []int32
+	levelHead []int32
+	endList   []int32
 
 	stats ReStats
 	res   Result
 }
 
+// carveI32 slices n entries off the front of a shared int32 arena,
+// capacity-capped so a stray append can never clobber the next table.
+func carveI32(arena *[]int32, n int) []int32 {
+	s := (*arena)[:n:n]
+	*arena = (*arena)[n:]
+	return s
+}
+
+// carveF64 is carveI32 for float64 arenas.
+func carveF64(arena *[]float64, n int) []float64 {
+	s := (*arena)[:n:n]
+	*arena = (*arena)[n:]
+	return s
+}
+
+// flatArc is one NLDM arc with its four tables flattened over a shared
+// (slew, load) axis pair. Interpolation through it is bit-identical to
+// liberty.Table.Lookup on each table: the segment selection, fraction and
+// bilinear expressions are the same, only the cell search and the
+// fraction computation are shared across the four tables. blk holds, per
+// interpolation cell, the four corner values of all four tables
+// contiguously ([v00 v10 v01 v11] × dR, dF, sR, sF — 16 floats, two
+// cache lines), so one cell evaluation touches one block instead of four
+// scattered matrices.
+type flatArc struct {
+	slews, loads []float64
+	blk          []float64 // [(i*(len(loads)-1)+j)*16 : +16]
+}
+
+// segLin mirrors liberty's interpolation-cell selection (first axis entry
+// >= v, clamped to the boundary cells): the insertion point is the count
+// of axis entries below v. The characterization axes are 5-point, so a
+// fixed-trip counting scan (no early exit, no mispredicted break) beats
+// binary search.
+func segLin(axis []float64, v float64) int {
+	i := 0
+	for _, x := range axis {
+		if x < v {
+			i++
+		}
+	}
+	switch n := len(axis); {
+	case i <= 0:
+		return 0
+	case i >= n:
+		return n - 2
+	default:
+		return i - 1
+	}
+}
+
+// sameAxis reports element-exact axis equality — the condition under
+// which one segment/fraction pair is bit-identical for all tables.
+func sameAxis(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, v := range a {
+		if v != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// flattenArc builds the fast-path representation of an arc, or reports
+// that the arc must use the generic lookup (missing tables, degenerate or
+// mismatched axes).
+func flattenArc(a *liberty.Arc) (flatArc, bool) {
+	if a == nil || a.DelayRise == nil || a.DelayFall == nil || a.SlewRise == nil || a.SlewFall == nil {
+		return flatArc{}, false
+	}
+	s, l := a.DelayRise.Slews, a.DelayRise.Loads
+	if len(s) < 2 || len(l) < 2 {
+		return flatArc{}, false
+	}
+	for _, t := range []*liberty.Table{a.DelayFall, a.SlewRise, a.SlewFall} {
+		if !sameAxis(t.Slews, s) || !sameAxis(t.Loads, l) {
+			return flatArc{}, false
+		}
+	}
+	f := flatArc{
+		slews: s, loads: l,
+		blk: make([]float64, (len(s)-1)*(len(l)-1)*16),
+	}
+	tabs := [4]*liberty.Table{a.DelayRise, a.DelayFall, a.SlewRise, a.SlewFall}
+	for i := 0; i < len(s)-1; i++ {
+		for j := 0; j < len(l)-1; j++ {
+			off := (i*(len(l)-1) + j) * 16
+			for k, t := range tabs {
+				f.blk[off+4*k+0] = t.Values[i][j]
+				f.blk[off+4*k+1] = t.Values[i+1][j]
+				f.blk[off+4*k+2] = t.Values[i][j+1]
+				f.blk[off+4*k+3] = t.Values[i+1][j+1]
+			}
+		}
+	}
+	return f, true
+}
+
 // NewEngine levelizes the netlist and builds the dense timing graph.
 // It fails if the combinational graph is cyclic.
+//
+// The build tables are carved from a handful of per-type arenas (one
+// int32, one float64, plus the arc-pointer and per-arc tables): an MC
+// variation study builds one engine per population and forks it per
+// worker, so the one-time build cost shows up multiplied.
 func NewEngine(nl *netlist.Netlist) (*Engine, error) {
 	levels, cyclic := nl.TopoLevels()
 	if len(cyclic) > 0 {
 		return nil, fmt.Errorf("sta: %d instances in combinational cycles", len(cyclic))
 	}
 	e := &Engine{nl: nl, Levels: levels, flops: nl.Flops()}
+	nOrder := 0
+	for _, level := range levels {
+		nOrder += len(level)
+	}
+	e.order = make([]*netlist.Instance, 0, nOrder)
 	for _, level := range levels {
 		e.order = append(e.order, level...)
 	}
 
-	nInst, nNet := len(nl.Instances), len(nl.Nets)
-	e.arcStart = make([]int32, nInst+1)
-	e.outSeq = make([]int32, nInst)
+	nInst, nNet, nFlop := len(nl.Instances), len(nl.Nets), len(e.flops)
+	ints := make([]int32, (nInst+1)+2*nInst+3*nFlop+5*nNet+2)
+	e.arcStart = carveI32(&ints, nInst+1)
+	e.outSeq = carveI32(&ints, nInst)
+	e.levelOf = carveI32(&ints, nInst)
+	e.dNet = carveI32(&ints, nFlop)
+	e.dSink = carveI32(&ints, nFlop)
+	e.qNet = carveI32(&ints, nFlop)
+	e.from = carveI32(&ints, nNet)
+	e.driverOf = carveI32(&ints, nNet)
+	e.qFlopOf = carveI32(&ints, nNet)
+	e.consStart = carveI32(&ints, nNet+1)
+	e.dfStart = carveI32(&ints, nNet+1)
+
 	for _, inst := range nl.Instances {
 		e.arcStart[inst.Seq+1] = int32(len(inst.Cell.Inputs))
 		e.outSeq[inst.Seq] = -1
@@ -217,8 +376,9 @@ func NewEngine(nl *netlist.Netlist) (*Engine, error) {
 		e.arcStart[i+1] += e.arcStart[i]
 	}
 	nArcs := int(e.arcStart[nInst])
-	e.arcNet = make([]int32, nArcs)
-	e.arcSink = make([]int32, nArcs)
+	arcInts := make([]int32, 2*nArcs)
+	e.arcNet = carveI32(&arcInts, nArcs)
+	e.arcSink = carveI32(&arcInts, nArcs)
 	e.arcTab = make([]*liberty.Arc, nArcs)
 	for _, inst := range nl.Instances {
 		row := e.arcStart[inst.Seq]
@@ -231,6 +391,24 @@ func NewEngine(nl *netlist.Netlist) (*Engine, error) {
 			row++
 		}
 	}
+	// Deduplicate the arc tables into the flattened fast-path forms: a
+	// netlist instantiates a handful of cell types, so the flats table is
+	// tiny and stays cache-resident through propagation.
+	e.arcFlat = make([]int32, nArcs)
+	flatOf := make(map[*liberty.Arc]int32, 16)
+	for row, a := range e.arcTab {
+		fi, seen := flatOf[a]
+		if !seen {
+			fi = -1
+			if f, ok := flattenArc(a); ok {
+				fi = int32(len(e.flats))
+				e.flats = append(e.flats, f)
+			}
+			flatOf[a] = fi
+		}
+		e.arcFlat[row] = fi
+	}
+
 	// One pass over the nets resolves every pin's sink index — O(total
 	// sinks), instead of rescanning each net's sink list per fanin pin.
 	for _, n := range nl.Nets {
@@ -247,9 +425,6 @@ func NewEngine(nl *netlist.Netlist) (*Engine, error) {
 		}
 	}
 
-	e.dNet = make([]int32, len(e.flops))
-	e.dSink = make([]int32, len(e.flops))
-	e.qNet = make([]int32, len(e.flops))
 	for i, ff := range e.flops {
 		e.dNet[i], e.dSink[i] = -1, -1
 		if row, ok := e.arcRow(ff, ff.Cell.Seq.DataPin); ok {
@@ -262,13 +437,99 @@ func NewEngine(nl *netlist.Netlist) (*Engine, error) {
 	}
 
 	e.stamp = make([]uint32, nNet)
-	e.arr = make([]float64, nNet)
-	e.slew = make([]float64, nNet)
-	e.from = make([]int32, nNet)
-	e.endNeed = make([]float64, len(e.flops))
-	e.endArr = make([]float64, len(e.flops))
-	e.endOK = make([]bool, len(e.flops))
+	floats := make([]float64, 3*nNet+3*nFlop+nArcs)
+	e.arr = carveF64(&floats, nNet)
+	e.slew = carveF64(&floats, nNet)
+	e.endNeed = carveF64(&floats, nFlop)
+	e.endArr = carveF64(&floats, nFlop)
+	e.loadFF = carveF64(&floats, nNet)
+	e.wireArc = carveF64(&floats, nArcs)
+	e.wireD = carveF64(&floats, nFlop)
+	e.endOK = make([]bool, nFlop)
+
+	e.buildConeIndex()
 	return e, nil
+}
+
+// buildConeIndex derives the forward adjacency the incremental cone walk
+// seeds from: per-net combinational driver and consumers, per-net flop
+// endpoints, the Q-driving flop, and each instance's level. Consumers are
+// counting-sorted in levelized order, so worklist seeding is deterministic.
+func (e *Engine) buildConeIndex() {
+	nNet := len(e.stamp)
+	for i := range e.levelOf {
+		e.levelOf[i] = -1
+	}
+	for li, level := range e.Levels {
+		for _, inst := range level {
+			e.levelOf[inst.Seq] = int32(li)
+		}
+	}
+	for i := 0; i < nNet; i++ {
+		e.driverOf[i] = -1
+		e.qFlopOf[i] = -1
+	}
+	for i, q := range e.qNet {
+		if q >= 0 {
+			e.qFlopOf[q] = int32(i)
+		}
+	}
+	// Count, prefix-sum, fill with moving cursors, then shift the starts
+	// back — the standard in-place counting sort. Instances whose output
+	// is unconnected (or a clock net) never propagate, so they are not
+	// consumers of anything.
+	nCons := 0
+	for _, inst := range e.order {
+		seq := inst.Seq
+		if e.outSeq[seq] < 0 {
+			continue
+		}
+		e.driverOf[e.outSeq[seq]] = int32(seq)
+		for row := e.arcStart[seq]; row < e.arcStart[seq+1]; row++ {
+			if n := e.arcNet[row]; n >= 0 {
+				e.consStart[n+1]++
+				nCons++
+			}
+		}
+	}
+	nDF := 0
+	for _, d := range e.dNet {
+		if d >= 0 {
+			e.dfStart[d+1]++
+			nDF++
+		}
+	}
+	for i := 0; i < nNet; i++ {
+		e.consStart[i+1] += e.consStart[i]
+		e.dfStart[i+1] += e.dfStart[i]
+	}
+	tail := make([]int32, nCons+nDF)
+	e.consInst = tail[:nCons:nCons]
+	e.dFlop = tail[nCons:]
+	for _, inst := range e.order {
+		seq := inst.Seq
+		if e.outSeq[seq] < 0 {
+			continue
+		}
+		for row := e.arcStart[seq]; row < e.arcStart[seq+1]; row++ {
+			if n := e.arcNet[row]; n >= 0 {
+				e.consInst[e.consStart[n]] = int32(seq)
+				e.consStart[n]++
+			}
+		}
+	}
+	for i, d := range e.dNet {
+		if d >= 0 {
+			e.dFlop[e.dfStart[d]] = int32(i)
+			e.dfStart[d]++
+		}
+	}
+	for i := nNet; i > 0; i-- {
+		e.consStart[i] = e.consStart[i-1]
+		e.dfStart[i] = e.dfStart[i-1]
+	}
+	e.consStart[0] = 0
+	e.dfStart[0] = 0
 }
 
 // arcRow locates the arc-table row of an instance input pin (rows follow
@@ -292,20 +553,39 @@ func (e *Engine) arcRow(inst *netlist.Instance, pin string) (int32, bool) {
 // while children are being forked off it.
 func (e *Engine) Fork() *Engine {
 	c := *e
+	nNet, nFlop, nArcs := len(e.stamp), len(e.endOK), len(e.wireArc)
+	// The mutable float state is cloned through one arena (MC studies
+	// fork an engine per worker, so per-slice clone allocations add up).
+	// The basis clock table rides along: it is Engine-owned and rewritten
+	// by recordBase, so the child needs its own copy or a re-timing child
+	// would scribble over a concurrently-read parent buffer. The RC
+	// mirrors are part of the retained basis (they reflect the view the
+	// state was computed under), so they clone too.
+	floats := make([]float64, 3*nNet+3*nFlop+nArcs+len(e.baseClk))
+	c.arr = carveF64(&floats, nNet)
+	c.slew = carveF64(&floats, nNet)
+	c.endNeed = carveF64(&floats, nFlop)
+	c.endArr = carveF64(&floats, nFlop)
+	c.loadFF = carveF64(&floats, nNet)
+	c.wireArc = carveF64(&floats, nArcs)
+	c.wireD = carveF64(&floats, nFlop)
+	c.baseClk = carveF64(&floats, len(e.baseClk))
+	copy(c.arr, e.arr)
+	copy(c.slew, e.slew)
+	copy(c.endNeed, e.endNeed)
+	copy(c.endArr, e.endArr)
+	copy(c.loadFF, e.loadFF)
+	copy(c.wireArc, e.wireArc)
+	copy(c.wireD, e.wireD)
+	copy(c.baseClk, e.baseClk)
 	c.stamp = append([]uint32(nil), e.stamp...)
-	c.arr = append([]float64(nil), e.arr...)
-	c.slew = append([]float64(nil), e.slew...)
 	c.from = append([]int32(nil), e.from...)
-	c.endNeed = append([]float64(nil), e.endNeed...)
-	c.endArr = append([]float64(nil), e.endArr...)
 	c.endOK = append([]bool(nil), e.endOK...)
-	// The basis clock table is Engine-owned and rewritten by recordBase,
-	// so the child needs its own copy or a re-timing child would scribble
-	// over a concurrently-read parent buffer.
-	c.baseClk = append([]float64(nil), e.baseClk...)
-	// Dirty-tracking scratch is per-call state; the child rebuilds its own
-	// lazily. The result buffer must not alias the parent's path storage.
+	// Dirty-tracking and cone-walk scratch is per-call state; the child
+	// rebuilds its own lazily (sharing the parent's would race). The
+	// result buffer must not alias the parent's path storage.
 	c.reEpoch, c.rcStamp, c.valStamp = 0, nil, nil
+	c.instStamp, c.endStamp, c.instNext, c.levelHead, c.endList = nil, nil, nil, nil, nil
 	c.stats = ReStats{}
 	c.res = Result{}
 	return &c
@@ -338,9 +618,20 @@ func (e *Engine) AnalyzeInto(dst *Result, in Input, opt Options) error {
 // analysis leaves the engine without a retained basis (the propagation
 // state is partial), so the next call on this engine runs full.
 func (e *Engine) AnalyzeIntoCtx(ctx context.Context, dst *Result, in Input, opt Options) error {
+	if err := e.analyzeState(ctx, in, opt); err != nil {
+		return err
+	}
+	return e.finishInto(dst, in)
+}
+
+// analyzeState runs the full propagation and endpoint pass, updating the
+// retained state and recording the basis — everything AnalyzeIntoCtx does
+// short of reducing a Result.
+func (e *Engine) analyzeState(ctx context.Context, in Input, opt Options) error {
 	done := ctx.Done()
 	e.beginEpoch()
 	e.stats = ReStats{}
+	e.refreshAllRC(in, opt)
 	e.seedSources(in, opt)
 	for i, inst := range e.order {
 		if done != nil && i&(cancelCheckEvery-1) == 0 {
@@ -356,7 +647,7 @@ func (e *Engine) AnalyzeIntoCtx(ctx context.Context, dst *Result, in Input, opt 
 			continue
 		}
 		e.stats.RecomputedCells++
-		bestArr, bestSlew, ok := e.evalCell(inst, out, in, opt)
+		bestArr, bestSlew, ok := e.evalCell(int32(inst.Seq), out, opt)
 		if !ok {
 			continue
 		}
@@ -375,7 +666,7 @@ func (e *Engine) AnalyzeIntoCtx(ctx context.Context, dst *Result, in Input, opt 
 		e.checkEndpoint(i, ff, in, opt)
 	}
 	e.recordBase(in, opt)
-	return e.finishInto(dst, in)
+	return nil
 }
 
 // Reanalyze re-times the design after an RC change, given the dense set of
@@ -408,10 +699,36 @@ func (e *Engine) ReanalyzeInto(dst *Result, in Input, opt Options, dirtyNets []i
 // for the cancellation semantics (a cancelled re-propagation likewise
 // drops the retained basis).
 func (e *Engine) ReanalyzeIntoCtx(ctx context.Context, dst *Result, in Input, opt Options, dirtyNets []int32) error {
+	if err := e.ReanalyzeStateCtx(ctx, in, opt, dirtyNets); err != nil {
+		return err
+	}
+	return e.finishInto(dst, in)
+}
+
+// ReanalyzeStateCtx updates the retained propagation and endpoint state
+// for a changed RC view without reducing a Result — the unit of work of a
+// Monte Carlo sampling loop, which only needs SlackStats afterwards and
+// would otherwise pay a full-design reduction (worst slew scan, critical
+// path trace) per sample. Fallback and cancellation semantics match
+// ReanalyzeIntoCtx; the state after a call is bit-identical to a full
+// analysis of the new view.
+func (e *Engine) ReanalyzeStateCtx(ctx context.Context, in Input, opt Options, dirtyNets []int32) error {
 	if !e.hasBase || opt != e.baseOpt || !e.clkMatchesBase(in) {
-		return e.AnalyzeIntoCtx(ctx, dst, in, opt)
+		return e.analyzeState(ctx, in, opt)
 	}
 	done := ctx.Done()
+	if done != nil {
+		// The cone walk visits only dirty fanout — often a handful of
+		// cells, fewer than any periodic check interval — so an already
+		// cancelled context is observed up front (matching the full
+		// pass, whose first loop iteration checks immediately).
+		select {
+		case <-done:
+			e.hasBase = false
+			return cancelled(ctx)
+		default:
+		}
+	}
 	e.beginReEpoch()
 	e.stats = ReStats{Incremental: true, DirtyNets: len(dirtyNets)}
 	for _, s := range dirtyNets {
@@ -421,87 +738,147 @@ func (e *Engine) ReanalyzeIntoCtx(ctx context.Context, dst *Result, in Input, op
 			// (extract.DiffRC reports exactly that for mismatched view
 			// sizes) — not a valid incremental basis. Honor the fallback
 			// contract instead of silently dropping the net.
-			return e.AnalyzeIntoCtx(ctx, dst, in, opt)
+			return e.analyzeState(ctx, in, opt)
 		}
 		e.rcStamp[s] = e.reEpoch
+		e.refreshNetRC(s, in, opt)
 	}
-
-	// Re-seed flop Q sources whose output net's RC changed: the clk->Q
-	// delay depends on the net's load. Primary-input seeds are
-	// RC-independent and keep their retained values.
-	for i, ff := range e.flops {
-		q := e.qNet[i]
-		if q < 0 || e.rcStamp[q] != e.reEpoch {
-			continue
-		}
-		load := e.loadOf(q, in, opt)
-		d := ff.Cell.Seq.ClkQWorst(opt.ClockSlewPs, load)
-		arr := e.clkArr(in, ff.Seq) + d
-		slew := extract.SlewDegrade(opt.InputSlewPs, 0)
-		if e.stamp[q] != e.epoch || arr != e.arr[q] || slew != e.slew[q] {
-			e.valStamp[q] = e.reEpoch
-		}
-		e.set(q, arr, slew, int32(ff.Seq))
+	for i := range e.levelHead {
+		e.levelHead[i] = -1
 	}
+	e.endList = e.endList[:0]
 
-	// Cone propagation over the levelized order: a cell re-evaluates iff
-	// its output net's RC changed (load), any fanin net's RC changed
-	// (wire delay / slew degradation into this cell), or any fanin's
-	// recomputed arrival differs from the retained state. Levelization
-	// guarantees every fanin's valStamp is final before its consumers are
-	// visited; a re-evaluation that reproduces the retained value
-	// bit-identically stops the cone right there.
-	for i, inst := range e.order {
-		if done != nil && i&(cancelCheckEvery-1) == 0 {
-			select {
-			case <-done:
-				e.hasBase = false
-				return cancelled(ctx)
-			default:
+	// Seed the cone walk from each dirty net: re-seed the Q source whose
+	// clk->Q delay depends on the net's load, then enqueue the net's
+	// combinational driver (its load changed), its consumers (their wire
+	// delay / input slew changed), and its D endpoints. Duplicate dirty
+	// entries are harmless — re-seeding is idempotent and the worklist
+	// stamps deduplicate.
+	for _, s := range dirtyNets {
+		if fi := e.qFlopOf[s]; fi >= 0 {
+			ff := e.flops[fi]
+			load := e.loadFF[s]
+			d := ff.Cell.Seq.ClkQWorst(opt.ClockSlewPs, load)
+			arr := e.clkArr(in, ff.Seq) + d
+			slew := extract.SlewDegrade(opt.InputSlewPs, 0)
+			if e.stamp[s] != e.epoch || arr != e.arr[s] || slew != e.slew[s] {
+				e.valStamp[s] = e.reEpoch
 			}
+			e.set(s, arr, slew, int32(ff.Seq))
 		}
-		out := e.outSeq[inst.Seq]
-		if out < 0 {
-			continue
+		if drv := e.driverOf[s]; drv >= 0 {
+			e.enqueue(drv)
 		}
-		need := e.rcStamp[out] == e.reEpoch
-		if !need {
-			for row := e.arcStart[inst.Seq]; row < e.arcStart[inst.Seq+1]; row++ {
-				if n := e.arcNet[row]; n >= 0 && (e.rcStamp[n] == e.reEpoch || e.valStamp[n] == e.reEpoch) {
-					need = true
-					break
+		for r := e.consStart[s]; r < e.consStart[s+1]; r++ {
+			e.enqueue(e.consInst[r])
+		}
+		e.pushEndpoints(s)
+	}
+
+	// Cone propagation, level by level: a cell re-evaluates iff it was
+	// enqueued — its output net's RC changed (load), a fanin net's RC
+	// changed (wire delay / slew degradation into this cell), or a
+	// fanin's recomputed arrival differs from the retained state. The
+	// level buckets guarantee every fanin's value is final before its
+	// consumers run, exactly like the full levelized scan, so a
+	// re-evaluation that reproduces the retained value bit-identically
+	// stops the cone right there — and nets outside the cones are never
+	// touched at all, which is what holds the per-sample cost to the
+	// cone size instead of the design size.
+	visited := 0
+	for l := 0; l < len(e.levelHead); l++ {
+		for seq := e.levelHead[l]; seq >= 0; seq = e.instNext[seq] {
+			visited++
+			if done != nil && visited&(cancelCheckEvery-1) == 0 {
+				select {
+				case <-done:
+					e.hasBase = false
+					return cancelled(ctx)
+				default:
 				}
 			}
+			out := e.outSeq[seq]
+			e.stats.RecomputedCells++
+			bestArr, bestSlew, ok := e.evalCell(seq, out, opt)
+			if !ok {
+				// Whether a net is driven at all is structural, not
+				// RC-dependent: it was unset in the retained state too.
+				continue
+			}
+			if e.stamp[out] != e.epoch || bestArr != e.arr[out] || bestSlew != e.slew[out] {
+				e.valStamp[out] = e.reEpoch
+				for r := e.consStart[out]; r < e.consStart[out+1]; r++ {
+					e.enqueue(e.consInst[r])
+				}
+				e.pushEndpoints(out)
+			}
+			e.set(out, bestArr, bestSlew, int32(seq))
 		}
-		if !need {
-			continue
-		}
-		e.stats.RecomputedCells++
-		bestArr, bestSlew, ok := e.evalCell(inst, out, in, opt)
-		if !ok {
-			// Whether a net is driven at all is structural, not
-			// RC-dependent: it was unset in the retained state too.
-			continue
-		}
-		if e.stamp[out] != e.epoch || bestArr != e.arr[out] || bestSlew != e.slew[out] {
-			e.valStamp[out] = e.reEpoch
-		}
-		e.set(out, bestArr, bestSlew, int32(inst.Seq))
 	}
 
-	// Endpoint checks: re-evaluate only flops whose D net is in a dirty
-	// cone (arrival changed) or carries changed RC (wire-to-D changed).
-	// All other entries of the endpoint table are still exact.
-	for i, ff := range e.flops {
-		d := e.dNet[i]
-		if d < 0 || (e.rcStamp[d] != e.reEpoch && e.valStamp[d] != e.reEpoch) {
+	// Endpoint checks, after every cone value is final: exactly the flops
+	// whose D net carries changed RC or a changed arrival. All other
+	// entries of the endpoint table are still exact.
+	for _, fi := range e.endList {
+		e.stats.RecomputedEndpoints++
+		e.checkEndpoint(int(fi), e.flops[fi], in, opt)
+	}
+	// No recordBase here: the basis was verified identical on entry, so
+	// the retained Options/clock copies are already exact.
+	return nil
+}
+
+// enqueue adds a combinational instance to its level's worklist bucket
+// once per reanalysis epoch. Only instances with a driven, non-clock
+// output are ever enqueued (the adjacency excludes the rest).
+func (e *Engine) enqueue(seq int32) {
+	if e.instStamp[seq] == e.reEpoch {
+		return
+	}
+	e.instStamp[seq] = e.reEpoch
+	l := e.levelOf[seq]
+	e.instNext[seq] = e.levelHead[l]
+	e.levelHead[l] = seq
+}
+
+// pushEndpoints schedules the setup re-checks of every flop whose D pin
+// loads the net, deduplicated per epoch; the checks run after propagation
+// so they read final arrivals.
+func (e *Engine) pushEndpoints(net int32) {
+	for r := e.dfStart[net]; r < e.dfStart[net+1]; r++ {
+		fi := e.dFlop[r]
+		if e.endStamp[fi] == e.reEpoch {
 			continue
 		}
-		e.stats.RecomputedEndpoints++
-		e.checkEndpoint(i, ff, in, opt)
+		e.endStamp[fi] = e.reEpoch
+		e.endList = append(e.endList, fi)
 	}
-	e.recordBase(in, opt)
-	return e.finishInto(dst, in)
+}
+
+// SlackStats reduces the retained endpoint table against a clock period:
+// WNS is the worst endpoint slack, TNS the sum of negative slacks, both
+// in ps. The reduction runs in fixed flop order, so it is deterministic
+// for a given retained state. It reads whatever state the last
+// Analyze/Reanalyze call left behind (a Monte Carlo loop pairs it with
+// ReanalyzeStateCtx); with no constrained endpoints both are 0.
+func (e *Engine) SlackStats(periodPs float64) (wnsPs, tnsPs float64) {
+	wns := math.Inf(1)
+	for i, ok := range e.endOK {
+		if !ok {
+			continue
+		}
+		s := periodPs - e.endNeed[i]
+		if s < wns {
+			wns = s
+		}
+		if s < 0 {
+			tnsPs += s
+		}
+	}
+	if math.IsInf(wns, 1) {
+		wns = 0
+	}
+	return wns, tnsPs
 }
 
 // seedSources stamps arrivals at primary inputs and flop Q outputs.
@@ -516,7 +893,7 @@ func (e *Engine) seedSources(in Input, opt Options) {
 		if q < 0 {
 			continue
 		}
-		load := e.loadOf(q, in, opt)
+		load := e.loadFF[q]
 		d := ff.Cell.Seq.ClkQWorst(opt.ClockSlewPs, load)
 		e.set(q, e.clkArr(in, ff.Seq)+d, extract.SlewDegrade(opt.InputSlewPs, 0), int32(ff.Seq))
 	}
@@ -526,27 +903,77 @@ func (e *Engine) seedSources(in Input, opt Options) {
 // its stamped fanin nets — the single unit of propagation work, shared
 // verbatim by the full and the incremental pass so both produce
 // bit-identical values. ok is false when no fanin is driven.
-func (e *Engine) evalCell(inst *netlist.Instance, out int32, in Input, opt Options) (bestArr, bestSlew float64, ok bool) {
-	load := e.loadOf(out, in, opt)
+func (e *Engine) evalCell(seq, out int32, opt Options) (bestArr, bestSlew float64, ok bool) {
+	load := e.loadFF[out]
 	bestArr = math.Inf(-1)
-	for row := e.arcStart[inst.Seq]; row < e.arcStart[inst.Seq+1]; row++ {
+	// The load-axis segment depends only on the output load, which is
+	// constant across the cell's arcs, and the characterization shares one
+	// loads slice per drive class — so the segment/fraction pair is cached
+	// keyed on the axis' backing array and recomputed (identically) only
+	// when an arc carries a different axis.
+	var curLoads *float64
+	var jOff, stride int
+	var fl, gl float64
+	for row := e.arcStart[seq]; row < e.arcStart[seq+1]; row++ {
 		inNet := e.arcNet[row]
 		if inNet < 0 || e.stamp[inNet] != e.epoch {
 			continue // clock, unconnected, or undriven/constant-like
 		}
-		a := e.arcTab[row]
-		if a == nil {
+		wire := e.wireArc[row]
+		sinkSlew := extract.SlewDegrade(e.slew[inNet], wire)
+		fi := e.arcFlat[row]
+		if fi < 0 {
+			// Generic path: tables with mismatched or degenerate axes.
+			a := e.arcTab[row]
+			if a == nil {
+				continue
+			}
+			d := a.WorstDelay(sinkSlew, load)
+			cand := e.arr[inNet] + wire + d
+			if cand > bestArr {
+				bestArr = cand
+				oR := a.SlewRise.Lookup(sinkSlew, load)
+				oF := a.SlewFall.Lookup(sinkSlew, load)
+				if oR > oF {
+					bestSlew = oR
+				} else {
+					bestSlew = oF
+				}
+			}
 			continue
 		}
-		wire := e.elmoreOf(inNet, e.arcSink[row], in)
-		sinkSlew := extract.SlewDegrade(e.slew[inNet], wire)
-		d := a.WorstDelay(sinkSlew, load)
+		// Fast path: one interpolation cell serves all four tables. Every
+		// expression matches liberty.Table.Lookup term for term, so the
+		// values are bit-identical to the generic path.
+		f := &e.flats[fi]
+		i := segLin(f.slews, sinkSlew)
+		if lp := &f.loads[0]; lp != curLoads {
+			curLoads = lp
+			j := segLin(f.loads, load)
+			fl = (load - f.loads[j]) / (f.loads[j+1] - f.loads[j])
+			gl = 1 - fl
+			jOff, stride = j*16, (len(f.loads)-1)*16
+		}
+		fs := (sinkSlew - f.slews[i]) / (f.slews[i+1] - f.slews[i])
+		gs := 1 - fs
+		off := i*stride + jOff
+		blk := f.blk[off : off+16]
+		dRv := blk[0]*gs*gl + blk[1]*fs*gl + blk[2]*gs*fl + blk[3]*fs*fl
+		dFv := blk[4]*gs*gl + blk[5]*fs*gl + blk[6]*gs*fl + blk[7]*fs*fl
+		d := dRv
+		if dFv > d {
+			d = dFv
+		}
 		cand := e.arr[inNet] + wire + d
 		if cand > bestArr {
 			bestArr = cand
-			outSlewR := a.SlewRise.Lookup(sinkSlew, load)
-			outSlewF := a.SlewFall.Lookup(sinkSlew, load)
-			bestSlew = math.Max(outSlewR, outSlewF)
+			oR := blk[8]*gs*gl + blk[9]*fs*gl + blk[10]*gs*fl + blk[11]*fs*fl
+			oF := blk[12]*gs*gl + blk[13]*fs*gl + blk[14]*gs*fl + blk[15]*fs*fl
+			if oR > oF {
+				bestSlew = oR
+			} else {
+				bestSlew = oF
+			}
 		}
 	}
 	if math.IsInf(bestArr, -1) {
@@ -565,7 +992,7 @@ func (e *Engine) checkEndpoint(i int, ff *netlist.Instance, in Input, opt Option
 		return
 	}
 	a := e.arr[dNet]
-	wire := e.elmoreOf(dNet, e.dSink[i], in)
+	wire := e.wireD[i]
 	need := a + wire + ff.Cell.Seq.SetupPs - e.clkArr(in, ff.Seq)
 	if in.ClockArrivalPs == nil {
 		need += opt.DefaultSkewPs
@@ -693,17 +1120,31 @@ func (e *Engine) beginEpoch() {
 }
 
 // beginReEpoch opens a fresh dirty-tracking epoch for one Reanalyze call,
-// lazily sizing the stamp arrays on first use.
+// lazily sizing the stamp arrays and cone-walk scratch on first use (so a
+// warmed engine's steady-state reanalysis allocates nothing).
 func (e *Engine) beginReEpoch() {
 	if e.rcStamp == nil {
-		e.rcStamp = make([]uint32, len(e.stamp))
-		e.valStamp = make([]uint32, len(e.stamp))
+		nNet, nInst, nFlop := len(e.stamp), len(e.nl.Instances), len(e.flops)
+		stamps := make([]uint32, 2*nNet+nInst+nFlop)
+		e.rcStamp = stamps[:nNet:nNet]
+		e.valStamp = stamps[nNet : 2*nNet : 2*nNet]
+		e.instStamp = stamps[2*nNet : 2*nNet+nInst : 2*nNet+nInst]
+		e.endStamp = stamps[2*nNet+nInst:]
+		e.instNext = make([]int32, nInst)
+		e.levelHead = make([]int32, len(e.Levels))
+		e.endList = make([]int32, 0, nFlop)
 	}
 	e.reEpoch++
 	if e.reEpoch == 0 {
 		for i := range e.rcStamp {
 			e.rcStamp[i] = 0
 			e.valStamp[i] = 0
+		}
+		for i := range e.instStamp {
+			e.instStamp[i] = 0
+		}
+		for i := range e.endStamp {
+			e.endStamp[i] = 0
 		}
 		e.reEpoch = 1
 	}
@@ -723,6 +1164,45 @@ func (e *Engine) clkArr(in Input, seq int) float64 {
 		return in.ClockArrivalPs[seq]
 	}
 	return 0
+}
+
+// refreshAllRC fills the flat RC mirrors from an input view — the
+// sequential pass a full analysis pays once so propagation never chases
+// NetRC pointers per arc.
+func (e *Engine) refreshAllRC(in Input, opt Options) {
+	for n := range e.loadFF {
+		e.loadFF[n] = e.loadOf(int32(n), in, opt)
+	}
+	for row, n := range e.arcNet {
+		if n >= 0 {
+			e.wireArc[row] = e.elmoreOf(n, e.arcSink[row], in)
+		}
+	}
+	for i, d := range e.dNet {
+		if d >= 0 {
+			e.wireD[i] = e.elmoreOf(d, e.dSink[i], in)
+		}
+	}
+}
+
+// refreshNetRC re-mirrors one dirty net: its load, the wire delay into
+// every combinational consumer row reading it, and into every flop D pin
+// it feeds. Consumers whose output is undriven have no mirror entries to
+// refresh — they are never evaluated.
+func (e *Engine) refreshNetRC(s int32, in Input, opt Options) {
+	e.loadFF[s] = e.loadOf(s, in, opt)
+	for r := e.consStart[s]; r < e.consStart[s+1]; r++ {
+		seq := e.consInst[r]
+		for row := e.arcStart[seq]; row < e.arcStart[seq+1]; row++ {
+			if e.arcNet[row] == s {
+				e.wireArc[row] = e.elmoreOf(s, e.arcSink[row], in)
+			}
+		}
+	}
+	for r := e.dfStart[s]; r < e.dfStart[s+1]; r++ {
+		fi := e.dFlop[r]
+		e.wireD[fi] = e.elmoreOf(s, e.dSink[fi], in)
+	}
 }
 
 // loadOf returns the capacitive load on a net: extracted total cap when
