@@ -3,15 +3,13 @@
 package main
 
 import (
-	"context"
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"sync"
-	"syscall"
 
 	"repro/internal/cell"
+	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/netlist"
 	"repro/internal/riscv"
@@ -29,7 +27,7 @@ func main() {
 
 	// SIGINT/SIGTERM cancel the sweep: in-flight runs stop within one
 	// stage, their cells report the cancellation, and the exit is non-zero.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := cliutil.SignalContext()
 	defer stop()
 
 	ffet := cell.NewLibrary(tech.NewFFET())

@@ -5,19 +5,15 @@
 package main
 
 import (
-	"context"
-	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
-	"os/signal"
 	"path/filepath"
 	"strings"
-	"syscall"
 	"time"
 
-	"repro/internal/core"
+	"repro/internal/cliutil"
 	"repro/internal/exp"
 )
 
@@ -38,7 +34,7 @@ func main() {
 	// SIGINT/SIGTERM cancel in-flight sweeps: running experiments drain
 	// within one stage per in-flight point, their partial tables still
 	// print (cancelled points as error cells), and the exit is non-zero.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := cliutil.SignalContext()
 	defer stop()
 	suite.Ctx = ctx
 	want := map[string]bool{}
@@ -49,38 +45,20 @@ func main() {
 	}
 	sel := func(id string) bool { return len(want) == 0 || want[id] }
 
-	type job struct {
-		id  string
-		run func() (*exp.Table, error)
-	}
-	jobs := []job{
-		{"fig04", func() (*exp.Table, error) { return suite.Fig04(), nil }},
-		{"table1", func() (*exp.Table, error) { return suite.Table1(), nil }},
-		{"table2", func() (*exp.Table, error) { return suite.Table2(), nil }},
-		{"fig08a", suite.Fig08a},
-		{"fig08b", suite.Fig08b},
-		{"fig08c", suite.Fig08c},
-		{"fig09", suite.Fig09},
-		{"fig10", suite.Fig10},
-		{"fig11", suite.Fig11},
-		{"table3", suite.Table3},
-		{"fig12", suite.Fig12},
-		{"fig13", suite.Fig13},
-		{"mc", suite.VariationMC},
-	}
 	// One failed sweep point doesn't kill the report: its table prints
 	// with error cells, the failure goes to stderr, and later experiments
 	// still run. Only a cancellation stops the whole job list.
 	failed := false
-	for _, j := range jobs {
-		if !sel(j.id) {
+	for _, id := range exp.ExperimentIDs() {
+		if !sel(id) {
 			continue
 		}
+		run, _ := suite.Experiment(id)
 		t0 := time.Now()
-		t, err := j.run()
+		t, err := run()
 		if t != nil {
 			t.Print(os.Stdout)
-			fmt.Printf("  (%s in %s)\n\n", j.id, time.Since(t0).Round(time.Millisecond))
+			fmt.Printf("  (%s in %s)\n\n", id, time.Since(t0).Round(time.Millisecond))
 			if *outDir != "" {
 				if err := os.MkdirAll(*outDir, 0o755); err != nil {
 					log.Fatal(err)
@@ -93,8 +71,8 @@ func main() {
 		}
 		if err != nil {
 			failed = true
-			fmt.Fprintf(os.Stderr, "%s: %v\n", j.id, err)
-			if errors.Is(err, core.ErrCancelled) || ctx.Err() != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			if cliutil.IsCancel(err) || ctx.Err() != nil {
 				fmt.Fprintln(os.Stderr, "interrupted; stopping")
 				break
 			}

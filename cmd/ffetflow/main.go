@@ -4,17 +4,14 @@
 package main
 
 import (
-	"context"
-	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
-	"os/signal"
-	"syscall"
 	"time"
 
 	"repro/internal/cell"
+	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/riscv"
 	"repro/internal/tech"
@@ -51,20 +48,14 @@ func main() {
 	// one stage boundary (or mid-stage inside the long loops), partial
 	// stage timings are still reported, and the exit is non-zero with the
 	// classified error.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := cliutil.SignalContext()
 	defer stop()
 	// Drive the pipeline one stage at a time so progress (and the cost of
 	// each stage) is visible as it happens.
 	for s := core.StageSynth; int(s) < core.NumStages; s++ {
 		if err := f.RunToCtx(ctx, s); err != nil {
-			res := f.Result()
-			fmt.Fprintln(os.Stderr, "partial stage timings:")
-			for d := core.StageSynth; int(d) < core.NumStages; d++ {
-				if res.StageTimes[d] > 0 {
-					fmt.Fprintf(os.Stderr, "  %-9v %8s\n", d, res.StageTimes[d].Round(time.Microsecond))
-				}
-			}
-			if errors.Is(err, core.ErrCancelled) {
+			cliutil.PrintPartialStageTimes(os.Stderr, f.Result())
+			if cliutil.IsCancel(err) {
 				fmt.Fprintf(os.Stderr, "interrupted after %s\n", time.Since(t0).Round(time.Millisecond))
 			}
 			fmt.Fprintf(os.Stderr, "flow failed: %v\n", err)

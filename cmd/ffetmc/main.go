@@ -5,17 +5,14 @@
 package main
 
 import (
-	"context"
-	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
-	"os/signal"
-	"syscall"
 	"time"
 
 	"repro/internal/cell"
+	"repro/internal/cliutil"
 	"repro/internal/core"
 	"repro/internal/riscv"
 	"repro/internal/tech"
@@ -38,7 +35,7 @@ func main() {
 
 	// SIGINT/SIGTERM cancel both the flow and the sampling loop; a
 	// cancelled run exits non-zero.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := cliutil.SignalContext()
 	defer stop()
 
 	lib := cell.NewLibrary(tech.NewFFET())
@@ -54,7 +51,7 @@ func main() {
 	}
 	t0 := time.Now()
 	if err := f.RunToCtx(ctx, core.StageSTA); err != nil {
-		fail(err)
+		fail(f, err)
 	}
 	if f.Halted() {
 		log.Fatalf("flow halted: %s", f.Result().Reason)
@@ -84,7 +81,7 @@ func main() {
 	t1 := time.Now()
 	sum, err := variation.Study(ctx, basis, opt)
 	if err != nil {
-		fail(err)
+		fail(f, err)
 	}
 	mcDur := time.Since(t1)
 
@@ -102,11 +99,9 @@ func main() {
 		sum.MeanTNSPs, sum.SigmaTNSPs, sum.P50TNSPs, sum.P95TNSPs, sum.P997TNSPs)
 }
 
-// fail reports a run error, distinguishing an interrupt, and exits 1.
-func fail(err error) {
-	if errors.Is(err, core.ErrCancelled) || errors.Is(err, context.Canceled) {
-		fmt.Fprintln(os.Stderr, "interrupted")
-	}
-	fmt.Fprintf(os.Stderr, "ffetmc: %v\n", err)
-	os.Exit(1)
+// fail reports a run error with the flow's partial stage timings (an
+// interrupted flow still shows the work it paid for) and exits 1.
+func fail(f *core.Flow, err error) {
+	cliutil.PrintPartialStageTimes(os.Stderr, f.Result())
+	cliutil.Fail("ffetmc", err)
 }

@@ -1,0 +1,50 @@
+package def
+
+import "unsafe"
+
+// FootprintBytes estimates the design's retained heap bytes: rows,
+// components, IO pins, special nets and routed nets, including their name
+// strings and segment/via tables. An accounting estimate for cache
+// budgeting, not an exact heap measurement.
+func (d *Design) FootprintBytes() int64 {
+	if d == nil {
+		return 0
+	}
+	const ptrSize = int64(unsafe.Sizeof(uintptr(0)))
+	b := int64(unsafe.Sizeof(*d)) + int64(len(d.Name))
+	b += int64(len(d.Rows)) * int64(unsafe.Sizeof(Row{}))
+	for i := range d.Rows {
+		b += int64(len(d.Rows[i].Name) + len(d.Rows[i].Site))
+	}
+	b += int64(len(d.Components)) * (ptrSize + int64(unsafe.Sizeof(Component{})))
+	for _, c := range d.Components {
+		b += int64(len(c.Name) + len(c.Macro))
+	}
+	b += int64(len(d.Pins)) * (ptrSize + int64(unsafe.Sizeof(IOPin{})))
+	for _, p := range d.Pins {
+		b += int64(len(p.Name) + len(p.Net) + len(p.Dir) + len(p.Layer))
+	}
+	for _, sn := range d.SpecialNets {
+		b += ptrSize + int64(unsafe.Sizeof(*sn)) + int64(len(sn.Name)+len(sn.Use))
+		b += int64(len(sn.Wires)) * int64(unsafe.Sizeof(Wire{}))
+		for i := range sn.Wires {
+			b += int64(len(sn.Wires[i].Layer))
+		}
+	}
+	for _, n := range d.Nets {
+		b += ptrSize + int64(unsafe.Sizeof(*n)) + int64(len(n.Name))
+		b += int64(len(n.Pins)) * int64(unsafe.Sizeof(NetPin{}))
+		for i := range n.Pins {
+			b += int64(len(n.Pins[i].Comp) + len(n.Pins[i].Pin))
+		}
+		b += int64(len(n.Wires)) * int64(unsafe.Sizeof(Wire{}))
+		for i := range n.Wires {
+			b += int64(len(n.Wires[i].Layer))
+		}
+		b += int64(len(n.Vias)) * int64(unsafe.Sizeof(Via{}))
+		for i := range n.Vias {
+			b += int64(len(n.Vias[i].FromLayer) + len(n.Vias[i].ToLayer))
+		}
+	}
+	return b
+}

@@ -134,12 +134,42 @@ type Suite struct {
 	ffetNl  *netlist.Netlist
 	cfetNl  *netlist.Netlist
 	mu      sync.Mutex
-	results map[runKey]*core.FlowResult
+	results map[RunKey]*core.FlowResult
 	// synthRoots caches one staged session per synthesis-input class,
 	// run through StageSynth only: every sweep point in that class forks
 	// off it instead of re-running synthesis — across tables, not just
 	// within one sweep.
-	synthRoots map[synthKey]*synthRoot
+	synthRoots map[SynthClass]*synthRoot
+	// Cache observability (guarded by mu): memo lookups and synth-root
+	// resolutions, split hit/miss. The serve daemon republishes these on
+	// /debug/stats next to its own checkpoint counters.
+	memoHits, memoMisses           int64
+	synthRootHits, synthRootMisses int64
+}
+
+// CacheStats is a point-in-time snapshot of the suite's result-memo and
+// synthesis-root caches.
+type CacheStats struct {
+	MemoHits         int64 `json:"memo_hits"`
+	MemoMisses       int64 `json:"memo_misses"`
+	MemoEntries      int   `json:"memo_entries"`
+	SynthRootHits    int64 `json:"synth_root_hits"`
+	SynthRootMisses  int64 `json:"synth_root_misses"`
+	SynthRootEntries int   `json:"synth_root_entries"`
+}
+
+// Stats snapshots the suite's cache counters.
+func (s *Suite) Stats() CacheStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return CacheStats{
+		MemoHits:         s.memoHits,
+		MemoMisses:       s.memoMisses,
+		MemoEntries:      len(s.results),
+		SynthRootHits:    s.synthRootHits,
+		SynthRootMisses:  s.synthRootMisses,
+		SynthRootEntries: len(s.synthRoots),
+	}
 }
 
 // NewSuite builds libraries and the RISC-V benchmark core for both archs.
@@ -148,8 +178,8 @@ func NewSuite(scale Scale) (*Suite, error) {
 		Scale:      scale,
 		FFET:       cell.NewLibrary(tech.NewFFET()),
 		CFET:       cell.NewLibrary(tech.NewCFET()),
-		results:    make(map[runKey]*core.FlowResult),
-		synthRoots: make(map[synthKey]*synthRoot),
+		results:    make(map[RunKey]*core.FlowResult),
+		synthRoots: make(map[SynthClass]*synthRoot),
 	}
 	regs := 32
 	if scale == Quick {
@@ -168,8 +198,8 @@ func NewSuite(scale Scale) (*Suite, error) {
 	return s, nil
 }
 
-// netlistFor returns the pre-synthesis netlist for an arch.
-func (s *Suite) netlistFor(arch tech.Arch) *netlist.Netlist {
+// Netlist returns the pre-synthesis netlist for an arch.
+func (s *Suite) Netlist(arch tech.Arch) *netlist.Netlist {
 	if arch == tech.FFET {
 		return s.ffetNl
 	}
@@ -184,7 +214,7 @@ func (s *Suite) ctx() context.Context {
 	return context.Background()
 }
 
-// runKey is the comparable memo key of a flow run: the architecture and
+// RunKey is the comparable memo key of a flow run: the architecture and
 // the entire FlowConfig (which is comparable) at full float precision,
 // minus only the cosmetic Name, which no stage reads. Embedding the
 // whole config means every result-affecting field — including MaxDRVs
@@ -192,26 +222,30 @@ func (s *Suite) ctx() context.Context {
 // old key stringified six fields at %.3f, so two configs closer than
 // 1e-3, or differing only in stage options, could collide on one
 // entry.)
-type runKey struct {
+type RunKey struct {
 	arch tech.Arch
 	cfg  core.FlowConfig
 }
 
-func keyOf(arch tech.Arch, cfg core.FlowConfig) runKey {
+// MemoKey builds the memo key of (arch, cfg): the exact-config identity
+// under which a completed run may be replayed from cache. The serve
+// daemon's result memo uses the same key, so daemon and batch memoization
+// can never disagree about which configs are "the same run".
+func MemoKey(arch tech.Arch, cfg core.FlowConfig) RunKey {
 	cfg.Name = ""
-	return runKey{arch: arch, cfg: cfg}
+	return RunKey{arch: arch, cfg: cfg}
 }
 
-// synthKey identifies the synthesis-input class of a run: two configs in
+// SynthClass identifies the synthesis-input class of a run: two configs in
 // the same class produce identical StageSynth output, so their sessions
 // can fork off one shared root.
-type synthKey struct {
+type SynthClass struct {
 	arch   tech.Arch
 	target float64
 	synth  synth.Options
 }
 
-// prefixKey identifies the placed prefix class: configs in the same
+// PrefixClass identifies the placed prefix class: configs in the same
 // class share everything through StagePlace. CTS options are deliberately
 // not part of the key — a point whose CTS delta diverges from the group
 // leader forks at StageCTS and re-legalizes only the buffer delta against
@@ -220,8 +254,8 @@ type synthKey struct {
 // option. Points that also match the leader's CTS diverge at
 // StagePartition or later (back-pin fraction, routing, analysis knobs)
 // exactly as before.
-type prefixKey struct {
-	sk      synthKey
+type PrefixClass struct {
+	sk      SynthClass
 	util    float64
 	aspect  float64
 	pattern tech.Pattern
@@ -229,9 +263,13 @@ type prefixKey struct {
 	place   place.Options
 }
 
-func classify(arch tech.Arch, cfg core.FlowConfig) (synthKey, prefixKey) {
-	sk := synthKey{arch: arch, target: cfg.TargetFreqGHz, synth: cfg.Synth}
-	return sk, prefixKey{
+// ClassKeys computes both sharing classes of (arch, cfg). Both are
+// comparable and usable as map keys; the serve daemon's checkpoint cache
+// keys its staged prefixes by them, so a daemon checkpoint and an exp
+// sweep group describe exactly the same shareable work.
+func ClassKeys(arch tech.Arch, cfg core.FlowConfig) (SynthClass, PrefixClass) {
+	sk := SynthClass{arch: arch, target: cfg.TargetFreqGHz, synth: cfg.Synth}
+	return sk, PrefixClass{
 		sk:      sk,
 		util:    cfg.Utilization,
 		aspect:  cfg.AspectRatio,
@@ -240,6 +278,39 @@ func classify(arch tech.Arch, cfg core.FlowConfig) (synthKey, prefixKey) {
 		place:   cfg.Place,
 	}
 }
+
+// RootConfig returns the neutralized config a synthesis-root session of
+// this class is opened under: only the class fields (target frequency,
+// synthesis options) are set, everything else is the default single-sided
+// configuration. A root built under it is valid for every class member —
+// its cached session (or cached build error) can never depend on
+// per-point fields like Pattern or BackPinFraction.
+func (sc SynthClass) RootConfig() core.FlowConfig {
+	cfg := core.DefaultFlowConfig(tech.Pattern{Front: 1}, sc.target, 0.70)
+	cfg.Synth = sc.synth
+	return cfg
+}
+
+// Config returns the neutralized config of this class's
+// placed-and-clocked prefix: every field the prefix stages read
+// (synthesis class, pattern, utilization, aspect, seed, placement
+// options) comes from the class; the point-divergent fields stay at
+// defaults (BackPinFraction 0, default CTS/route/analysis options). A
+// prefix staged under it through StageCTS is a valid fork base for any
+// class member — a leaf's Fork resumes at StageCTS or StagePartition
+// depending on its own delta — and is identical no matter which request
+// arrived first, which is what a cross-request checkpoint cache needs.
+func (pc PrefixClass) Config() core.FlowConfig {
+	cfg := core.DefaultFlowConfig(pc.pattern, pc.sk.target, pc.util)
+	cfg.Synth = pc.sk.synth
+	cfg.AspectRatio = pc.aspect
+	cfg.Seed = pc.seed
+	cfg.Place = pc.place
+	return cfg
+}
+
+// Synth returns the synthesis class the prefix class refines.
+func (pc PrefixClass) Synth() SynthClass { return pc.sk }
 
 // synthRoot is a lazily-built shared session run through StageSynth.
 // Build failures are never cached: the next point of the class retries
@@ -250,15 +321,21 @@ type synthRoot struct {
 	flow *core.Flow
 }
 
-// lookup returns a memoized result, or nil.
-func (s *Suite) lookup(key runKey) *core.FlowResult {
+// lookup returns a memoized result, or nil, counting the hit or miss.
+func (s *Suite) lookup(key RunKey) *core.FlowResult {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.results[key]
+	r := s.results[key]
+	if r != nil {
+		s.memoHits++
+	} else {
+		s.memoMisses++
+	}
+	return r
 }
 
 // store memoizes a result (first writer wins, matching lookup).
-func (s *Suite) store(key runKey, res *core.FlowResult) *core.FlowResult {
+func (s *Suite) store(key RunKey, res *core.FlowResult) *core.FlowResult {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if r, ok := s.results[key]; ok {
@@ -268,7 +345,7 @@ func (s *Suite) store(key runKey, res *core.FlowResult) *core.FlowResult {
 	return res
 }
 
-// synthRootFor returns the shared post-synthesis session of cfg's class,
+// SynthRootFor returns the shared post-synthesis session of cfg's class,
 // building it on first use. The root is opened under a neutralized
 // config carrying only the class fields (arch, target, synth options):
 // the cached session (and in particular a cached error) must never
@@ -276,8 +353,8 @@ func (s *Suite) store(key runKey, res *core.FlowResult) *core.FlowResult {
 // invalid point would poison every later sweep of the same class.
 // Point-specific validation happens where it belongs, at the Fork that
 // adopts the point's full config.
-func (s *Suite) synthRootFor(arch tech.Arch, cfg core.FlowConfig) (flow *core.Flow, err error) {
-	sk, _ := classify(arch, cfg)
+func (s *Suite) SynthRootFor(arch tech.Arch, cfg core.FlowConfig) (flow *core.Flow, err error) {
+	sk, _ := ClassKeys(arch, cfg)
 	s.mu.Lock()
 	root, ok := s.synthRoots[sk]
 	if !ok {
@@ -288,8 +365,10 @@ func (s *Suite) synthRootFor(arch tech.Arch, cfg core.FlowConfig) (flow *core.Fl
 	root.mu.Lock()
 	defer root.mu.Unlock()
 	if root.flow != nil {
+		s.countSynthRoot(true)
 		return root.flow, nil
 	}
+	s.countSynthRoot(false)
 	defer func() {
 		if r := recover(); r != nil {
 			flow, err = nil, core.NewPanicError(cfg.Name, r)
@@ -298,9 +377,7 @@ func (s *Suite) synthRootFor(arch tech.Arch, cfg core.FlowConfig) (flow *core.Fl
 	if err := faultinject.Fire("exp.synthroot"); err != nil {
 		return nil, err
 	}
-	rootCfg := core.DefaultFlowConfig(tech.Pattern{Front: 1}, sk.target, 0.70)
-	rootCfg.Synth = sk.synth
-	f, err := core.NewFlow(s.netlistFor(arch), rootCfg)
+	f, err := core.NewFlow(s.Netlist(arch), sk.RootConfig())
 	if err != nil {
 		return nil, err
 	}
@@ -311,13 +388,24 @@ func (s *Suite) synthRootFor(arch tech.Arch, cfg core.FlowConfig) (flow *core.Fl
 	return root.flow, nil
 }
 
+// countSynthRoot records one synth-root resolution.
+func (s *Suite) countSynthRoot(hit bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if hit {
+		s.synthRootHits++
+	} else {
+		s.synthRootMisses++
+	}
+}
+
 // Run executes (or recalls) one flow run.
 func (s *Suite) Run(arch tech.Arch, cfg core.FlowConfig) (*core.FlowResult, error) {
-	key := keyOf(arch, cfg)
+	key := MemoKey(arch, cfg)
 	if r := s.lookup(key); r != nil {
 		return r, nil
 	}
-	res, err := core.RunFlowCtx(s.ctx(), s.netlistFor(arch), cfg)
+	res, err := core.RunFlowCtx(s.ctx(), s.Netlist(arch), cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -376,10 +464,10 @@ func (s *Suite) runAll(specs []runSpec) ([]*core.FlowResult, error) {
 		res  *core.FlowResult
 		err  error
 	}
-	pending := make(map[runKey]*pendingPoint)
-	var pendingOrder []runKey
+	pending := make(map[RunKey]*pendingPoint)
+	var pendingOrder []RunKey
 	for i, spec := range specs {
-		key := keyOf(spec.arch, spec.cfg)
+		key := MemoKey(spec.arch, spec.cfg)
 		if r := s.lookup(key); r != nil {
 			out[i] = r
 			continue
@@ -399,7 +487,7 @@ func (s *Suite) runAll(specs []runSpec) ([]*core.FlowResult, error) {
 	sem := make(chan struct{}, s.maxParallel())
 	var wg sync.WaitGroup
 	finish := func(p *pendingPoint, res *core.FlowResult) {
-		p.res = s.store(keyOf(p.spec.arch, p.spec.cfg), res)
+		p.res = s.store(MemoKey(p.spec.arch, p.spec.cfg), res)
 	}
 	// collect runs after the pool drains: it fans each point's result (or
 	// failure placeholder) out to its sweep slots and joins the distinct
@@ -441,7 +529,7 @@ func (s *Suite) runAll(specs []runSpec) ([]*core.FlowResult, error) {
 			p.err = core.Classify(p.spec.cfg.Name, err)
 			return
 		}
-		res, err := core.RunFlowCtx(s.ctx(), s.netlistFor(p.spec.arch), p.spec.cfg)
+		res, err := core.RunFlowCtx(s.ctx(), s.Netlist(p.spec.arch), p.spec.cfg)
 		if err != nil {
 			p.err = core.Classify(p.spec.cfg.Name, err)
 			return
@@ -463,11 +551,11 @@ func (s *Suite) runAll(specs []runSpec) ([]*core.FlowResult, error) {
 		first  runSpec
 		points []*pendingPoint
 	}
-	groups := make(map[prefixKey]*prefixGroup)
-	var groupOrder []prefixKey
+	groups := make(map[PrefixClass]*prefixGroup)
+	var groupOrder []PrefixClass
 	for _, key := range pendingOrder {
 		p := pending[key]
-		_, pk := classify(p.spec.arch, p.spec.cfg)
+		_, pk := ClassKeys(p.spec.arch, p.spec.cfg)
 		g, ok := groups[pk]
 		if !ok {
 			g = &prefixGroup{first: p.spec}
@@ -519,7 +607,7 @@ func (s *Suite) runAll(specs []runSpec) ([]*core.FlowResult, error) {
 		if err := faultinject.Fire("exp.group"); err != nil {
 			return nil, err
 		}
-		root, err := s.synthRootFor(g.first.arch, g.first.cfg)
+		root, err := s.SynthRootFor(g.first.arch, g.first.cfg)
 		if err != nil {
 			return nil, err
 		}

@@ -10,9 +10,9 @@ import (
 	"repro/internal/variation"
 )
 
-// errClass names the taxonomy kind of a classified sweep-point error,
+// ErrClass names the taxonomy kind of a classified sweep-point error,
 // for compact table cells.
-func errClass(err error) string {
+func ErrClass(err error) string {
 	switch {
 	case errors.Is(err, core.ErrCancelled):
 		return "cancelled"
@@ -34,7 +34,7 @@ func errClass(err error) string {
 // the error class when the point is a failure placeholder.
 func validCell(r *core.FlowResult) string {
 	if r.Err != nil {
-		return "error: " + errClass(r.Err)
+		return "error: " + ErrClass(r.Err)
 	}
 	return fmt.Sprintf("%v", r.Valid)
 }
@@ -578,7 +578,7 @@ func (s *Suite) VariationMC() (*Table, error) {
 	}
 	cfg := core.DefaultFlowConfig(pattern, 1.5, 0.72)
 	cfg.BackPinFraction = 0.5
-	leader, err := core.NewFlow(s.netlistFor(tech.FFET), cfg)
+	leader, err := core.NewFlow(s.Netlist(tech.FFET), cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -633,4 +633,52 @@ func (s *Suite) VariationMC() (*Table, error) {
 			100*(sig[0]/sig[1]-1)))
 	}
 	return t, nil
+}
+
+// experimentIDs is the report order of the experiment registry.
+var experimentIDs = []string{
+	"fig04", "table1", "table2", "fig08a", "fig08b", "fig08c",
+	"fig09", "fig10", "fig11", "table3", "fig12", "fig13", "mc",
+}
+
+// ExperimentIDs lists every experiment id in report order.
+func ExperimentIDs() []string {
+	out := make([]string, len(experimentIDs))
+	copy(out, experimentIDs)
+	return out
+}
+
+// Experiment returns the runner of the experiment with the given id, or
+// false when the id is unknown. Both cmd/ffetexp and the serve daemon's
+// /v1/exp endpoint dispatch through this registry.
+func (s *Suite) Experiment(id string) (func() (*Table, error), bool) {
+	switch id {
+	case "fig04":
+		return func() (*Table, error) { return s.Fig04(), nil }, true
+	case "table1":
+		return func() (*Table, error) { return s.Table1(), nil }, true
+	case "table2":
+		return func() (*Table, error) { return s.Table2(), nil }, true
+	case "fig08a":
+		return s.Fig08a, true
+	case "fig08b":
+		return s.Fig08b, true
+	case "fig08c":
+		return s.Fig08c, true
+	case "fig09":
+		return s.Fig09, true
+	case "fig10":
+		return s.Fig10, true
+	case "fig11":
+		return s.Fig11, true
+	case "table3":
+		return s.Table3, true
+	case "fig12":
+		return s.Fig12, true
+	case "fig13":
+		return s.Fig13, true
+	case "mc":
+		return s.VariationMC, true
+	}
+	return nil, false
 }

@@ -74,8 +74,8 @@ func TestFaultScheduleSweep(t *testing.T) {
 			CFET:        tmpl.CFET,
 			ffetNl:      nlF,
 			cfetNl:      nlC,
-			results:     make(map[runKey]*core.FlowResult),
-			synthRoots:  make(map[synthKey]*synthRoot),
+			results:     make(map[RunKey]*core.FlowResult),
+			synthRoots:  make(map[SynthClass]*synthRoot),
 			MaxParallel: 4,
 		}
 	}
@@ -118,7 +118,7 @@ func TestFaultScheduleSweep(t *testing.T) {
 				continue
 			}
 			failed++
-			if c := errClass(r.Err); c == "unclassified" {
+			if c := ErrClass(r.Err); c == "unclassified" {
 				t.Errorf("seed %d point %d: unclassified error %v", seed, i, r.Err)
 			}
 			if !errors.Is(err, r.Err) {

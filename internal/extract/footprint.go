@@ -1,0 +1,19 @@
+package extract
+
+import "unsafe"
+
+// FootprintBytes estimates the retained heap bytes of a per-net RC table
+// (the slice of extracted views a flow session keeps as its incremental
+// timing baseline). An accounting estimate for cache budgeting, not an
+// exact heap measurement.
+func FootprintBytes(rcs []*NetRC) int64 {
+	b := int64(len(rcs)) * int64(unsafe.Sizeof(uintptr(0)))
+	for _, rc := range rcs {
+		if rc == nil {
+			continue
+		}
+		b += int64(unsafe.Sizeof(*rc)) + int64(len(rc.Name))
+		b += int64(len(rc.ElmorePs)) * int64(unsafe.Sizeof(float64(0)))
+	}
+	return b
+}

@@ -1,0 +1,46 @@
+package netlist
+
+import "unsafe"
+
+// FootprintBytes estimates the retained heap footprint of the netlist in
+// bytes: the instance/net/port objects, their connection and sink slices,
+// name strings, and the name-lookup maps. It is an accounting estimate
+// for cache budgeting (map bucket overhead is approximated, allocator
+// slack ignored), not an exact heap measurement — but it is deterministic
+// for a given netlist, which is what an eviction policy needs.
+func (nl *Netlist) FootprintBytes() int64 {
+	if nl == nil {
+		return 0
+	}
+	const (
+		ptrSize = int64(unsafe.Sizeof(uintptr(0)))
+		// mapSlot approximates the per-entry share of a string-keyed
+		// pointer map: key header + value pointer + bucket overhead.
+		mapSlot = int64(unsafe.Sizeof("")) + int64(unsafe.Sizeof(uintptr(0))) + 24
+	)
+	b := int64(unsafe.Sizeof(*nl)) + int64(len(nl.Name))
+	b += int64(len(nl.Instances)) * ptrSize
+	for _, in := range nl.Instances {
+		b += int64(unsafe.Sizeof(*in)) + int64(len(in.Name))
+		b += int64(len(in.conns)) * ptrSize
+	}
+	b += int64(len(nl.Nets)) * ptrSize
+	for _, n := range nl.Nets {
+		b += int64(unsafe.Sizeof(*n)) + int64(len(n.Name))
+		b += int64(len(n.Sinks)) * int64(unsafe.Sizeof(PinRef{}))
+	}
+	b += int64(len(nl.Ports)) * ptrSize
+	for _, p := range nl.Ports {
+		b += int64(unsafe.Sizeof(*p)) + int64(len(p.Name))
+	}
+	for name := range nl.instByName {
+		b += mapSlot + int64(len(name))
+	}
+	for name := range nl.netByName {
+		b += mapSlot + int64(len(name))
+	}
+	for name := range nl.portByName {
+		b += mapSlot + int64(len(name))
+	}
+	return b
+}

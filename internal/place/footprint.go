@@ -1,0 +1,40 @@
+package place
+
+import (
+	"unsafe"
+
+	"repro/internal/geom"
+)
+
+// FootprintBytes estimates the retained heap bytes of the legalization
+// basis: the pristine per-row free intervals and the recorded fold. An
+// accounting estimate for cache budgeting, not an exact heap measurement.
+func (b *LegalBasis) FootprintBytes() int64 {
+	if b == nil {
+		return 0
+	}
+	n := int64(unsafe.Sizeof(*b))
+	n += int64(len(b.initFree)) * int64(unsafe.Sizeof([]geom.Interval{}))
+	for _, row := range b.initFree {
+		n += int64(len(row)) * int64(unsafe.Sizeof(geom.Interval{}))
+	}
+	n += int64(len(b.order)+len(b.wcpp)) * int64(unsafe.Sizeof(int32(0)))
+	n += int64(len(b.px)+len(b.py)+len(b.w)) * int64(unsafe.Sizeof(int64(0)))
+	n += int64(len(b.rec)) * int64(unsafe.Sizeof(legalRec{}))
+	return n
+}
+
+// FootprintBytes estimates the retained heap bytes of the refinement
+// basis: the per-instance endpoint collections and widths.
+func (b *RefineBasis) FootprintBytes() int64 {
+	if b == nil {
+		return 0
+	}
+	n := int64(unsafe.Sizeof(*b))
+	n += int64(len(b.refs)) * int64(unsafe.Sizeof([]int64{}))
+	for _, r := range b.refs {
+		n += int64(len(r)) * int64(unsafe.Sizeof(int64(0)))
+	}
+	n += int64(len(b.widths)) * int64(unsafe.Sizeof(int64(0)))
+	return n
+}

@@ -1,0 +1,39 @@
+package route
+
+import (
+	"unsafe"
+
+	"repro/internal/geom"
+)
+
+// FootprintBytes estimates the tree's retained heap bytes: the node,
+// edge, pin and pin-node tables plus the name string.
+func (t *Tree) FootprintBytes() int64 {
+	if t == nil {
+		return 0
+	}
+	b := int64(unsafe.Sizeof(*t)) + int64(len(t.Name))
+	b += int64(len(t.Nodes)) * int64(unsafe.Sizeof(geom.Point{}))
+	b += int64(len(t.Edges)) * int64(unsafe.Sizeof(TreeEdge{}))
+	b += int64(len(t.Pins)) * int64(unsafe.Sizeof(Pin{}))
+	b += int64(len(t.PinNode)) * int64(unsafe.Sizeof(int32(0)))
+	return b
+}
+
+// FootprintBytes estimates the retained heap bytes of one side's routing
+// result: every routed tree plus the per-layer wirelength map. An
+// accounting estimate for cache budgeting, not an exact heap measurement.
+func (r *Result) FootprintBytes() int64 {
+	if r == nil {
+		return 0
+	}
+	b := int64(unsafe.Sizeof(*r))
+	b += int64(len(r.Trees)) * int64(unsafe.Sizeof(uintptr(0)))
+	for _, t := range r.Trees {
+		b += t.FootprintBytes()
+	}
+	for layer := range r.ByLayerNm {
+		b += int64(unsafe.Sizeof("")) + int64(len(layer)) + int64(unsafe.Sizeof(int64(0))) + 24
+	}
+	return b
+}

@@ -1,0 +1,74 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/exp"
+)
+
+// benchSweep posts one 5-point sweep through the handler and fails the
+// benchmark on any non-200.
+func benchSweep(b *testing.B, h http.Handler, req SweepRequest) {
+	b.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w := httptest.NewRecorder()
+	r := httptest.NewRequest("POST", "/v1/sweep", bytes.NewReader(body))
+	h.ServeHTTP(w, r)
+	if w.Code != http.StatusOK {
+		b.Fatalf("status %d: %s", w.Code, w.Body.String())
+	}
+}
+
+// BenchmarkServeSweep measures a 5-point back-pin sweep through the
+// daemon handler. The cold arm pays everything per iteration — suite
+// construction, synthesis root, placed prefix, five tails. The warm arm
+// reuses one daemon and shifts the sweep values each iteration, so the
+// result memo never answers but the checkpoint cache serves the staged
+// prefix: the delta between the arms is what the cross-request cache
+// buys a repeat client.
+func BenchmarkServeSweep(b *testing.B) {
+	mkReq := func(offset float64) SweepRequest {
+		return SweepRequest{
+			Base: FlowSpec{Front: 4, Back: 4, TargetGHz: 1.4, Util: 0.72},
+			Axis: "back_pins",
+			Values: []float64{
+				0.10 + offset, 0.28 + offset, 0.46 + offset, 0.64 + offset, 0.82 + offset,
+			},
+		}
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s, err := New(Options{Scale: exp.Quick})
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchSweep(b, s.Handler(), mkReq(0))
+			s.Close()
+		}
+	})
+
+	b.Run("warm", func(b *testing.B) {
+		s, err := New(Options{Scale: exp.Quick})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer s.Close()
+		h := s.Handler()
+		benchSweep(b, h, mkReq(0)) // charge the checkpoint cache outside the timer
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// A fresh offset per iteration keeps every leaf config novel
+			// (memo misses) while the sharing classes stay fixed
+			// (checkpoint hits).
+			benchSweep(b, h, mkReq(float64(i%1000+1)*0.0001))
+		}
+	})
+}

@@ -1,0 +1,686 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/faultinject"
+	"repro/internal/tech"
+	"repro/internal/variation"
+)
+
+// Options configures a Server. Zero values take the documented defaults.
+type Options struct {
+	// Scale selects the benchmark workload size (exp.Quick or exp.Full).
+	Scale exp.Scale
+	// CacheBytes bounds the checkpoint cache's measured resident
+	// footprint (default 256 MiB).
+	CacheBytes int64
+	// MaxWorkers bounds concurrent flow executions (default
+	// min(GOMAXPROCS, 12), matching exp's pool).
+	MaxWorkers int
+	// MaxQueue bounds admitted requests waiting for a worker slot beyond
+	// the in-flight ones; past it requests are rejected with 429
+	// (default 64).
+	MaxQueue int
+}
+
+func (o Options) withDefaults() Options {
+	if o.CacheBytes <= 0 {
+		o.CacheBytes = 256 << 20
+	}
+	if o.MaxWorkers <= 0 {
+		o.MaxWorkers = min(runtime.GOMAXPROCS(0), 12)
+	}
+	if o.MaxQueue <= 0 {
+		o.MaxQueue = 64
+	}
+	return o
+}
+
+// Server is the ffetd daemon state: the exp suite (libraries, netlists,
+// the experiment tables and their synth-root/memo caches), the checkpoint
+// cache, the result memo, and the admission pool. Create with New, mount
+// Handler on an http.Server, and Close on shutdown.
+type Server struct {
+	opt   Options
+	suite *exp.Suite
+	// suiteMu serializes /v1/exp table runs: the suite's sweeps already
+	// parallelize internally, so concurrent tables would only fight over
+	// the pool.
+	suiteMu sync.Mutex
+	cache   *ckCache
+
+	// memo holds the marshaled Summary of every completed exact-config
+	// run, keyed by the same memo key as exp's result cache. Error
+	// responses are never memoized.
+	memoMu               sync.Mutex
+	memo                 map[exp.RunKey]json.RawMessage
+	memoHits, memoMisses int64
+
+	// baseCtx bounds every shared build and outlives any single request;
+	// Close cancels it, killing in-flight work.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	sem      chan struct{}
+	queued   atomic.Int64
+	draining atomic.Bool
+
+	accepted, rejected atomic.Int64
+	inflight           atomic.Int64
+}
+
+// New builds a daemon: libraries and benchmark netlists for both
+// architectures plus an empty checkpoint cache.
+func New(opt Options) (*Server, error) {
+	opt = opt.withDefaults()
+	suite, err := exp.NewSuite(opt.Scale)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	suite.Ctx = ctx
+	return &Server{
+		opt:        opt,
+		suite:      suite,
+		cache:      newCkCache(opt.CacheBytes),
+		memo:       make(map[exp.RunKey]json.RawMessage),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		sem:        make(chan struct{}, opt.MaxWorkers),
+	}, nil
+}
+
+// StartDrain rejects new requests with 503 while in-flight ones finish.
+// The HTTP layer's Shutdown does the actual waiting.
+func (s *Server) StartDrain() { s.draining.Store(true) }
+
+// Close cancels the base context: every in-flight build and leaf run
+// dies with ErrCancelled at its next stage boundary.
+func (s *Server) Close() { s.baseCancel() }
+
+// Handler returns the daemon's HTTP surface.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/flow", s.handleFlow)
+	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("POST /v1/mc", s.handleMC)
+	mux.HandleFunc("GET /v1/exp", s.handleExp)
+	mux.HandleFunc("GET /debug/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("ok\n"))
+	})
+	return mux
+}
+
+// Errors the admission gate reports.
+var (
+	errBusy     = errors.New("serve: request queue full")
+	errDraining = errors.New("serve: draining")
+)
+
+// acquire admits one flow execution into the worker pool, waiting for a
+// slot under the request context. It fails fast when the queue bound is
+// exceeded or the daemon is draining.
+func (s *Server) acquire(ctx context.Context) error {
+	if err := faultinject.Fire("serve.admit"); err != nil {
+		return err
+	}
+	if s.draining.Load() {
+		return errDraining
+	}
+	if int(s.queued.Add(1)) > s.opt.MaxQueue+s.opt.MaxWorkers {
+		s.queued.Add(-1)
+		return errBusy
+	}
+	defer s.queued.Add(-1)
+	select {
+	case s.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-s.baseCtx.Done():
+		return errDraining
+	}
+}
+
+func (s *Server) release() { <-s.sem }
+
+// reqCtx derives the context one request's flow work runs under: the
+// request context (client disconnect cancels it) joined with the daemon
+// base context (Close cancels everything).
+func (s *Server) reqCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(r.Context())
+	stop := context.AfterFunc(s.baseCtx, cancel)
+	return ctx, func() { stop(); cancel() }
+}
+
+// point runs one flow config through the memo → checkpoint-cache → fork
+// path and returns the marshaled Summary. On failure the partially-run
+// leaf session (when one exists) rides along for partial stage timings.
+// The build of a shared checkpoint deliberately runs to completion even
+// if this request's context dies while waiting — the result is cache
+// warmth for the next request — but the per-request leaf tail stops at
+// the next stage boundary after cancellation.
+func (s *Server) point(ctx context.Context, arch tech.Arch, cfg core.FlowConfig, pt int, emit func(event)) (json.RawMessage, *core.Flow, error) {
+	if err := faultinject.Fire("serve.memo"); err != nil {
+		return nil, nil, err
+	}
+	key := exp.MemoKey(arch, cfg)
+	if body := s.memoGet(key); body != nil {
+		hit := true
+		emit(event{Event: "checkpoint", Point: pt, Kind: "memo", Hit: &hit})
+		return body, nil, nil
+	}
+
+	sc, pc := exp.ClassKeys(arch, cfg)
+	root, rootHit, err := s.cache.getOrBuild(ctx, ckKey{kind: ckSynth, sc: sc}, func() (*core.Flow, error) {
+		if err := faultinject.Fire("serve.synthroot"); err != nil {
+			return nil, err
+		}
+		f, err := core.NewFlow(s.suite.Netlist(arch), sc.RootConfig())
+		if err != nil {
+			return nil, err
+		}
+		return f, f.RunToCtx(s.baseCtx, core.StageSynth)
+	})
+	emit(event{Event: "checkpoint", Point: pt, Kind: "synth", Hit: &rootHit})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	prefix, prefHit, err := s.cache.getOrBuild(ctx, ckKey{kind: ckPrefix, sc: sc, pc: pc}, func() (*core.Flow, error) {
+		if err := faultinject.Fire("serve.prefix"); err != nil {
+			return nil, err
+		}
+		pcfg := pc.Config()
+		f, err := root.Fork(func(c *core.FlowConfig) { *c = pcfg })
+		if err != nil {
+			return nil, err
+		}
+		return f, f.RunToCtx(s.baseCtx, core.StageCTS)
+	})
+	emit(event{Event: "checkpoint", Point: pt, Kind: "prefix", Hit: &prefHit})
+	if err != nil {
+		return nil, nil, err
+	}
+
+	if err := faultinject.Fire("serve.leaf"); err != nil {
+		return nil, nil, err
+	}
+	leaf, err := prefix.Fork(func(c *core.FlowConfig) { *c = cfg })
+	if err != nil {
+		return nil, nil, err
+	}
+	// Drive the divergent tail one stage at a time: each boundary is a
+	// progress event and a cancellation point.
+	for st := leaf.NextStage(); int(st) < core.NumStages; st = leaf.NextStage() {
+		t0 := time.Now()
+		if err := leaf.RunToCtx(ctx, st); err != nil {
+			return nil, leaf, err
+		}
+		emit(event{Event: "stage", Point: pt, Stage: st.String(),
+			Ms: float64(time.Since(t0)) / float64(time.Millisecond)})
+	}
+	body, err := json.Marshal(NewSummary(leaf.Result()))
+	if err != nil {
+		return nil, leaf, err
+	}
+	s.memoPut(key, body)
+	return body, nil, nil
+}
+
+func (s *Server) memoGet(key exp.RunKey) json.RawMessage {
+	s.memoMu.Lock()
+	defer s.memoMu.Unlock()
+	b := s.memo[key]
+	if b != nil {
+		s.memoHits++
+	} else {
+		s.memoMisses++
+	}
+	return b
+}
+
+func (s *Server) memoPut(key exp.RunKey, body json.RawMessage) {
+	s.memoMu.Lock()
+	defer s.memoMu.Unlock()
+	if _, ok := s.memo[key]; !ok {
+		s.memo[key] = body
+	}
+}
+
+// streamer serializes NDJSON event lines onto one response. A nil
+// streamer discards events (non-streaming requests).
+type streamer struct {
+	mu sync.Mutex
+	w  http.ResponseWriter
+	fl http.Flusher
+}
+
+func newStreamer(w http.ResponseWriter, r *http.Request) *streamer {
+	if r.URL.Query().Get("stream") == "" {
+		return nil
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	fl, _ := w.(http.Flusher)
+	return &streamer{w: w, fl: fl}
+}
+
+func (st *streamer) emit(ev event) {
+	if st == nil {
+		return
+	}
+	line, err := json.Marshal(ev)
+	if err != nil {
+		return
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.w.Write(append(line, '\n'))
+	if st.fl != nil {
+		st.fl.Flush()
+	}
+}
+
+// writeBody terminates a request: streaming responses get the final body
+// as a "done" event line, plain responses get it as the entire payload.
+// The body bytes are identical either way.
+func (st *streamer) writeBody(w http.ResponseWriter, body []byte) {
+	if st != nil {
+		st.emit(event{Event: "done", Data: body})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(body, '\n'))
+}
+
+// httpError maps a failure onto a status + JSON error body. Once a
+// stream has started the status line is gone; the error becomes a
+// terminal event instead.
+func (st *streamer) httpError(w http.ResponseWriter, status int, body *ErrorBody) {
+	if st != nil {
+		st.emit(event{Event: "error", Error: body})
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	b, _ := json.Marshal(struct {
+		Error *ErrorBody `json:"error"`
+	}{body})
+	w.Write(append(b, '\n'))
+}
+
+// containPanic converts a panicking request path into a classified 500
+// error response: an injected or organic panic kills the request, never
+// the daemon. Deferred before admission so even admission-gate panics
+// (faultinject's serve.admit site) are contained.
+func containPanic(st *streamer, w http.ResponseWriter, name string) {
+	if r := recover(); r != nil {
+		st.httpError(w, http.StatusInternalServerError, newErrorBody(name, core.NewPanicError(name, r), nil))
+	}
+}
+
+// admissionStatus maps an admission failure to its HTTP status.
+func admissionStatus(err error) int {
+	switch {
+	case errors.Is(err, errBusy):
+		return http.StatusTooManyRequests
+	case errors.Is(err, errDraining):
+		return http.StatusServiceUnavailable
+	default:
+		// Not an admission verdict (client disconnected while queued,
+		// injected fault, ...): classify like any flow error.
+		return errStatus(err)
+	}
+}
+
+func errStatus(err error) int {
+	switch {
+	case errors.Is(err, core.ErrInvalidConfig):
+		return http.StatusBadRequest
+	case errors.Is(err, core.ErrCancelled), errors.Is(err, context.Canceled):
+		return 499 // client closed request (or daemon shutdown)
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		http.Error(w, fmt.Sprintf(`{"error":{"kind":"invalid_config","message":%q}}`, "bad request body: "+err.Error()), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleFlow(w http.ResponseWriter, r *http.Request) {
+	var spec FlowSpec
+	if !decodeJSON(w, r, &spec) {
+		return
+	}
+	arch, cfg, err := spec.Config()
+	if err != nil {
+		http.Error(w, fmt.Sprintf(`{"error":{"kind":"invalid_config","message":%q}}`, err.Error()), http.StatusBadRequest)
+		return
+	}
+	st := newStreamer(w, r)
+	defer containPanic(st, w, cfg.Name)
+	ctx, cancel := s.reqCtx(r)
+	defer cancel()
+	if err := s.acquire(ctx); err != nil {
+		s.rejected.Add(1)
+		st.httpError(w, admissionStatus(err), newErrorBody(cfg.Name, err, nil))
+		return
+	}
+	s.accepted.Add(1)
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	defer s.release()
+	st.emit(event{Event: "accepted"})
+
+	body, partial, err := s.point(ctx, arch, cfg, 0, st.emit)
+	if err != nil {
+		st.httpError(w, errStatus(err), newErrorBody(cfg.Name, err, partial))
+		return
+	}
+	resp, _ := json.Marshal(struct {
+		Result json.RawMessage `json:"result"`
+	}{body})
+	st.writeBody(w, resp)
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	specs, err := req.Points()
+	if err != nil {
+		http.Error(w, fmt.Sprintf(`{"error":{"kind":"invalid_config","message":%q}}`, err.Error()), http.StatusBadRequest)
+		return
+	}
+	type pt struct {
+		arch tech.Arch
+		cfg  core.FlowConfig
+	}
+	pts := make([]pt, len(specs))
+	for i, sp := range specs {
+		arch, cfg, err := sp.Config()
+		if err != nil {
+			http.Error(w, fmt.Sprintf(`{"error":{"kind":"invalid_config","message":%q}}`, fmt.Sprintf("point %d: %v", i, err)), http.StatusBadRequest)
+			return
+		}
+		pts[i] = pt{arch, cfg}
+	}
+	st := newStreamer(w, r)
+	ctx, cancel := s.reqCtx(r)
+	defer cancel()
+	st.emit(event{Event: "accepted"})
+
+	// Each point takes its own pool slot: a sweep is N admissions, so a
+	// big sweep cannot starve single-flow clients for its whole duration.
+	type slot struct {
+		body json.RawMessage
+		err  *ErrorBody
+	}
+	out := make([]slot, len(pts))
+	var wg sync.WaitGroup
+	for i := range pts {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p := pts[i]
+			// Panics in a per-point goroutine would kill the process, not
+			// just a handler — contain them into the point's error slot.
+			defer func() {
+				if r := recover(); r != nil {
+					out[i] = slot{err: newErrorBody(p.cfg.Name, core.NewPanicError(p.cfg.Name, r), nil)}
+				}
+			}()
+			if err := s.acquire(ctx); err != nil {
+				s.rejected.Add(1)
+				out[i] = slot{err: newErrorBody(p.cfg.Name, err, nil)}
+				return
+			}
+			s.accepted.Add(1)
+			s.inflight.Add(1)
+			defer s.inflight.Add(-1)
+			defer s.release()
+			body, partial, err := s.point(ctx, p.arch, p.cfg, i, st.emit)
+			if err != nil {
+				out[i] = slot{err: newErrorBody(p.cfg.Name, err, partial)}
+				return
+			}
+			out[i] = slot{body: body}
+			st.emit(event{Event: "point", Point: i, Data: body})
+		}(i)
+	}
+	wg.Wait()
+
+	results := make([]json.RawMessage, len(out))
+	for i, sl := range out {
+		if sl.err != nil {
+			b, _ := json.Marshal(struct {
+				Error *ErrorBody `json:"error"`
+			}{sl.err})
+			results[i] = b
+			continue
+		}
+		results[i] = sl.body
+	}
+	resp, _ := json.Marshal(struct {
+		Results []json.RawMessage `json:"results"`
+	}{results})
+	st.writeBody(w, resp)
+}
+
+func (s *Server) handleMC(w http.ResponseWriter, r *http.Request) {
+	var req MCRequest
+	if !decodeJSON(w, r, &req) {
+		return
+	}
+	arch, cfg, err := req.Base.Config()
+	if err != nil {
+		http.Error(w, fmt.Sprintf(`{"error":{"kind":"invalid_config","message":%q}}`, err.Error()), http.StatusBadRequest)
+		return
+	}
+	st := newStreamer(w, r)
+	defer containPanic(st, w, cfg.Name)
+	ctx, cancel := s.reqCtx(r)
+	defer cancel()
+	if err := s.acquire(ctx); err != nil {
+		s.rejected.Add(1)
+		st.httpError(w, admissionStatus(err), newErrorBody(cfg.Name, err, nil))
+		return
+	}
+	s.accepted.Add(1)
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	defer s.release()
+	st.emit(event{Event: "accepted"})
+
+	// The MC basis is the completed flow of the base spec — staged
+	// through the same checkpoint path as /v1/flow, so concurrent MC
+	// requests on one design share its prefix. The basis needs the live
+	// session (engine + RC), so this never reads the result memo.
+	sc, pc := exp.ClassKeys(arch, cfg)
+	body, partial, err := s.mcPoint(ctx, arch, cfg, sc, pc, req, st.emit)
+	if err != nil {
+		st.httpError(w, errStatus(err), newErrorBody(cfg.Name, err, partial))
+		return
+	}
+	st.writeBody(w, body)
+}
+
+// mcPoint stages the base flow through the checkpoint cache, runs it to
+// completion, and samples the variation study off its basis.
+func (s *Server) mcPoint(ctx context.Context, arch tech.Arch, cfg core.FlowConfig, sc exp.SynthClass, pc exp.PrefixClass, req MCRequest, emit func(event)) (json.RawMessage, *core.Flow, error) {
+	root, _, err := s.cache.getOrBuild(ctx, ckKey{kind: ckSynth, sc: sc}, func() (*core.Flow, error) {
+		f, err := core.NewFlow(s.suite.Netlist(arch), sc.RootConfig())
+		if err != nil {
+			return nil, err
+		}
+		return f, f.RunToCtx(s.baseCtx, core.StageSynth)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	prefix, hit, err := s.cache.getOrBuild(ctx, ckKey{kind: ckPrefix, sc: sc, pc: pc}, func() (*core.Flow, error) {
+		pcfg := pc.Config()
+		f, err := root.Fork(func(c *core.FlowConfig) { *c = pcfg })
+		if err != nil {
+			return nil, err
+		}
+		return f, f.RunToCtx(s.baseCtx, core.StageCTS)
+	})
+	emit(event{Event: "checkpoint", Kind: "prefix", Hit: &hit})
+	if err != nil {
+		return nil, nil, err
+	}
+	leaf, err := prefix.Fork(func(c *core.FlowConfig) { *c = cfg })
+	if err != nil {
+		return nil, nil, err
+	}
+	for st := leaf.NextStage(); int(st) < core.NumStages; st = leaf.NextStage() {
+		t0 := time.Now()
+		if err := leaf.RunToCtx(ctx, st); err != nil {
+			return nil, leaf, err
+		}
+		emit(event{Event: "stage", Stage: st.String(),
+			Ms: float64(time.Since(t0)) / float64(time.Millisecond)})
+	}
+	basis, err := leaf.VariationBasis()
+	if err != nil {
+		return nil, leaf, err
+	}
+	opt := variation.DefaultOptions()
+	if req.Samples > 0 {
+		opt.Samples = req.Samples
+	}
+	if req.Workers > 0 {
+		opt.Workers = req.Workers
+	}
+	if req.Seed != 0 {
+		opt.Seed = req.Seed
+	}
+	if req.SigmaNm > 0 {
+		opt.SigmaNm = req.SigmaNm
+	}
+	if req.FloorFF > 0 {
+		opt.FloorFF = req.FloorFF
+	}
+	sum, err := variation.Study(ctx, basis, opt)
+	if err != nil {
+		return nil, leaf, err
+	}
+	body, err := json.Marshal(struct {
+		MC MCSummary `json:"mc"`
+	}{NewMCSummary(sum)})
+	return body, nil, err
+}
+
+// handleExp runs one experiment table (?id=fig09) through the embedded
+// exp suite — the batch runner served over HTTP. Tables share the
+// suite's synth-root cache and result memo across requests; /debug/stats
+// republishes those counters.
+func (s *Server) handleExp(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("id")
+	run, ok := s.suite.Experiment(id)
+	if !ok {
+		http.Error(w, fmt.Sprintf(`{"error":{"kind":"invalid_config","message":%q}}`, "unknown experiment id "+id), http.StatusBadRequest)
+		return
+	}
+	defer containPanic(nil, w, id)
+	ctx, cancel := s.reqCtx(r)
+	defer cancel()
+	if err := s.acquire(ctx); err != nil {
+		s.rejected.Add(1)
+		(*streamer)(nil).httpError(w, admissionStatus(err), newErrorBody(id, err, nil))
+		return
+	}
+	s.accepted.Add(1)
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	defer s.release()
+
+	s.suiteMu.Lock()
+	table, err := run()
+	s.suiteMu.Unlock()
+	if err != nil && table == nil {
+		(*streamer)(nil).httpError(w, errStatus(err), newErrorBody(id, err, nil))
+		return
+	}
+	resp, _ := json.Marshal(struct {
+		Table *exp.Table `json:"table"`
+		Err   string     `json:"error,omitempty"`
+	}{table, errString(err)})
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(resp, '\n'))
+}
+
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+// Stats is the /debug/stats payload.
+type Stats struct {
+	Checkpoint ckStats        `json:"checkpoint"`
+	Memo       memoStats      `json:"memo"`
+	Exp        exp.CacheStats `json:"exp"`
+	Requests   reqStats       `json:"requests"`
+}
+
+type memoStats struct {
+	Hits    int64 `json:"hits"`
+	Misses  int64 `json:"misses"`
+	Entries int   `json:"entries"`
+}
+
+type reqStats struct {
+	Accepted int64 `json:"accepted"`
+	Rejected int64 `json:"rejected"`
+	Inflight int64 `json:"inflight"`
+	Queued   int64 `json:"queued"`
+	Draining bool  `json:"draining"`
+}
+
+// StatsSnapshot collects every cache and admission counter.
+func (s *Server) StatsSnapshot() Stats {
+	s.memoMu.Lock()
+	memo := memoStats{Hits: s.memoHits, Misses: s.memoMisses, Entries: len(s.memo)}
+	s.memoMu.Unlock()
+	return Stats{
+		Checkpoint: s.cache.stats(),
+		Memo:       memo,
+		Exp:        s.suite.Stats(),
+		Requests: reqStats{
+			Accepted: s.accepted.Load(),
+			Rejected: s.rejected.Load(),
+			Inflight: s.inflight.Load(),
+			Queued:   s.queued.Load(),
+			Draining: s.draining.Load(),
+		},
+	}
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	body, _ := json.Marshal(s.StatsSnapshot())
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(body, '\n'))
+}

@@ -1,0 +1,676 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exp"
+	"repro/internal/tech"
+	"repro/internal/variation"
+)
+
+// baseSpec is the cheap quick-scale point the tests revolve around.
+var baseSpec = FlowSpec{Front: 4, Back: 4, TargetGHz: 1.4, Util: 0.72, BackPins: 0.4}
+
+func newTestServer(t testing.TB, opt Options) *Server {
+	t.Helper()
+	s, err := New(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+// offlineBody runs sp through the from-scratch offline path — no staged
+// sessions, no forks, no caches — and returns the marshaled Summary. The
+// daemon path shares only the config mapping and the Summary encoding, so
+// byte-equality against this is the golden contract.
+func offlineBody(t testing.TB, s *Server, sp FlowSpec) json.RawMessage {
+	t.Helper()
+	arch, cfg, err := sp.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.RunFlowCtx(context.Background(), s.suite.Netlist(arch), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(NewSummary(res))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func wrapResult(t testing.TB, b json.RawMessage) []byte {
+	t.Helper()
+	resp, err := json.Marshal(struct {
+		Result json.RawMessage `json:"result"`
+	}{b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(resp, '\n')
+}
+
+func wrapResults(t testing.TB, bs []json.RawMessage) []byte {
+	t.Helper()
+	resp, err := json.Marshal(struct {
+		Results []json.RawMessage `json:"results"`
+	}{bs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(resp, '\n')
+}
+
+func post(t testing.TB, ts *httptest.Server, path string, req any) (int, []byte) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ts.Client().Post(ts.URL+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	got, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, got
+}
+
+func getStats(t testing.TB, ts *httptest.Server) Stats {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + "/debug/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestFlowGoldenMemoAndStream: a /v1/flow response is byte-identical to
+// the offline path, an exact repeat is served from the result memo with
+// the same bytes, and the streaming variant's terminal "done" event
+// carries those bytes verbatim.
+func TestFlowGoldenMemoAndStream(t *testing.T) {
+	s := newTestServer(t, Options{Scale: exp.Quick})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	want := wrapResult(t, offlineBody(t, s, baseSpec))
+	status, got := post(t, ts, "/v1/flow", baseSpec)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, got)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("daemon response differs from offline path:\n got %s\nwant %s", got, want)
+	}
+
+	// Exact repeat: memo hit, identical bytes.
+	status, again := post(t, ts, "/v1/flow", baseSpec)
+	if status != http.StatusOK || !bytes.Equal(again, got) {
+		t.Fatalf("memoized repeat differs: status %d\n got %s\nwant %s", status, again, got)
+	}
+	st := getStats(t, ts)
+	if st.Memo.Hits < 1 || st.Memo.Entries != 1 {
+		t.Fatalf("memo counters after repeat: %+v", st.Memo)
+	}
+
+	// Streaming: NDJSON events terminated by a "done" event whose Data is
+	// the exact non-streaming body.
+	body, _ := json.Marshal(baseSpec)
+	resp, err := ts.Client().Post(ts.URL+"/v1/flow?stream=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("stream content type %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	var last event
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &last); err != nil {
+		t.Fatalf("bad final event %q: %v", lines[len(lines)-1], err)
+	}
+	if last.Event != "done" {
+		t.Fatalf("final event %q, want done (lines: %v)", last.Event, lines)
+	}
+	if !bytes.Equal(append(last.Data, '\n'), want) {
+		t.Fatalf("stream done payload differs from plain body:\n got %s\nwant %s", last.Data, want)
+	}
+}
+
+// TestSweepGoldenAndCheckpointSharing: a 5-point back-pin sweep through
+// the daemon is byte-identical to the offline per-point path, and the
+// points share one synth root and one placed-and-clocked prefix (two
+// cache misses total, every other checkpoint access a hit or a coalesced
+// wait).
+func TestSweepGoldenAndCheckpointSharing(t *testing.T) {
+	s := newTestServer(t, Options{Scale: exp.Quick})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req := SweepRequest{Base: baseSpec, Axis: "back_pins", Values: []float64{0.1, 0.3, 0.5, 0.7, 0.9}}
+	specs, err := req.Points()
+	if err != nil {
+		t.Fatal(err)
+	}
+	offline := make([]json.RawMessage, len(specs))
+	for i, sp := range specs {
+		offline[i] = offlineBody(t, s, sp)
+	}
+	want := wrapResults(t, offline)
+
+	status, got := post(t, ts, "/v1/sweep", req)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, got)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("sweep response differs from offline path:\n got %s\nwant %s", got, want)
+	}
+
+	st := getStats(t, ts)
+	ck := st.Checkpoint
+	if ck.Misses != 2 {
+		t.Fatalf("checkpoint misses = %d, want 2 (one synth root + one prefix): %+v", ck.Misses, ck)
+	}
+	if ck.Hits+ck.Coalesced != 2*int64(len(specs))-2 {
+		t.Fatalf("hits %d + coalesced %d, want %d: %+v", ck.Hits, ck.Coalesced, 2*len(specs)-2, ck)
+	}
+	if ck.Entries != 2 {
+		t.Fatalf("checkpoint entries = %d, want 2", ck.Entries)
+	}
+	if ck.ResidentBytes <= 0 || ck.ResidentBytes > ck.BudgetBytes {
+		t.Fatalf("resident %d outside (0, budget %d]", ck.ResidentBytes, ck.BudgetBytes)
+	}
+	if st.Memo.Entries != len(specs) {
+		t.Fatalf("memo entries = %d, want %d", st.Memo.Entries, len(specs))
+	}
+}
+
+// TestConcurrentClientsShareCheckpoints: N clients firing the same sweep
+// at once still build each checkpoint exactly once (misses stays 2, the
+// rest coalesce or hit) and every client reads identical bytes.
+func TestConcurrentClientsShareCheckpoints(t *testing.T) {
+	s := newTestServer(t, Options{Scale: exp.Quick})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req := SweepRequest{Base: baseSpec, Axis: "back_pins", Values: []float64{0.15, 0.45, 0.75}}
+	const clients = 4
+	bodies := make([][]byte, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			status, got := post(t, ts, "/v1/sweep", req)
+			if status != http.StatusOK {
+				t.Errorf("client %d: status %d: %s", i, status, got)
+				return
+			}
+			bodies[i] = got
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	for i := 1; i < clients; i++ {
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Fatalf("client %d response differs from client 0:\n%s\nvs\n%s", i, bodies[i], bodies[0])
+		}
+	}
+	st := getStats(t, ts)
+	if st.Checkpoint.Misses != 2 {
+		t.Fatalf("%d clients caused %d checkpoint builds, want 2: %+v", clients, st.Checkpoint.Misses, st.Checkpoint)
+	}
+	if st.Memo.Entries != len(req.Values) {
+		t.Fatalf("memo entries = %d, want %d", st.Memo.Entries, len(req.Values))
+	}
+}
+
+// TestEvictionUnderPressure: with a budget sized for roughly one sharing
+// class, flows across three synth classes force evictions, the resident
+// footprint never exceeds the budget, and an evicted class rebuilds
+// correctly on re-request.
+func TestEvictionUnderPressure(t *testing.T) {
+	// Measure one class's retained footprint on an unconstrained server.
+	probe := newTestServer(t, Options{Scale: exp.Quick})
+	pts := httptest.NewServer(probe.Handler())
+	status, got := post(t, pts, "/v1/flow", baseSpec)
+	if status != http.StatusOK {
+		t.Fatalf("probe flow: status %d: %s", status, got)
+	}
+	classBytes := getStats(t, pts).Checkpoint.ResidentBytes
+	pts.Close()
+	probe.Close()
+	if classBytes <= 0 {
+		t.Fatalf("probe resident bytes = %d", classBytes)
+	}
+
+	// Budget: one class plus 25% headroom — two classes cannot coexist.
+	s := newTestServer(t, Options{Scale: exp.Quick, CacheBytes: classBytes + classBytes/4})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	targets := []float64{1.2, 1.5, 1.8} // distinct synth classes
+	wants := make([][]byte, len(targets))
+	for i, tg := range targets {
+		sp := baseSpec
+		sp.TargetGHz = tg
+		wants[i] = wrapResult(t, offlineBody(t, s, sp))
+		status, got := post(t, ts, "/v1/flow", sp)
+		if status != http.StatusOK {
+			t.Fatalf("target %.1f: status %d: %s", tg, status, got)
+		}
+		if !bytes.Equal(got, wants[i]) {
+			t.Fatalf("target %.1f differs from offline path", tg)
+		}
+		if st := getStats(t, ts).Checkpoint; st.ResidentBytes > st.BudgetBytes {
+			t.Fatalf("after target %.1f: resident %d > budget %d", tg, st.ResidentBytes, st.BudgetBytes)
+		}
+	}
+	st := getStats(t, ts).Checkpoint
+	if st.Evictions == 0 {
+		t.Fatalf("three classes under a one-class budget caused no evictions: %+v", st)
+	}
+
+	// Re-request the first (long evicted) class with a fresh leaf config
+	// so the memo can't answer: the checkpoints must rebuild cleanly.
+	sp := baseSpec
+	sp.TargetGHz = targets[0]
+	sp.BackPins = 0.9
+	want := wrapResult(t, offlineBody(t, s, sp))
+	status, got = post(t, ts, "/v1/flow", sp)
+	if status != http.StatusOK || !bytes.Equal(got, want) {
+		t.Fatalf("rebuild after eviction: status %d\n got %s\nwant %s", status, got, want)
+	}
+	if st := getStats(t, ts).Checkpoint; st.ResidentBytes > st.BudgetBytes {
+		t.Fatalf("after rebuild: resident %d > budget %d", st.ResidentBytes, st.BudgetBytes)
+	}
+}
+
+// TestEvictionScoring exercises the cost-aware LRU-tail policy on
+// synthetic entries: the cheapest-to-rebuild-per-byte entry in the tail
+// window goes first, and an entry larger than the whole budget is dropped
+// immediately.
+func TestEvictionScoring(t *testing.T) {
+	mkKey := func(target float64) ckKey {
+		cfg := core.DefaultFlowConfig(tech.Pattern{Front: 4, Back: 4}, target, 0.7)
+		sc, _ := exp.ClassKeys(tech.FFET, cfg)
+		return ckKey{kind: ckSynth, sc: sc}
+	}
+	c := newCkCache(100)
+	add := func(target float64, bytes, costNs int64) *ckEntry {
+		e := &ckEntry{key: mkKey(target), ready: make(chan struct{}), bytes: bytes, costNs: costNs}
+		close(e.ready)
+		c.mu.Lock()
+		c.entries[e.key] = e
+		c.resident += bytes
+		e.elem = c.lru.PushFront(e)
+		c.evictLocked()
+		c.mu.Unlock()
+		return e
+	}
+
+	a := add(1.0, 40, 400) // score 10 ns/byte
+	b := add(1.1, 40, 40)  // score 1 — the designated victim
+	cc := add(1.2, 40, 4000)
+	c.mu.Lock()
+	_, hasA := c.entries[a.key]
+	_, hasB := c.entries[b.key]
+	_, hasC := c.entries[cc.key]
+	resident, evictions := c.resident, c.evictions
+	c.mu.Unlock()
+	if !hasA || hasB || !hasC {
+		t.Fatalf("victim selection wrong: a=%v b=%v c=%v", hasA, hasB, hasC)
+	}
+	if resident != 80 || evictions != 1 {
+		t.Fatalf("resident %d evictions %d, want 80/1", resident, evictions)
+	}
+
+	// An entry bigger than the entire budget cannot be retained.
+	d := add(1.3, 200, 1)
+	c.mu.Lock()
+	_, hasD := c.entries[d.key]
+	resident = c.resident
+	c.mu.Unlock()
+	if hasD {
+		t.Fatal("over-budget entry retained")
+	}
+	if resident > 100 {
+		t.Fatalf("resident %d > budget after over-budget insert", resident)
+	}
+}
+
+// TestAdmissionAndDrain: requests past the queue bound are rejected with
+// 429, a draining server answers 503, and freed slots admit again.
+func TestAdmissionAndDrain(t *testing.T) {
+	s := newTestServer(t, Options{Scale: exp.Quick, MaxWorkers: 1, MaxQueue: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	// Occupy the only worker slot so real requests queue behind it. The
+	// admission bound is MaxWorkers+MaxQueue = 2 waiters, so two blocked
+	// clients fill it and a third must bounce.
+	s.sem <- struct{}{}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	const waiters = 2
+	// A cancelled waiter either errors client-side or races the server's
+	// 499 response; both count as a clean abandon.
+	blocked := make(chan int, waiters)
+	for i := 0; i < waiters; i++ {
+		go func() {
+			body, _ := json.Marshal(baseSpec)
+			req, _ := http.NewRequestWithContext(ctx, "POST", ts.URL+"/v1/flow", bytes.NewReader(body))
+			resp, err := ts.Client().Do(req)
+			if err != nil {
+				blocked <- -1
+				return
+			}
+			resp.Body.Close()
+			blocked <- resp.StatusCode
+		}()
+	}
+	// Wait until both are actually queued.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.queued.Load() < waiters {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of %d requests queued", s.queued.Load(), waiters)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// The next request exceeds MaxQueue+MaxWorkers and must bounce.
+	status, got := post(t, ts, "/v1/flow", baseSpec)
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("over-queue request: status %d: %s", status, got)
+	}
+	var eb struct {
+		Error ErrorBody `json:"error"`
+	}
+	if err := json.Unmarshal(got, &eb); err != nil || eb.Error.Kind == "" {
+		t.Fatalf("429 body not a classified error: %s (%v)", got, err)
+	}
+
+	// Abandon the queued clients and free the worker slot.
+	cancel()
+	for i := 0; i < waiters; i++ {
+		if code := <-blocked; code != -1 && code != 499 {
+			t.Errorf("cancelled queued request finished with status %d", code)
+		}
+	}
+	<-s.sem
+
+	s.StartDrain()
+	status, got = post(t, ts, "/v1/flow", baseSpec)
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("draining request: status %d: %s", status, got)
+	}
+	s.draining.Store(false)
+
+	want := wrapResult(t, offlineBody(t, s, baseSpec))
+	status, got = post(t, ts, "/v1/flow", baseSpec)
+	if status != http.StatusOK || !bytes.Equal(got, want) {
+		t.Fatalf("post-drain request: status %d\n got %s\nwant %s", status, got, want)
+	}
+}
+
+// TestInvalidRequests: malformed specs are 400 invalid_config before any
+// flow work is admitted.
+func TestInvalidRequests(t *testing.T) {
+	s := newTestServer(t, Options{Scale: exp.Quick})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	cases := []struct {
+		path string
+		body string
+	}{
+		{"/v1/flow", `{"front":4,"target_ghz":0,"util":0.7}`},
+		{"/v1/flow", `{"front":4,"target_ghz":1.4,"util":0.7,"arch":"GAA"}`},
+		{"/v1/flow", `{"front":4,"target_ghz":1.4,"util":0.7,"bogus":1}`},
+		{"/v1/sweep", `{"base":{"front":4,"target_ghz":1.4,"util":0.7},"axis":"nm","values":[1]}`},
+		{"/v1/sweep", `{"base":{"front":4,"target_ghz":1.4,"util":0.7},"axis":"util","values":[]}`},
+	}
+	for _, tc := range cases {
+		resp, err := ts.Client().Post(ts.URL+tc.path, "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s %s: status %d, want 400: %s", tc.path, tc.body, resp.StatusCode, got)
+		}
+		if !bytes.Contains(got, []byte("invalid_config")) {
+			t.Errorf("%s %s: body lacks invalid_config: %s", tc.path, tc.body, got)
+		}
+	}
+	if st := getStats(t, ts); st.Requests.Accepted != 0 {
+		t.Fatalf("invalid requests were admitted: %+v", st.Requests)
+	}
+}
+
+// TestCancelDisconnectStress hammers the daemon with clients that vanish
+// at varied points of the flow — while queued, mid-build, mid-tail — and
+// asserts the server stays coherent: later requests still produce
+// offline-identical bytes, the cache respects its budget, and no
+// goroutines are left behind. Run with -race.
+func TestCancelDisconnectStress(t *testing.T) {
+	base := runtime.NumGoroutine()
+	s := newTestServer(t, Options{Scale: exp.Quick, MaxWorkers: 3, MaxQueue: 32})
+	ts := httptest.NewServer(s.Handler())
+
+	iters := 28
+	if testing.Short() {
+		iters = 10
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < iters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Deterministically varied deadlines: some die while queued,
+			// some mid-stage, some finish.
+			timeout := time.Duration(5+i*17%140) * time.Millisecond
+			ctx, cancel := context.WithTimeout(context.Background(), timeout)
+			defer cancel()
+			sp := baseSpec
+			sp.BackPins = float64(i%5) * 0.2
+			body, _ := json.Marshal(sp)
+			req, err := http.NewRequestWithContext(ctx, "POST", ts.URL+"/v1/flow", bytes.NewReader(body))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			resp, err := ts.Client().Do(req)
+			if err != nil {
+				return // client-side cancellation: expected
+			}
+			defer resp.Body.Close()
+			got, _ := io.ReadAll(resp.Body)
+			switch resp.StatusCode {
+			case http.StatusOK:
+			case 499:
+				var eb struct {
+					Error ErrorBody `json:"error"`
+				}
+				if err := json.Unmarshal(got, &eb); err != nil || eb.Error.Kind != "cancelled" {
+					t.Errorf("499 body not a cancelled error: %s", got)
+				}
+			default:
+				t.Errorf("iter %d: unexpected status %d: %s", i, resp.StatusCode, got)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	// The daemon must still serve correct bytes after the carnage.
+	sp := baseSpec
+	sp.BackPins = 0.6
+	want := wrapResult(t, offlineBody(t, s, sp))
+	status, got := post(t, ts, "/v1/flow", sp)
+	if status != http.StatusOK || !bytes.Equal(got, want) {
+		t.Fatalf("post-stress request: status %d\n got %s\nwant %s", status, got, want)
+	}
+	st := getStats(t, ts)
+	if st.Checkpoint.ResidentBytes > st.Checkpoint.BudgetBytes {
+		t.Fatalf("resident %d > budget %d", st.Checkpoint.ResidentBytes, st.Checkpoint.BudgetBytes)
+	}
+	if st.Requests.Inflight != 0 || st.Requests.Queued != 0 {
+		t.Fatalf("leftover inflight/queued work: %+v", st.Requests)
+	}
+
+	ts.Close()
+	s.Close()
+	checkGoroutines(t, base)
+}
+
+// checkGoroutines waits for the goroutine count to settle back near base.
+func checkGoroutines(t *testing.T, base int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		if n <= base+3 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutine leak: %d live, started with %d\n%s",
+				n, base, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestMCEndpoint: /v1/mc through the daemon matches the offline basis +
+// variation.Study path byte for byte (summaries are worker-count
+// independent by the variation package's contract).
+func TestMCEndpoint(t *testing.T) {
+	s := newTestServer(t, Options{Scale: exp.Quick})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	req := MCRequest{Base: baseSpec, Samples: 256, Seed: 7}
+	status, got := post(t, ts, "/v1/mc", req)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, got)
+	}
+
+	arch, cfg, err := req.Base.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := core.NewFlow(s.suite.Netlist(arch), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.RunCtx(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	basis, err := f.VariationBasis()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := variation.DefaultOptions()
+	opt.Samples = req.Samples
+	opt.Seed = req.Seed
+	sum, err := variation.Study(context.Background(), basis, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(struct {
+		MC MCSummary `json:"mc"`
+	}{NewMCSummary(sum)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = append(want, '\n')
+	if !bytes.Equal(got, want) {
+		t.Fatalf("mc response differs from offline path:\n got %s\nwant %s", got, want)
+	}
+}
+
+// TestExpEndpoint: /v1/exp serves an experiment table and the stats
+// endpoint republishes the suite's synth-root counters.
+func TestExpEndpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment tables are slow; skipped under -short")
+	}
+	s := newTestServer(t, Options{Scale: exp.Quick})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := ts.Client().Get(ts.URL + "/v1/exp?id=fig04")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, got)
+	}
+	var out struct {
+		Table *exp.Table `json:"table"`
+		Err   string     `json:"error"`
+	}
+	if err := json.Unmarshal(got, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Table == nil || out.Err != "" || len(out.Table.Rows) == 0 {
+		t.Fatalf("bad table payload: %s", got)
+	}
+
+	// fig04 is a cell-area table (no flows); a sweep experiment must leave
+	// synth-root traffic in the suite counters /debug/stats republishes.
+	resp, err = ts.Client().Get(ts.URL + "/v1/exp?id=fig08a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fig08a: status %d", resp.StatusCode)
+	}
+	if st := getStats(t, ts); st.Exp.SynthRootMisses == 0 {
+		t.Fatalf("exp synth-root counters not published: %+v", st.Exp)
+	}
+
+	resp, err = ts.Client().Get(ts.URL + "/v1/exp?id=nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown id: status %d", resp.StatusCode)
+	}
+}
