@@ -35,6 +35,7 @@ func main() {
 	cacheMB := flag.Int64("cache-mb", 256, "checkpoint cache budget (MiB)")
 	workers := flag.Int("workers", 0, "max concurrent flow executions (0 = min(GOMAXPROCS, 12))")
 	queue := flag.Int("queue", 0, "admission queue bound beyond in-flight workers (0 = 64)")
+	memoEntries := flag.Int("memo-entries", 0, "exact-config result memo LRU bound (0 = 4096)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful drain timeout on SIGTERM")
 	oneshot := flag.String("oneshot", "", "run the request JSON in FILE offline and print the response body")
 	flag.Parse()
@@ -51,10 +52,11 @@ func main() {
 	}
 
 	s, err := serve.New(serve.Options{
-		Scale:      scale,
-		CacheBytes: *cacheMB << 20,
-		MaxWorkers: *workers,
-		MaxQueue:   *queue,
+		Scale:       scale,
+		CacheBytes:  *cacheMB << 20,
+		MaxWorkers:  *workers,
+		MaxQueue:    *queue,
+		MemoEntries: *memoEntries,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -245,7 +245,7 @@ func newErrorBody(name string, err error, partial *core.Flow) *ErrorBody {
 // full response body — the same bytes a non-streaming request receives.
 type event struct {
 	Event string          `json:"event"`
-	Point int             `json:"point"`
+	Point *int            `json:"point,omitempty"` // sweep point index; absent on single-flow/MC streams
 	Kind  string          `json:"kind,omitempty"`
 	Hit   *bool           `json:"hit,omitempty"`
 	Stage string          `json:"stage,omitempty"`

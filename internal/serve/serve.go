@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"container/list"
 	"context"
 	"encoding/json"
 	"errors"
@@ -32,6 +33,9 @@ type Options struct {
 	// the in-flight ones; past it requests are rejected with 429
 	// (default 64).
 	MaxQueue int
+	// MemoEntries bounds the exact-config result memo: past it the
+	// least-recently-used marshaled Summary is evicted (default 4096).
+	MemoEntries int
 }
 
 func (o Options) withDefaults() Options {
@@ -43,6 +47,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxQueue <= 0 {
 		o.MaxQueue = 64
+	}
+	if o.MemoEntries <= 0 {
+		o.MemoEntries = 4096
 	}
 	return o
 }
@@ -60,12 +67,15 @@ type Server struct {
 	suiteMu sync.Mutex
 	cache   *ckCache
 
-	// memo holds the marshaled Summary of every completed exact-config
-	// run, keyed by the same memo key as exp's result cache. Error
-	// responses are never memoized.
-	memoMu               sync.Mutex
-	memo                 map[exp.RunKey]json.RawMessage
-	memoHits, memoMisses int64
+	// memo holds the marshaled Summary of completed exact-config runs,
+	// keyed by the same memo key as exp's result cache and bounded by an
+	// entry-count LRU (Options.MemoEntries) — bodies are a few hundred
+	// bytes, so a count bound suffices where the checkpoint cache next
+	// door needs measured bytes. Error responses are never memoized.
+	memoMu                              sync.Mutex
+	memo                                map[exp.RunKey]*list.Element
+	memoLRU                             list.List // Front = most recent; values are memoEntry
+	memoHits, memoMisses, memoEvictions int64
 
 	// baseCtx bounds every shared build and outlives any single request;
 	// Close cancels it, killing in-flight work.
@@ -94,7 +104,7 @@ func New(opt Options) (*Server, error) {
 		opt:        opt,
 		suite:      suite,
 		cache:      newCkCache(opt.CacheBytes),
-		memo:       make(map[exp.RunKey]json.RawMessage),
+		memo:       make(map[exp.RunKey]*list.Element),
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		sem:        make(chan struct{}, opt.MaxWorkers),
@@ -172,7 +182,9 @@ func (s *Server) reqCtx(r *http.Request) (context.Context, context.CancelFunc) {
 // if this request's context dies while waiting — the result is cache
 // warmth for the next request — but the per-request leaf tail stops at
 // the next stage boundary after cancellation.
-func (s *Server) point(ctx context.Context, arch tech.Arch, cfg core.FlowConfig, pt int, emit func(event)) (json.RawMessage, *core.Flow, error) {
+// pt is the sweep point index carried on progress events, nil for
+// single-flow requests (the field is omitted from their streams).
+func (s *Server) point(ctx context.Context, arch tech.Arch, cfg core.FlowConfig, pt *int, emit func(event)) (json.RawMessage, *core.Flow, error) {
 	if err := faultinject.Fire("serve.memo"); err != nil {
 		return nil, nil, err
 	}
@@ -223,8 +235,12 @@ func (s *Server) point(ctx context.Context, arch tech.Arch, cfg core.FlowConfig,
 		return nil, nil, err
 	}
 	// Drive the divergent tail one stage at a time: each boundary is a
-	// progress event and a cancellation point.
-	for st := leaf.NextStage(); int(st) < core.NumStages; st = leaf.NextStage() {
+	// progress event and a cancellation point. A halted session
+	// (infeasible powerplan, placement violation — both reachable from
+	// valid API configs) stops advancing NextStage, so the loop must
+	// also break on Halted or it would spin forever; the Valid=false
+	// Summary below then matches the offline path's early return.
+	for st := leaf.NextStage(); int(st) < core.NumStages && !leaf.Halted(); st = leaf.NextStage() {
 		t0 := time.Now()
 		if err := leaf.RunToCtx(ctx, st); err != nil {
 			return nil, leaf, err
@@ -240,23 +256,37 @@ func (s *Server) point(ctx context.Context, arch tech.Arch, cfg core.FlowConfig,
 	return body, nil, nil
 }
 
+// memoEntry is one LRU-listed memo record.
+type memoEntry struct {
+	key  exp.RunKey
+	body json.RawMessage
+}
+
 func (s *Server) memoGet(key exp.RunKey) json.RawMessage {
 	s.memoMu.Lock()
 	defer s.memoMu.Unlock()
-	b := s.memo[key]
-	if b != nil {
-		s.memoHits++
-	} else {
+	el, ok := s.memo[key]
+	if !ok {
 		s.memoMisses++
+		return nil
 	}
-	return b
+	s.memoHits++
+	s.memoLRU.MoveToFront(el)
+	return el.Value.(memoEntry).body
 }
 
 func (s *Server) memoPut(key exp.RunKey, body json.RawMessage) {
 	s.memoMu.Lock()
 	defer s.memoMu.Unlock()
-	if _, ok := s.memo[key]; !ok {
-		s.memo[key] = body
+	if _, ok := s.memo[key]; ok {
+		return
+	}
+	s.memo[key] = s.memoLRU.PushFront(memoEntry{key: key, body: body})
+	for len(s.memo) > s.opt.MemoEntries {
+		back := s.memoLRU.Back()
+		delete(s.memo, back.Value.(memoEntry).key)
+		s.memoLRU.Remove(back)
+		s.memoEvictions++
 	}
 }
 
@@ -391,7 +421,7 @@ func (s *Server) handleFlow(w http.ResponseWriter, r *http.Request) {
 	defer s.release()
 	st.emit(event{Event: "accepted"})
 
-	body, partial, err := s.point(ctx, arch, cfg, 0, st.emit)
+	body, partial, err := s.point(ctx, arch, cfg, nil, st.emit)
 	if err != nil {
 		st.httpError(w, errStatus(err), newErrorBody(cfg.Name, err, partial))
 		return
@@ -426,6 +456,10 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		pts[i] = pt{arch, cfg}
 	}
 	st := newStreamer(w, r)
+	// Per-point goroutines contain their own panics below; this catches
+	// the outer sweep path (result assembly, marshal) so those too die as
+	// a classified 500 instead of a dropped connection.
+	defer containPanic(st, w, "sweep")
 	ctx, cancel := s.reqCtx(r)
 	defer cancel()
 	st.emit(event{Event: "accepted"})
@@ -459,13 +493,13 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			s.inflight.Add(1)
 			defer s.inflight.Add(-1)
 			defer s.release()
-			body, partial, err := s.point(ctx, p.arch, p.cfg, i, st.emit)
+			body, partial, err := s.point(ctx, p.arch, p.cfg, &i, st.emit)
 			if err != nil {
 				out[i] = slot{err: newErrorBody(p.cfg.Name, err, partial)}
 				return
 			}
 			out[i] = slot{body: body}
-			st.emit(event{Event: "point", Point: i, Data: body})
+			st.emit(event{Event: "point", Point: &i, Data: body})
 		}(i)
 	}
 	wg.Wait()
@@ -554,7 +588,9 @@ func (s *Server) mcPoint(ctx context.Context, arch tech.Arch, cfg core.FlowConfi
 	if err != nil {
 		return nil, nil, err
 	}
-	for st := leaf.NextStage(); int(st) < core.NumStages; st = leaf.NextStage() {
+	// Halted sessions stop advancing NextStage — break instead of
+	// spinning; VariationBasis then rejects the invalid flow cleanly.
+	for st := leaf.NextStage(); int(st) < core.NumStages && !leaf.Halted(); st = leaf.NextStage() {
 		t0 := time.Now()
 		if err := leaf.RunToCtx(ctx, st); err != nil {
 			return nil, leaf, err
@@ -647,9 +683,11 @@ type Stats struct {
 }
 
 type memoStats struct {
-	Hits    int64 `json:"hits"`
-	Misses  int64 `json:"misses"`
-	Entries int   `json:"entries"`
+	Hits       int64 `json:"hits"`
+	Misses     int64 `json:"misses"`
+	Evictions  int64 `json:"evictions"`
+	Entries    int   `json:"entries"`
+	MaxEntries int   `json:"max_entries"`
 }
 
 type reqStats struct {
@@ -663,7 +701,8 @@ type reqStats struct {
 // StatsSnapshot collects every cache and admission counter.
 func (s *Server) StatsSnapshot() Stats {
 	s.memoMu.Lock()
-	memo := memoStats{Hits: s.memoHits, Misses: s.memoMisses, Entries: len(s.memo)}
+	memo := memoStats{Hits: s.memoHits, Misses: s.memoMisses,
+		Evictions: s.memoEvictions, Entries: len(s.memo), MaxEntries: s.opt.MemoEntries}
 	s.memoMu.Unlock()
 	return Stats{
 		Checkpoint: s.cache.stats(),

@@ -161,6 +161,147 @@ func TestFlowGoldenMemoAndStream(t *testing.T) {
 	if !bytes.Equal(append(last.Data, '\n'), want) {
 		t.Fatalf("stream done payload differs from plain body:\n got %s\nwant %s", last.Data, want)
 	}
+	// Single-flow events are not sweep points: the point field must be
+	// omitted so stream consumers can tell them from a sweep's point 0.
+	for _, ln := range lines {
+		if strings.Contains(ln, `"point"`) {
+			t.Errorf("single-flow stream event carries a sweep point field: %s", ln)
+		}
+	}
+}
+
+// TestHaltedFlowTerminates: an API-valid but infeasible config — util
+// past the FFET powerplan's tap ceiling — halts mid-pipeline, and a
+// halted session stops advancing its stage cursor. Regression test for
+// the handler busy-loop: the daemon must answer with the offline path's
+// Valid=false summary (and a finite stream) instead of spinning on
+// NextStage forever, and an MC study on the halted base must come back
+// as a classified error.
+func TestHaltedFlowTerminates(t *testing.T) {
+	s := newTestServer(t, Options{Scale: exp.Quick})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	sp := baseSpec
+	sp.Util = 0.99
+
+	// The config must actually halt offline, or this test degenerates
+	// into a second copy of the plain golden check.
+	arch, cfg, err := sp.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.RunFlowCtx(context.Background(), s.suite.Netlist(arch), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Valid || res.Reason == "" {
+		t.Fatalf("util %.2f did not halt offline (valid=%v reason=%q)", sp.Util, res.Valid, res.Reason)
+	}
+	b, err := json.Marshal(NewSummary(res))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := wrapResult(t, b)
+
+	// Bound every request so a reintroduced busy-loop fails the test
+	// instead of hanging it (and the suite) forever.
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	do := func(path string, payload any) (int, []byte) {
+		t.Helper()
+		body, err := json.Marshal(payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req, err := http.NewRequestWithContext(ctx, "POST", ts.URL+path, bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := ts.Client().Do(req)
+		if err != nil {
+			t.Fatalf("%s with halted config did not complete: %v", path, err)
+		}
+		defer resp.Body.Close()
+		got, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("%s with halted config: body read: %v", path, err)
+		}
+		return resp.StatusCode, got
+	}
+
+	status, got := do("/v1/flow", sp)
+	if status != http.StatusOK || !bytes.Equal(got, want) {
+		t.Fatalf("halted flow: status %d\n got %s\nwant %s", status, got, want)
+	}
+
+	// The streaming variant must terminate with the same done payload,
+	// not an unbounded stage-event stream.
+	status, raw := do("/v1/flow?stream=1", sp)
+	if status != http.StatusOK {
+		t.Fatalf("halted stream: status %d: %s", status, raw)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	var last event
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &last); err != nil {
+		t.Fatalf("bad final event %q: %v", lines[len(lines)-1], err)
+	}
+	if last.Event != "done" || !bytes.Equal(append(last.Data, '\n'), want) {
+		t.Fatalf("halted stream final event %q payload differs:\n got %s\nwant %s", last.Event, last.Data, want)
+	}
+
+	// MC on a halted base: VariationBasis rejects the invalid flow, and
+	// the rejection must surface as a classified error body.
+	status, got = do("/v1/mc", MCRequest{Base: sp, Samples: 16, Seed: 7})
+	if status != http.StatusInternalServerError {
+		t.Fatalf("mc on halted base: status %d: %s", status, got)
+	}
+	var eb struct {
+		Error *ErrorBody `json:"error"`
+	}
+	if err := json.Unmarshal(got, &eb); err != nil || eb.Error == nil ||
+		eb.Error.Kind == "" || eb.Error.Kind == "unclassified" {
+		t.Fatalf("mc on halted base: not a classified error body: %s", got)
+	}
+}
+
+// TestMemoEviction: the exact-config result memo is an entry-count LRU
+// bounded by MemoEntries — regression test for unbounded growth in a
+// long-running daemon. An evicted config recomputes through the
+// still-cached checkpoints to identical bytes and re-enters the memo.
+func TestMemoEviction(t *testing.T) {
+	s := newTestServer(t, Options{Scale: exp.Quick, MemoEntries: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	pins := []float64{0.1, 0.5, 0.9}
+	wants := make([][]byte, len(pins))
+	for i, bp := range pins {
+		sp := baseSpec
+		sp.BackPins = bp
+		wants[i] = wrapResult(t, offlineBody(t, s, sp))
+		status, got := post(t, ts, "/v1/flow", sp)
+		if status != http.StatusOK || !bytes.Equal(got, wants[i]) {
+			t.Fatalf("point %d: status %d\n got %s\nwant %s", i, status, got, wants[i])
+		}
+	}
+	st := getStats(t, ts)
+	if st.Memo.Entries != 2 || st.Memo.Evictions != 1 || st.Memo.MaxEntries != 2 {
+		t.Fatalf("memo not LRU-bounded after %d distinct configs: %+v", len(pins), st.Memo)
+	}
+
+	// The first config is the LRU victim; re-requesting it must
+	// recompute the same bytes and evict the next-oldest in turn.
+	sp := baseSpec
+	sp.BackPins = pins[0]
+	status, got := post(t, ts, "/v1/flow", sp)
+	if status != http.StatusOK || !bytes.Equal(got, wants[0]) {
+		t.Fatalf("evicted config recompute: status %d\n got %s\nwant %s", status, got, wants[0])
+	}
+	if m := getStats(t, ts).Memo; m.Entries != 2 || m.Evictions != 2 {
+		t.Fatalf("memo after recompute: %+v", m)
+	}
 }
 
 // TestSweepGoldenAndCheckpointSharing: a 5-point back-pin sweep through
@@ -208,6 +349,39 @@ func TestSweepGoldenAndCheckpointSharing(t *testing.T) {
 	}
 	if st.Memo.Entries != len(specs) {
 		t.Fatalf("memo entries = %d, want %d", st.Memo.Entries, len(specs))
+	}
+
+	// Streamed repeat (all memo hits): per-point events carry their
+	// point index — unlike single-flow streams, which omit it — and the
+	// terminal done event is the exact non-streaming body.
+	body, _ := json.Marshal(req)
+	resp, err := ts.Client().Post(ts.URL+"/v1/sweep?stream=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	var sawPoint bool
+	for _, ln := range lines {
+		var ev event
+		if err := json.Unmarshal([]byte(ln), &ev); err != nil {
+			t.Fatalf("bad stream event %q: %v", ln, err)
+		}
+		sawPoint = sawPoint || ev.Point != nil
+	}
+	if !sawPoint {
+		t.Fatalf("no sweep stream event carried a point index: %s", raw)
+	}
+	var last event
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &last); err != nil {
+		t.Fatal(err)
+	}
+	if last.Event != "done" || !bytes.Equal(append(last.Data, '\n'), want) {
+		t.Fatalf("sweep stream final event %q payload differs from plain body", last.Event)
 	}
 }
 
