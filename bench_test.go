@@ -270,6 +270,76 @@ func BenchmarkSweepIncrementalSTA(b *testing.B) {
 	})
 }
 
+// BenchmarkSweepFreqIncremental measures the frequency-axis diff-chain
+// path on a dense 5-point target sweep (the Fig. 9 power/frequency axis
+// sampled finely around one operating point): "diffchain" runs the first
+// point through the whole pipeline once and walks to each neighboring
+// target via core.Flow.ForkSynthDiff — the hop re-synthesizes at its own
+// target (the unavoidable cost), then re-stamps the neighbor's placement
+// and adopts its partition/route/DEF/STA state wherever the netlist diff
+// gates hold; "forkAtSynth" forks every later point off the first
+// completed session at StageSynth, re-running the entire back end per
+// point (the pre-diff sweep shape). Results are bit-identical between
+// the two (pinned by core.TestSynthDiffForkMatchesScratch); the chained
+// sweep must show materially less wall-clock per sweep.
+func BenchmarkSweepFreqIncremental(b *testing.B) {
+	s := getSuite(b)
+	nl, _, err := riscv.Generate(s.FFET, riscv.Config{Name: "rv32freq", Registers: 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	targets := []float64{2.0, 2.02, 2.04, 2.06, 2.08}
+	base := core.DefaultFlowConfig(tech.Pattern{Front: 6, Back: 6}, targets[0], 0.72)
+	base.BackPinFraction = 0.5
+
+	b.Run("diffchain", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			prev, err := core.NewFlow(nl, base)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := prev.Run(); err != nil {
+				b.Fatal(err)
+			}
+			for _, tgt := range targets[1:] {
+				g, st, err := prev.ForkSynthDiff(func(c *core.FlowConfig) { c.TargetFreqGHz = tgt })
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !st.DiffPath {
+					b.Fatalf("tgt %v fell off the diff path: %q", tgt, st.Fallback)
+				}
+				if _, err := g.Run(); err != nil {
+					b.Fatal(err)
+				}
+				prev = g
+			}
+		}
+	})
+	b.Run("forkAtSynth", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			leader, err := core.NewFlow(nl, base)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := leader.Run(); err != nil {
+				b.Fatal(err)
+			}
+			for _, tgt := range targets[1:] {
+				g, err := leader.Fork(func(c *core.FlowConfig) { c.TargetFreqGHz = tgt })
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := g.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
 // BenchmarkSweepIncrementalPlace measures the incremental placement path
 // on a CTS-option sweep (a MaxLeafFanout DoE — the fork-at-StageCTS
 // shape behind clock-tree exploration): both arms run the parent to

@@ -72,7 +72,7 @@ func BenchmarkBuildDEF(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = buildDEF(work, fp, pp, frontRes, tech.Front, cfg)
-		_ = buildDEF(work, fp, pp, backRes, tech.Back, cfg)
+		_ = buildDEF(work, fp, pp, frontRes, tech.Front, cfg, nil)
+		_ = buildDEF(work, fp, pp, backRes, tech.Back, cfg, nil)
 	}
 }

@@ -182,7 +182,11 @@ func pinLocation(ref netlist.PinRef, fp *floorplan.Plan) geom.Point {
 }
 
 // buildDEF renders one side's physical database.
-func buildDEF(nl *netlist.Netlist, fp *floorplan.Plan, pp *powerplan.Result, rr *route.Result, side tech.Side, cfg FlowConfig) *def.Design {
+// buildDEF renders one side's physical database. adoptNets, when non-nil,
+// is a previously rendered nets section proven bit-identical to what this
+// call would rebuild (a synth-diff fork that adopted the side's routed
+// result); it is shared instead of re-rendered.
+func buildDEF(nl *netlist.Netlist, fp *floorplan.Plan, pp *powerplan.Result, rr *route.Result, side tech.Side, cfg FlowConfig, adoptNets []*def.Net) *def.Design {
 	d := def.New(nl.Name + "_" + sideSuffix(side))
 	d.Die = fp.Core
 	d.Rows = make([]def.Row, 0, len(fp.Rows))
@@ -231,7 +235,9 @@ func buildDEF(nl *netlist.Netlist, fp *floorplan.Plan, pp *powerplan.Result, rr 
 	for _, c := range pp.TapComponents() {
 		d.AddComponent(c)
 	}
-	if rr != nil {
+	if rr != nil && adoptNets != nil {
+		d.Nets = adoptNets
+	} else if rr != nil {
 		// Trees is net-Seq indexed; nets without a sub-net on this side
 		// are nil slots. Pre-count so every per-net slice comes out of a
 		// shared arena (capacity-capped, so stray appends reallocate

@@ -232,6 +232,11 @@ type Flow struct {
 	// delta legalizer (observability for tests; owned by the running
 	// goroutine).
 	placeDeltaHits int
+
+	// diff carries the parent artifacts a synth-diff fork stages for
+	// adoption (see ForkSynthDiff); nil on every other session. Cleared at
+	// the end of StageSTA so diff chains do not retain their ancestors.
+	diff *synthDiffState
 }
 
 // NewFlow opens a staged flow session over a technology-mapped netlist.
@@ -855,12 +860,19 @@ func (f *Flow) stageCTS() error {
 	f.res.RealUtilization = float64(f.work.CellAreaNm2()) / float64(f.fp.Core.Area())
 	ctx := f.stageCtx()
 	// CTS only appends buffers (base positions untouched), so the moved
-	// set for delta legalization is exactly the appended instances. On
-	// any basis mismatch LegalizeDelta restores the input positions and
-	// the full legalizer runs as if the fast path never existed.
+	// set for delta legalization is the appended instances — plus, on a
+	// synth-diff fork sharing a neighbor's basis, the base cells whose
+	// width diverged from the recording (resized drives no longer fit
+	// their recorded slots and must be re-probed). On any basis mismatch
+	// LegalizeDelta restores the input positions and the full legalizer
+	// runs as if the fast path never existed.
 	legal := false
 	if f.placeBasis != nil {
-		moved := make([]*netlist.Instance, 0, len(f.work.Instances)-f.placeBasis.NumBaseInstances())
+		diverged := f.placeBasis.DivergedWidthSeqs(f.work, f.fp)
+		moved := make([]*netlist.Instance, 0, len(diverged)+len(f.work.Instances)-f.placeBasis.NumBaseInstances())
+		for _, seq := range diverged {
+			moved = append(moved, f.work.Instances[seq])
+		}
 		for _, inst := range f.work.Instances[f.placeBasis.NumBaseInstances():] {
 			if !inst.Fixed {
 				moved = append(moved, inst)
@@ -869,6 +881,11 @@ func (f *Flow) stageCTS() error {
 		if place.LegalizeDelta(f.work, f.fp, f.pp.Blockages, f.placeBasis, moved) == nil {
 			legal = true
 			f.placeDeltaHits++
+		}
+		if f.refineBasis != nil {
+			// Resized cells also invalidate their recorded refinement
+			// widths; the patched collection refreshes dirty seqs.
+			dirty = append(dirty, diverged...)
 		}
 	}
 	if !legal {
@@ -931,9 +948,18 @@ func (f *Flow) stagePartition() error {
 	}
 	f.pa = pa
 	pinAt := func(ref netlist.PinRef) geom.Point { return pinLocation(ref, f.fp) }
-	sides, err := Partition(f.work, pa, f.cfg.Pattern, pinAt)
-	if err != nil {
-		return err
+	var sides *SideNets
+	if d := f.diff; d != nil {
+		if sides = d.tryPatchPartition(f, pa, pinAt); sides != nil {
+			d.stats.PartitionPatched = true
+		}
+	}
+	if sides == nil {
+		var err error
+		sides, err = Partition(f.work, pa, f.cfg.Pattern, pinAt)
+		if err != nil {
+			return err
+		}
 	}
 	f.sides = sides
 	f.res.PinStats = sides.Stats()
@@ -976,11 +1002,25 @@ func (f *Flow) stageRoute() error {
 		}
 		*out, *errOut = r.RunCtx(ctx, nets)
 	}
-	if len(f.sides.Front) > 0 {
+	// A synth-diff fork adopts the parent's routed result wholesale for a
+	// side whose routing computation is provably unchanged (see
+	// tryAdoptRoute); only non-adopted sides run the router.
+	adoptedFront, adoptedBack := false, false
+	if d := f.diff; d != nil {
+		if res, ok := d.tryAdoptRoute(f, tech.Front, f.sides.Front, ropt); ok {
+			frontRes, adoptedFront = res, true
+			d.stats.RouteAdoptedFront = true
+		}
+		if res, ok := d.tryAdoptRoute(f, tech.Back, f.sides.Back, ropt); ok {
+			backRes, adoptedBack = res, true
+			d.stats.RouteAdoptedBack = true
+		}
+	}
+	if len(f.sides.Front) > 0 && !adoptedFront {
 		wg.Add(1)
 		go runSide(tech.Front, f.sides.Front, &frontRes, &frontErr)
 	}
-	if len(f.sides.Back) > 0 {
+	if len(f.sides.Back) > 0 && !adoptedBack {
 		wg.Add(1)
 		go runSide(tech.Back, f.sides.Back, &backRes, &backErr)
 	}
@@ -1013,8 +1053,23 @@ func (f *Flow) stageRoute() error {
 
 // stageDEF renders both per-side physical databases and their merge.
 func (f *Flow) stageDEF() error {
-	f.res.FrontDEF = buildDEF(f.work, f.fp, f.pp, f.frontRes, tech.Front, f.cfg)
-	f.res.BackDEF = buildDEF(f.work, f.fp, f.pp, f.backRes, tech.Back, f.cfg)
+	// A side whose routed result was adopted from the diff parent renders
+	// a bit-identical nets section (pin names, gcell-center wire nodes and
+	// vias are all resize-invariant), so the parent's is shared outright.
+	// Components are always rebuilt: resized instances change masters.
+	var adoptFront, adoptBack []*def.Net
+	if d := f.diff; d != nil {
+		if d.stats.RouteAdoptedFront && d.frontDEF != nil {
+			adoptFront = d.frontDEF.Nets
+			d.stats.DEFNetsShared++
+		}
+		if d.stats.RouteAdoptedBack && d.backDEF != nil {
+			adoptBack = d.backDEF.Nets
+			d.stats.DEFNetsShared++
+		}
+	}
+	f.res.FrontDEF = buildDEF(f.work, f.fp, f.pp, f.frontRes, tech.Front, f.cfg, adoptFront)
+	f.res.BackDEF = buildDEF(f.work, f.fp, f.pp, f.backRes, tech.Back, f.cfg, adoptBack)
 	merged, err := def.Merge(f.work.Name, f.res.FrontDEF, f.res.BackDEF)
 	if err != nil {
 		return err
@@ -1065,6 +1120,20 @@ func (f *Flow) stageExtract() error {
 	// is dirty and gets re-propagated at StageSTA.
 	if f.baseRC != nil {
 		f.dirtyRC = extract.DiffRC(f.dirtyRC[:0], f.baseRC, netRC)
+		if d := f.diff; d != nil && len(d.changedNets) > 0 {
+			// A resized driver can leave its output net's RC bit-identical
+			// while its own delay arcs changed; seed the dirty set with the
+			// diff's changed nets so Reanalyze re-evaluates those cones too.
+			seen := make([]bool, len(work.Nets))
+			for _, s := range f.dirtyRC {
+				seen[s] = true
+			}
+			for _, s := range d.changedNets {
+				if int(s) < len(seen) && !seen[s] {
+					f.dirtyRC = append(f.dirtyRC, s)
+				}
+			}
+		}
 		f.haveDirty = true
 	}
 	return nil
@@ -1082,6 +1151,19 @@ func (f *Flow) stageSTA() error {
 		staOpt = sta.DefaultOptions()
 	}
 	eng := f.staEng
+	if eng == nil && f.diff != nil && f.diff.eng != nil {
+		// Synth-diff fork: re-stamp the parent's engine over the child's
+		// netlist (same graph shape by SeqStable; resized instances get
+		// fresh arc rows) so the parent's arrival state seeds Reanalyze.
+		// Any restamp failure just builds a fresh engine, whose analysis
+		// runs the full propagation — bit-identical either way.
+		if faultinject.Fire("core.sta.restamp") == nil {
+			if e2, err := f.diff.eng.ForkRestamped(f.work, f.diff.resized); err == nil {
+				eng = e2
+				f.diff.stats.STARestamped = true
+			}
+		}
+	}
 	if eng == nil {
 		var err error
 		if eng, err = sta.NewEngine(f.work); err != nil {
@@ -1113,6 +1195,9 @@ func (f *Flow) stageSTA() error {
 	f.res.STA = staRes
 	f.res.MinPeriodPs = staRes.MinPeriodPs
 	f.res.AchievedFreqGHz = staRes.AchievedFreqGHz
+	// The diff state has served every adopting stage; drop it so a chain
+	// of diff forks does not retain each ancestor's netlist and routing.
+	f.diff = nil
 	return nil
 }
 

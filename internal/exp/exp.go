@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 
@@ -145,7 +146,22 @@ type Suite struct {
 	// /debug/stats next to its own checkpoint counters.
 	memoHits, memoMisses           int64
 	synthRootHits, synthRootMisses int64
+	// Frequency-axis diff-chain observability (guarded by mu): sweep
+	// group leaders that re-used a neighboring target's completed session
+	// through core.Flow.ForkSynthDiff, leaders whose diff attempt fell
+	// back to the full pipeline (structural divergence, floorplan drift,
+	// oversized diff), and leaders synthesized with no diff attempt at
+	// all (first of a chain, or no close-target neighbor).
+	diffForks, diffFallbacks, fullSynthForks int64
 }
+
+// DiffChainMaxRelGap bounds the relative target gap between neighboring
+// sweep points worth attempting a synth-diff hop across. Past it the
+// resized fraction (and with it the floorplan) almost always diverges, so
+// the attempt would serialize the two groups for nothing: groups further
+// apart run as independent full-synthesis groups in parallel, exactly as
+// before. Tunable; see ROADMAP ("diff-size threshold tuning").
+var DiffChainMaxRelGap = 0.12
 
 // CacheStats is a point-in-time snapshot of the suite's result-memo and
 // synthesis-root caches.
@@ -156,6 +172,13 @@ type CacheStats struct {
 	SynthRootHits    int64 `json:"synth_root_hits"`
 	SynthRootMisses  int64 `json:"synth_root_misses"`
 	SynthRootEntries int   `json:"synth_root_entries"`
+	// Frequency-axis diff-chain counters: group leaders that took the
+	// synth-diff path off a neighboring target, leaders whose diff
+	// attempt fell back to the full pipeline, and leaders synthesized
+	// without any diff attempt.
+	DiffForks      int64 `json:"diff_forks"`
+	DiffFallbacks  int64 `json:"diff_fallbacks"`
+	FullSynthForks int64 `json:"full_synth_forks"`
 }
 
 // Stats snapshots the suite's cache counters.
@@ -169,6 +192,9 @@ func (s *Suite) Stats() CacheStats {
 		SynthRootHits:    s.synthRootHits,
 		SynthRootMisses:  s.synthRootMisses,
 		SynthRootEntries: len(s.synthRoots),
+		DiffForks:        s.diffForks,
+		DiffFallbacks:    s.diffFallbacks,
+		FullSynthForks:   s.fullSynthForks,
 	}
 }
 
@@ -397,6 +423,27 @@ func (s *Suite) countSynthRoot(hit bool) {
 	} else {
 		s.synthRootMisses++
 	}
+}
+
+// countDiffChain records one diff-chain leader outcome: a hop that stayed
+// on the synth-diff fast path, or one that internally fell back to the
+// full pipeline (still correct, just not cheaper).
+func (s *Suite) countDiffChain(diffPath bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if diffPath {
+		s.diffForks++
+	} else {
+		s.diffFallbacks++
+	}
+}
+
+// countFullSynthFork records a group leader built from the synthesis root
+// with no chain predecessor to diff against.
+func (s *Suite) countFullSynthFork() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.fullSynthForks++
 }
 
 // Run executes (or recalls) one flow run.
@@ -655,14 +702,64 @@ func (s *Suite) runAll(specs []runSpec) ([]*core.FlowResult, error) {
 		finish(leader, res)
 		return leaderFlow
 	}
-	// runGroup builds the group's shared prefix, runs the leader while
-	// still holding the group's pool slot, then fans the remaining points
-	// out as forks of whatever base the leader left behind. Forked runs
-	// are bit-identical to scratch runs, so the leader topology is
-	// invisible in the tables.
-	runGroup := func(g *prefixGroup) {
-		defer wg.Done()
+	// runLeaderSession runs an already-forked, fully-configured leader
+	// session to completion; returns nil when the leader died.
+	runLeaderSession := func(leader *pendingPoint, lf *core.Flow) (base *core.Flow) {
+		defer func() {
+			if r := recover(); r != nil {
+				leader.err = core.NewPanicError(leader.spec.cfg.Name, r)
+				base = nil
+			}
+		}()
+		if err := faultinject.Fire("exp.leader"); err != nil {
+			leader.err = core.Classify(leader.spec.cfg.Name, err)
+			return nil
+		}
+		res, err := lf.RunCtx(s.ctx())
+		if err != nil {
+			leader.err = core.Classify(leader.spec.cfg.Name, err)
+			return nil
+		}
+		finish(leader, res)
+		return lf
+	}
+	// runGroupFrom builds and runs one group while holding a pool slot
+	// through its prefix+leader phase, then fans the remaining points out
+	// as forks of whatever base the leader left behind. prev, when
+	// non-nil, is the group's chain predecessor — the completed leader of
+	// the nearest lower synthesis target — and the group leader forks
+	// from it through the synth-diff path (core.Flow.ForkSynthDiff)
+	// instead of re-running the back end off the synthesis root. Every
+	// gate failure inside the diff fork degrades to the same full
+	// pipeline the unchained path runs, so chaining changes wall-clock,
+	// never results. Returns the session the next chain hop forks from.
+	runGroupFrom := func(g *prefixGroup, prev *core.Flow) *core.Flow {
 		sem <- struct{}{}
+		if prev != nil {
+			leaderCfg := g.points[0].spec.cfg
+			if child, st, err := prev.ForkSynthDiffCtx(s.ctx(), func(c *core.FlowConfig) { *c = leaderCfg }); err == nil {
+				s.countDiffChain(st.DiffPath)
+				base := runLeaderSession(g.points[0], child)
+				<-sem
+				if base == nil {
+					// Leader death must not sink its siblings: they
+					// re-run from scratch, exactly as containment demands.
+					for _, p := range g.points[1:] {
+						wg.Add(1)
+						go runScratch(p)
+					}
+					return nil
+				}
+				for _, p := range g.points[1:] {
+					wg.Add(1)
+					go runLeaf(base, p)
+				}
+				return base
+			}
+			// A hard fork failure (race, cancellation) falls through to
+			// the full path, which classifies its own errors.
+		}
+		s.countFullSynthFork()
 		mid, err := buildPrefix(g)
 		if err != nil {
 			<-sem
@@ -673,7 +770,7 @@ func (s *Suite) runAll(specs []runSpec) ([]*core.FlowResult, error) {
 			for _, p := range g.points {
 				p.err = err
 			}
-			return
+			return nil
 		}
 		base := runLeader(g.points[0], mid)
 		<-sem
@@ -681,12 +778,54 @@ func (s *Suite) runAll(specs []runSpec) ([]*core.FlowResult, error) {
 			wg.Add(1)
 			go runLeaf(base, p)
 		}
+		return base
 	}
-	// Singleton groups go through the staged path too: they still share
+	// Partition the groups into frequency chains: groups identical up to
+	// the synthesis target, sorted by target and split wherever
+	// consecutive targets sit further apart than DiffChainMaxRelGap.
+	// Each chain runs sequentially — every hop forks the nearest
+	// completed neighbor through the synth-diff path — while distinct
+	// chains (and far-apart target clusters) keep running in parallel.
+	// Singleton chains go through the staged path too: they still share
 	// synthesis via the cross-table root cache.
+	chainKeyOf := func(pk PrefixClass) PrefixClass {
+		pk.sk.target = 0
+		pk.sk.synth.TargetFreqGHz = 0
+		return pk
+	}
+	chainOf := make(map[PrefixClass][]PrefixClass)
+	var chainOrder []PrefixClass
 	for _, pk := range groupOrder {
+		ck := chainKeyOf(pk)
+		if _, ok := chainOf[ck]; !ok {
+			chainOrder = append(chainOrder, ck)
+		}
+		chainOf[ck] = append(chainOf[ck], pk)
+	}
+	runChain := func(gs []*prefixGroup) {
+		defer wg.Done()
+		var prev *core.Flow
+		for _, g := range gs {
+			prev = runGroupFrom(g, prev)
+		}
+	}
+	for _, ck := range chainOrder {
+		pks := chainOf[ck]
+		sort.Slice(pks, func(i, j int) bool { return pks[i].sk.target < pks[j].sk.target })
+		var run []*prefixGroup
+		for i, pk := range pks {
+			if i > 0 {
+				lo := pks[i-1].sk.target
+				if lo <= 0 || pk.sk.target-lo > DiffChainMaxRelGap*lo {
+					wg.Add(1)
+					go runChain(run)
+					run = nil
+				}
+			}
+			run = append(run, groups[pk])
+		}
 		wg.Add(1)
-		go runGroup(groups[pk])
+		go runChain(run)
 	}
 	wg.Wait()
 	return collect()

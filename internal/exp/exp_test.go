@@ -240,6 +240,82 @@ func TestForkedSweepMatchesScratch(t *testing.T) {
 	}
 }
 
+// TestDiffChainSweep locks the frequency-axis chaining contract: a dense
+// same-prefix target sweep routes its later group leaders through the
+// synth-diff fork (the Stats counters prove it) while producing results
+// identical to an unshared scratch suite at full float precision.
+func TestDiffChainSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-flow sweep in -short mode")
+	}
+	specsFor := func() []runSpec {
+		var specs []runSpec
+		for _, tgt := range []float64{2.0, 2.005, 2.01} {
+			cfg := core.DefaultFlowConfig(tech.Pattern{Front: 12, Back: 12}, tgt, 0.70)
+			cfg.BackPinFraction = 0.5
+			specs = append(specs, runSpec{tech.FFET, cfg})
+		}
+		return specs
+	}
+	render := func(disableSharing bool) (string, CacheStats) {
+		s := quickSuite(t)
+		s.DisablePrefixSharing = disableSharing
+		rs, err := s.runAll(specsFor())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		for _, r := range rs {
+			fmt.Fprintf(&b, "%.17g %.17g %.17g %.17g %.17g %d %v\n",
+				r.AchievedFreqGHz, r.PowerUW, r.HPWLUm,
+				r.WirelenFrontUm, r.WirelenBackUm, r.DRVs(), r.Valid)
+		}
+		return b.String(), s.Stats()
+	}
+	scratchTxt, scratchStats := render(true)
+	chainTxt, chainStats := render(false)
+	if scratchTxt != chainTxt {
+		t.Errorf("diff-chained sweep diverges from scratch:\n--- scratch\n%s--- chained\n%s",
+			scratchTxt, chainTxt)
+	}
+	if scratchStats.DiffForks != 0 || scratchStats.DiffFallbacks != 0 {
+		t.Errorf("scratch suite must not chain: %+v", scratchStats)
+	}
+	if chainStats.FullSynthForks != 1 {
+		t.Errorf("chain must synthesize exactly one root leader from scratch, got %+v", chainStats)
+	}
+	if got := chainStats.DiffForks + chainStats.DiffFallbacks; got != 2 {
+		t.Errorf("chain must attempt 2 diff hops, got %d (%+v)", got, chainStats)
+	}
+	if chainStats.DiffForks == 0 {
+		t.Errorf("no hop stayed on the diff path: %+v", chainStats)
+	}
+}
+
+// TestDiffChainGapSplit pins the chain partitioning: targets further apart
+// than DiffChainMaxRelGap must not be serialized into one chain — each
+// cluster becomes its own full-synth leader and no diff hop is attempted
+// across the gap.
+func TestDiffChainGapSplit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-flow sweep in -short mode")
+	}
+	s := quickSuite(t)
+	var specs []runSpec
+	for _, tgt := range []float64{1.0, 2.0} { // 100% apart >> 12% gap cap
+		cfg := core.DefaultFlowConfig(tech.Pattern{Front: 12, Back: 12}, tgt, 0.70)
+		cfg.BackPinFraction = 0.5
+		specs = append(specs, runSpec{tech.FFET, cfg})
+	}
+	if _, err := s.runAll(specs); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.FullSynthForks != 2 || st.DiffForks != 0 || st.DiffFallbacks != 0 {
+		t.Errorf("far-apart targets must split into independent chains: %+v", st)
+	}
+}
+
 // TestInvalidPointDoesNotPoisonClass guards the synth-root cache keying:
 // a structurally invalid sweep point must fail its own runAll call but
 // must not leave a cached error on its {arch, target, synth} class — a

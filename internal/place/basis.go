@@ -61,6 +61,23 @@ type LegalBasis struct {
 // with Seq at or beyond it were appended after the basis was built.
 func (b *LegalBasis) NumBaseInstances() int { return b.nInst }
 
+// DivergedWidthSeqs returns the Seqs of base cells whose current width no
+// longer matches the recording — cells resized since the basis was built
+// (a synth-diff fork re-stamping a neighbor's basis over a re-sized
+// netlist). Such cells must be declared moved to LegalizeDelta: their
+// recorded slot no longer fits them, so they are re-probed fresh like
+// appended cells, and the unmoved-width verification never trips.
+func (b *LegalBasis) DivergedWidthSeqs(nl *netlist.Netlist, fp *floorplan.Plan) []int32 {
+	var out []int32
+	insts := nl.Instances
+	for i, seq := range b.order {
+		if int(seq) < len(insts) && insts[seq].Cell.WidthNm(fp.Stack) != b.w[i] {
+			out = append(out, seq)
+		}
+	}
+	return out
+}
+
 // NewLegalBasis records the legalization of nl's movable cells at their
 // current (post-global-placement) positions without committing any
 // position. Returns nil when the base placement itself cannot be
@@ -602,6 +619,9 @@ func (b *RefineBasis) PatchedRefs(nl *netlist.Netlist, fp *floorplan.Plan, dirty
 		}
 		seen[seq] = true
 		recollect(nl.Instances[seq])
+		// Dirty cells may also have been resized since the basis (synth-diff
+		// forks); re-read the width. Identical for pure rewires.
+		widths[seq] = nl.Instances[seq].Cell.WidthNm(fp.Stack)
 	}
 	for seq := b.nInst; seq < n; seq++ {
 		inst := nl.Instances[seq]

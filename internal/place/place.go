@@ -109,6 +109,16 @@ func HPWL(nl *netlist.Netlist, fp *floorplan.Plan) int64 {
 // Global computes rough overlapping positions: seeded scatter, then
 // alternating attraction (move to connected centroid) and density
 // spreading passes. Fixed instances are never moved.
+//
+// Global models every cell at its base-drive footprint (the lowest-drive
+// variant of the same logical cell), not its sized footprint: rough
+// placement only needs relative cell extents, and drive-independent
+// footprints make the result a pure function of (topology, floorplan,
+// seed). Frequency-sweep siblings whose synthesized netlists differ only
+// in drive resizing therefore share bit-identical global placements,
+// which is what lets core.Flow.ForkSynthDiff re-stamp a neighbor's
+// placement instead of re-placing. Legalization and all downstream
+// metrics (HPWL, refinement) still use exact sized widths.
 func Global(nl *netlist.Netlist, fp *floorplan.Plan, opt Options) {
 	// A Background context never cancels, so the error is unreachable.
 	_ = GlobalCtx(context.Background(), nl, fp, opt)
@@ -138,6 +148,7 @@ func GlobalCtx(ctx context.Context, nl *netlist.Netlist, fp *floorplan.Plan, opt
 	// all rebuilt in place instead of reallocated per pass.
 	ws := newGlobalWorkspace(len(nl.Instances))
 	ws.buildRanks(nl)
+	ws.buildFootprints(nl, fp)
 	for it := 0; it < opt.GlobalIters; it++ {
 		if err := pollCtx(ctx, done); err != nil {
 			return err
@@ -201,6 +212,11 @@ type globalWorkspace struct {
 	// compare Name strings compares these ints instead; names are unique,
 	// so any (key, nameRank) order is exactly the (key, Name) order.
 	nameRank []int32
+	// baseW/baseA[seq] are the base-drive footprint width and area used by
+	// the attraction and spread models, computed once per Global call.
+	// Drive-independent by construction: resizing a cell to another drive
+	// of the same base leaves both unchanged.
+	baseW, baseA []int64
 	// axisKey[seq] is the current rankSpread pass's coordinate on the axis
 	// being ordered, snapshotted flat so bucket sorts read a contiguous
 	// array instead of chasing instance pointers.
@@ -217,7 +233,36 @@ func newGlobalWorkspace(n int) *globalWorkspace {
 		cnt:      make([]int64, n),
 		nameRank: make([]int32, n),
 		axisKey:  make([]int64, n),
+		baseW:    make([]int64, n),
+		baseA:    make([]int64, n),
 	}
+}
+
+// buildFootprints fills baseW/baseA with each instance's base-drive
+// footprint: the lowest-drive library variant of the instance's Base cell.
+// Hand-built cells outside a library (or netlists without one) fall back
+// to their own sized footprint.
+func (ws *globalWorkspace) buildFootprints(nl *netlist.Netlist, fp *floorplan.Plan) {
+	for _, inst := range nl.Instances {
+		c := inst.Cell
+		if nl.Lib != nil {
+			if base := nl.Lib.PickDrive(c.Base, 1); base != nil {
+				c = base
+			}
+		}
+		ws.baseW[inst.Seq] = c.WidthNm(fp.Stack)
+		ws.baseA[inst.Seq] = c.AreaNm2(fp.Stack)
+	}
+}
+
+// endpoint is pinPoint over base-drive footprints: the attraction model's
+// view of a net endpoint.
+func (ws *globalWorkspace) endpoint(ref netlist.PinRef, fp *floorplan.Plan) geom.Point {
+	if ref.IsPort() {
+		return ref.Port.Pos
+	}
+	inst := ref.Inst
+	return geom.Pt(inst.Pos.X+ws.baseW[inst.Seq]/2, inst.Pos.Y+fp.Stack.CellHeightNm()/2)
 }
 
 // buildRanks fills nameRank with each instance's position in the
@@ -378,11 +423,11 @@ func (ws *globalWorkspace) attract(nl *netlist.Netlist, fp *floorplan.Plan, opt 
 		pts := ws.pts[:0]
 		insts := ws.insts[:0]
 		if n.Driver != (netlist.PinRef{}) {
-			pts = append(pts, pinPoint(n.Driver, fp))
+			pts = append(pts, ws.endpoint(n.Driver, fp))
 			insts = append(insts, n.Driver.Inst)
 		}
 		for _, s := range n.Sinks {
-			pts = append(pts, pinPoint(s, fp))
+			pts = append(pts, ws.endpoint(s, fp))
 			insts = append(insts, s.Inst)
 		}
 		ws.pts, ws.insts = pts, insts
@@ -459,7 +504,7 @@ func (ws *globalWorkspace) spread(nl *netlist.Netlist, fp *floorplan.Plan, opt O
 			continue
 		}
 		i := idx(inst.Pos)
-		bins[i].area += inst.Cell.AreaNm2(fp.Stack)
+		bins[i].area += ws.baseA[inst.Seq]
 		bins[i].cells = append(bins[i].cells, inst)
 	}
 	capArea := binW * binH // 100% local density budget
@@ -486,7 +531,7 @@ func (ws *globalWorkspace) spread(nl *netlist.Netlist, fp *floorplan.Plan, opt O
 				nx := geom.Clamp64(int64(tx)*binW+binW/2, 0, W)
 				ny := geom.Clamp64(int64(ty)*binH+binH/2, 0, H)
 				inst.Pos = geom.Pt((inst.Pos.X+nx)/2, (inst.Pos.Y+ny)/2)
-				over -= inst.Cell.AreaNm2(fp.Stack)
+				over -= ws.baseA[inst.Seq]
 			}
 		}
 	}

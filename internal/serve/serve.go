@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -88,6 +89,11 @@ type Server struct {
 
 	accepted, rejected atomic.Int64
 	inflight           atomic.Int64
+
+	// Sweep diff-chain outcomes: leaders forked through the synth-diff
+	// path (and whether it held), vs leaders built from the checkpoint
+	// cache with a full back end.
+	diffForks, diffFallbacks, fullSynthForks atomic.Int64
 }
 
 // New builds a daemon: libraries and benchmark netlists for both
@@ -176,8 +182,10 @@ func (s *Server) reqCtx(r *http.Request) (context.Context, context.CancelFunc) {
 }
 
 // point runs one flow config through the memo → checkpoint-cache → fork
-// path and returns the marshaled Summary. On failure the partially-run
-// leaf session (when one exists) rides along for partial stage timings.
+// path and returns the marshaled Summary. The returned session is the
+// completed leaf when the point actually ran one (nil on a memo hit) —
+// sweep chains fork the next frequency point off it — or, on failure,
+// the partially-run leaf for partial stage timings.
 // The build of a shared checkpoint deliberately runs to completion even
 // if this request's context dies while waiting — the result is cache
 // warmth for the next request — but the per-request leaf tail stops at
@@ -234,26 +242,35 @@ func (s *Server) point(ctx context.Context, arch tech.Arch, cfg core.FlowConfig,
 	if err != nil {
 		return nil, nil, err
 	}
-	// Drive the divergent tail one stage at a time: each boundary is a
-	// progress event and a cancellation point. A halted session
-	// (infeasible powerplan, placement violation — both reachable from
-	// valid API configs) stops advancing NextStage, so the loop must
-	// also break on Halted or it would spin forever; the Valid=false
-	// Summary below then matches the offline path's early return.
+	body, err := s.runLeafTail(ctx, key, leaf, pt, emit)
+	if err != nil {
+		return nil, leaf, err
+	}
+	return body, leaf, nil
+}
+
+// runLeafTail drives a forked leaf session's remaining stages one at a
+// time — each boundary is a progress event and a cancellation point —
+// then marshals and memoizes its Summary. A halted session (infeasible
+// powerplan, placement violation — both reachable from valid API
+// configs) stops advancing NextStage, so the loop must also break on
+// Halted or it would spin forever; the Valid=false Summary then matches
+// the offline path's early return.
+func (s *Server) runLeafTail(ctx context.Context, key exp.RunKey, leaf *core.Flow, pt *int, emit func(event)) (json.RawMessage, error) {
 	for st := leaf.NextStage(); int(st) < core.NumStages && !leaf.Halted(); st = leaf.NextStage() {
 		t0 := time.Now()
 		if err := leaf.RunToCtx(ctx, st); err != nil {
-			return nil, leaf, err
+			return nil, err
 		}
 		emit(event{Event: "stage", Point: pt, Stage: st.String(),
 			Ms: float64(time.Since(t0)) / float64(time.Millisecond)})
 	}
 	body, err := json.Marshal(NewSummary(leaf.Result()))
 	if err != nil {
-		return nil, leaf, err
+		return nil, err
 	}
 	s.memoPut(key, body)
-	return body, nil, nil
+	return body, nil
 }
 
 // memoEntry is one LRU-listed memo record.
@@ -432,6 +449,57 @@ func (s *Server) handleFlow(w http.ResponseWriter, r *http.Request) {
 	st.writeBody(w, resp)
 }
 
+// sweepPoint is one decoded /v1/sweep config.
+type sweepPoint struct {
+	arch tech.Arch
+	cfg  core.FlowConfig
+}
+
+// sweepChains partitions a sweep's point indices into frequency chains:
+// points identical up to the synthesis target (and name), sorted by
+// target and split wherever consecutive targets sit further apart than
+// exp.DiffChainMaxRelGap. Points within one chain run sequentially so
+// each can diff-fork its completed neighbor; every other point pair
+// stays parallel.
+func sweepChains(pts []sweepPoint) [][]int {
+	type chainKey struct {
+		arch tech.Arch
+		cfg  core.FlowConfig
+	}
+	groups := make(map[chainKey][]int)
+	var order []chainKey
+	for i, p := range pts {
+		k := chainKey{p.arch, p.cfg}
+		k.cfg.Name = ""
+		k.cfg.TargetFreqGHz = 0
+		k.cfg.Synth.TargetFreqGHz = 0
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], i)
+	}
+	var chains [][]int
+	for _, k := range order {
+		idxs := groups[k]
+		sort.SliceStable(idxs, func(a, b int) bool {
+			return pts[idxs[a]].cfg.TargetFreqGHz < pts[idxs[b]].cfg.TargetFreqGHz
+		})
+		var run []int
+		for j, i := range idxs {
+			if j > 0 {
+				lo := pts[idxs[j-1]].cfg.TargetFreqGHz
+				if lo <= 0 || pts[i].cfg.TargetFreqGHz-lo > exp.DiffChainMaxRelGap*lo {
+					chains = append(chains, run)
+					run = nil
+				}
+			}
+			run = append(run, i)
+		}
+		chains = append(chains, run)
+	}
+	return chains
+}
+
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	var req SweepRequest
 	if !decodeJSON(w, r, &req) {
@@ -442,18 +510,14 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, fmt.Sprintf(`{"error":{"kind":"invalid_config","message":%q}}`, err.Error()), http.StatusBadRequest)
 		return
 	}
-	type pt struct {
-		arch tech.Arch
-		cfg  core.FlowConfig
-	}
-	pts := make([]pt, len(specs))
+	pts := make([]sweepPoint, len(specs))
 	for i, sp := range specs {
 		arch, cfg, err := sp.Config()
 		if err != nil {
 			http.Error(w, fmt.Sprintf(`{"error":{"kind":"invalid_config","message":%q}}`, fmt.Sprintf("point %d: %v", i, err)), http.StatusBadRequest)
 			return
 		}
-		pts[i] = pt{arch, cfg}
+		pts[i] = sweepPoint{arch, cfg}
 	}
 	st := newStreamer(w, r)
 	// Per-point goroutines contain their own panics below; this catches
@@ -471,36 +535,88 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		err  *ErrorBody
 	}
 	out := make([]slot, len(pts))
-	var wg sync.WaitGroup
-	for i := range pts {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			p := pts[i]
-			// Panics in a per-point goroutine would kill the process, not
-			// just a handler — contain them into the point's error slot.
-			defer func() {
-				if r := recover(); r != nil {
-					out[i] = slot{err: newErrorBody(p.cfg.Name, core.NewPanicError(p.cfg.Name, r), nil)}
+	// runPoint executes one sweep point and returns the session the
+	// chain's next point should diff-fork from: the completed leaf, or
+	// prev unchanged on a memo hit, or nil when the point died. When prev
+	// is non-nil the point forks it through the synth-diff path
+	// (core.Flow.ForkSynthDiff) — the child re-synthesizes at its own
+	// target but adopts the neighbor's placement/partition/route/STA
+	// state wherever the diff gates hold, bit-identically — and the
+	// "synthdiff" checkpoint event plus the sweep counters record which
+	// way it went.
+	runPoint := func(i int, prev *core.Flow) (done *core.Flow) {
+		p := pts[i]
+		// Panics in a per-point goroutine would kill the process, not
+		// just a handler — contain them into the point's error slot.
+		defer func() {
+			if r := recover(); r != nil {
+				out[i] = slot{err: newErrorBody(p.cfg.Name, core.NewPanicError(p.cfg.Name, r), nil)}
+				done = nil
+			}
+		}()
+		if err := s.acquire(ctx); err != nil {
+			s.rejected.Add(1)
+			out[i] = slot{err: newErrorBody(p.cfg.Name, err, nil)}
+			return nil
+		}
+		s.accepted.Add(1)
+		s.inflight.Add(1)
+		defer s.inflight.Add(-1)
+		defer s.release()
+		if prev != nil {
+			key := exp.MemoKey(p.arch, p.cfg)
+			if body := s.memoGet(key); body != nil {
+				hit := true
+				st.emit(event{Event: "checkpoint", Point: &i, Kind: "memo", Hit: &hit})
+				out[i] = slot{body: body}
+				st.emit(event{Event: "point", Point: &i, Data: body})
+				return prev
+			}
+			if child, dst, err := prev.ForkSynthDiffCtx(ctx, func(c *core.FlowConfig) { *c = p.cfg }); err == nil {
+				if dst.DiffPath {
+					s.diffForks.Add(1)
+				} else {
+					s.diffFallbacks.Add(1)
 				}
-			}()
-			if err := s.acquire(ctx); err != nil {
-				s.rejected.Add(1)
-				out[i] = slot{err: newErrorBody(p.cfg.Name, err, nil)}
-				return
+				st.emit(event{Event: "checkpoint", Point: &i, Kind: "synthdiff", Hit: &dst.DiffPath})
+				body, err := s.runLeafTail(ctx, key, child, &i, st.emit)
+				if err != nil {
+					out[i] = slot{err: newErrorBody(p.cfg.Name, err, child)}
+					return nil
+				}
+				out[i] = slot{body: body}
+				st.emit(event{Event: "point", Point: &i, Data: body})
+				return child
 			}
-			s.accepted.Add(1)
-			s.inflight.Add(1)
-			defer s.inflight.Add(-1)
-			defer s.release()
-			body, partial, err := s.point(ctx, p.arch, p.cfg, &i, st.emit)
-			if err != nil {
-				out[i] = slot{err: newErrorBody(p.cfg.Name, err, partial)}
-				return
+			// A hard fork failure (race, cancellation) falls through to
+			// the checkpoint-cache path, which classifies its own errors.
+		}
+		body, leaf, err := s.point(ctx, p.arch, p.cfg, &i, st.emit)
+		if err != nil {
+			out[i] = slot{err: newErrorBody(p.cfg.Name, err, leaf)}
+			return nil
+		}
+		if leaf != nil {
+			s.fullSynthForks.Add(1)
+		}
+		out[i] = slot{body: body}
+		st.emit(event{Event: "point", Point: &i, Data: body})
+		return leaf
+	}
+	// Frequency chains run sequentially — each point diff-forks the
+	// nearest completed lower-target neighbor — while distinct chains
+	// (different non-target config axes, or target clusters further apart
+	// than the diff gates plausibly reach) keep fanning out in parallel.
+	var wg sync.WaitGroup
+	for _, chain := range sweepChains(pts) {
+		wg.Add(1)
+		go func(chain []int) {
+			defer wg.Done()
+			var prev *core.Flow
+			for _, i := range chain {
+				prev = runPoint(i, prev)
 			}
-			out[i] = slot{body: body}
-			st.emit(event{Event: "point", Point: &i, Data: body})
-		}(i)
+		}(chain)
 	}
 	wg.Wait()
 
@@ -679,6 +795,7 @@ type Stats struct {
 	Checkpoint ckStats        `json:"checkpoint"`
 	Memo       memoStats      `json:"memo"`
 	Exp        exp.CacheStats `json:"exp"`
+	Sweep      sweepStats     `json:"sweep"`
 	Requests   reqStats       `json:"requests"`
 }
 
@@ -688,6 +805,14 @@ type memoStats struct {
 	Evictions  int64 `json:"evictions"`
 	Entries    int   `json:"entries"`
 	MaxEntries int   `json:"max_entries"`
+}
+
+// sweepStats counts /v1/sweep frequency-chain outcomes. (The exp section
+// next door counts the same split for /v1/exp table sweeps.)
+type sweepStats struct {
+	DiffForks      int64 `json:"diff_forks"`
+	DiffFallbacks  int64 `json:"diff_fallbacks"`
+	FullSynthForks int64 `json:"full_synth_forks"`
 }
 
 type reqStats struct {
@@ -708,6 +833,11 @@ func (s *Server) StatsSnapshot() Stats {
 		Checkpoint: s.cache.stats(),
 		Memo:       memo,
 		Exp:        s.suite.Stats(),
+		Sweep: sweepStats{
+			DiffForks:      s.diffForks.Load(),
+			DiffFallbacks:  s.diffFallbacks.Load(),
+			FullSynthForks: s.fullSynthForks.Load(),
+		},
 		Requests: reqStats{
 			Accepted: s.accepted.Load(),
 			Rejected: s.rejected.Load(),

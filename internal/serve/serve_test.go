@@ -385,6 +385,93 @@ func TestSweepGoldenAndCheckpointSharing(t *testing.T) {
 	}
 }
 
+// TestSweepFreqDiffChain: a dense target_ghz sweep chains its later
+// points through the synth-diff fork — the sweep counters and the
+// "synthdiff" stream events prove it — while every point's bytes stay
+// identical to the offline from-scratch path, cold and warm.
+func TestSweepFreqDiffChain(t *testing.T) {
+	s := newTestServer(t, Options{Scale: exp.Quick})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	checkOffline := func(req SweepRequest, got []byte) {
+		t.Helper()
+		specs, err := req.Points()
+		if err != nil {
+			t.Fatal(err)
+		}
+		offline := make([]json.RawMessage, len(specs))
+		for i, sp := range specs {
+			offline[i] = offlineBody(t, s, sp)
+		}
+		if want := wrapResults(t, offline); !bytes.Equal(got, want) {
+			t.Fatalf("chained sweep differs from offline path:\n got %s\nwant %s", got, want)
+		}
+	}
+
+	cold := SweepRequest{Base: baseSpec, Axis: "target_ghz", Values: []float64{1.4, 1.403, 1.406}}
+	status, got := post(t, ts, "/v1/sweep", cold)
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, got)
+	}
+	checkOffline(cold, got)
+
+	st := getStats(t, ts)
+	if st.Sweep.FullSynthForks != 1 {
+		t.Fatalf("cold chain must run exactly one full leader, got %+v", st.Sweep)
+	}
+	if n := st.Sweep.DiffForks + st.Sweep.DiffFallbacks; n != 2 {
+		t.Fatalf("cold chain must attempt 2 diff hops, got %d: %+v", n, st.Sweep)
+	}
+	if st.Sweep.DiffForks == 0 {
+		t.Fatalf("no cold hop stayed on the diff path: %+v", st.Sweep)
+	}
+
+	// Warm daemon, fresh neighboring targets: the checkpoint cache feeds
+	// the chain's first point, the second diff-forks it, and the stream
+	// says so.
+	warm := SweepRequest{Base: baseSpec, Axis: "target_ghz", Values: []float64{1.4015, 1.4045}}
+	body, _ := json.Marshal(warm)
+	resp, err := ts.Client().Post(ts.URL+"/v1/sweep?stream=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	var sawDiff bool
+	for _, ln := range lines {
+		var ev event
+		if err := json.Unmarshal([]byte(ln), &ev); err != nil {
+			t.Fatalf("bad stream event %q: %v", ln, err)
+		}
+		if ev.Event == "checkpoint" && ev.Kind == "synthdiff" && ev.Hit != nil && *ev.Hit {
+			sawDiff = true
+		}
+	}
+	var last event
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &last); err != nil {
+		t.Fatal(err)
+	}
+	if last.Event != "done" {
+		t.Fatalf("stream ended with %q: %s", last.Event, raw)
+	}
+	checkOffline(warm, append(last.Data, '\n'))
+	if !sawDiff {
+		t.Fatalf("warm sweep stream carried no taken synthdiff event:\n%s", raw)
+	}
+	wst := getStats(t, ts)
+	if wst.Sweep.FullSynthForks != 2 {
+		t.Fatalf("warm chain must add exactly one full leader, got %+v", wst.Sweep)
+	}
+	if wst.Sweep.DiffForks <= st.Sweep.DiffForks {
+		t.Fatalf("warm sweep did not take the diff path: cold %+v warm %+v", st.Sweep, wst.Sweep)
+	}
+}
+
 // TestConcurrentClientsShareCheckpoints: N clients firing the same sweep
 // at once still build each checkpoint exactly once (misses stays 2, the
 // rest coalesce or hit) and every client reads identical bytes.

@@ -245,16 +245,22 @@ func carveF64(arena *[]float64, n int) []float64 {
 }
 
 // flatArc is one NLDM arc with its four tables flattened over a shared
-// (slew, load) axis pair. Interpolation through it is bit-identical to
-// liberty.Table.Lookup on each table: the segment selection, fraction and
-// bilinear expressions are the same, only the cell search and the
-// fraction computation are shared across the four tables. blk holds, per
-// interpolation cell, the four corner values of all four tables
-// contiguously ([v00 v10 v01 v11] × dR, dF, sR, sF — 16 floats, two
-// cache lines), so one cell evaluation touches one block instead of four
-// scattered matrices.
+// (slew, load) axis pair. The segment selection mirrors
+// liberty.Table.Lookup exactly; the interpolation itself computes its
+// fractions by reciprocal multiply (axis deltas are inverted once at
+// flatten time) and factors the four bilinear corner weights out of the
+// per-table expressions — same math, fewer divides and multiplies per
+// evaluation, at worst one ULP from the generic lookup. The golden
+// artifacts carry the flat path's values. blk holds, per interpolation
+// cell, the four corner values of all four tables contiguously
+// ([v00 v10 v01 v11] × dR, dF, sR, sF — 16 floats, two cache lines), so
+// one cell evaluation touches one block instead of four scattered
+// matrices.
 type flatArc struct {
 	slews, loads []float64
+	// invDS/invDL are the precomputed segment-width reciprocals:
+	// invDS[i] = 1/(slews[i+1]-slews[i]), likewise invDL over loads.
+	invDS, invDL []float64
 	blk          []float64 // [(i*(len(loads)-1)+j)*16 : +16]
 }
 
@@ -312,7 +318,15 @@ func flattenArc(a *liberty.Arc) (flatArc, bool) {
 	}
 	f := flatArc{
 		slews: s, loads: l,
-		blk: make([]float64, (len(s)-1)*(len(l)-1)*16),
+		invDS: make([]float64, len(s)-1),
+		invDL: make([]float64, len(l)-1),
+		blk:   make([]float64, (len(s)-1)*(len(l)-1)*16),
+	}
+	for i := range f.invDS {
+		f.invDS[i] = 1 / (s[i+1] - s[i])
+	}
+	for j := range f.invDL {
+		f.invDL[j] = 1 / (l[j+1] - l[j])
 	}
 	tabs := [4]*liberty.Table{a.DelayRise, a.DelayFall, a.SlewRise, a.SlewFall}
 	for i := 0; i < len(s)-1; i++ {
@@ -589,6 +603,97 @@ func (e *Engine) Fork() *Engine {
 	c.stats = ReStats{}
 	c.res = Result{}
 	return &c
+}
+
+// ForkRestamped forks the Engine onto a Seq-corresponding netlist that
+// differs from the build netlist only by drive resizing of the listed
+// instances (netlist.Diff's SeqStable contract). The fork shares the
+// structural tables — connectivity is identical by precondition — but
+// re-points every instance reference into nl and rebuilds the arc tables
+// of the resized rows, so a later Reanalyze with the resized cells'
+// output nets in its dirty set re-times their cones through the new
+// arcs. The retained propagation state carries over: it is the exact
+// state of the parent's last analysis, which is the correct Reanalyze
+// basis for the child as long as the caller supplies a dirty set
+// covering every net whose RC or driving arcs changed.
+//
+// Returns an error when nl does not correspond to the build netlist
+// (callers fall back to building a fresh Engine).
+func (e *Engine) ForkRestamped(nl *netlist.Netlist, resized []int32) (*Engine, error) {
+	if len(nl.Instances) != len(e.nl.Instances) || len(nl.Nets) != len(e.stamp) || len(nl.Ports) != len(e.nl.Ports) {
+		return nil, fmt.Errorf("sta: restamp netlist shape mismatch")
+	}
+	isResized := make([]bool, len(nl.Instances))
+	for _, seq := range resized {
+		if seq < 0 || int(seq) >= len(isResized) {
+			return nil, fmt.Errorf("sta: restamp resized seq %d out of range", seq)
+		}
+		isResized[seq] = true
+	}
+	for i, inst := range nl.Instances {
+		old := e.nl.Instances[i]
+		if inst.Name != old.Name {
+			return nil, fmt.Errorf("sta: restamp instance %d name mismatch", i)
+		}
+		if isResized[i] {
+			if inst.Cell.Base != old.Cell.Base || len(inst.Cell.Inputs) != len(old.Cell.Inputs) {
+				return nil, fmt.Errorf("sta: restamp %s is not a drive change", inst.Name)
+			}
+		} else if inst.Cell.Name != old.Cell.Name {
+			return nil, fmt.Errorf("sta: restamp %s resized but not listed", inst.Name)
+		}
+	}
+
+	c := e.Fork()
+	c.nl = nl
+	arena := make([]*netlist.Instance, len(e.order))
+	for i, inst := range e.order {
+		arena[i] = nl.Instances[inst.Seq]
+	}
+	c.order = arena
+	c.Levels = make([][]*netlist.Instance, len(e.Levels))
+	off := 0
+	for li, level := range e.Levels {
+		c.Levels[li] = arena[off : off+len(level) : off+len(level)]
+		off += len(level)
+	}
+	c.flops = make([]*netlist.Instance, len(e.flops))
+	for i, ff := range e.flops {
+		c.flops[i] = nl.Instances[ff.Seq]
+	}
+	// Rebuild the arc-table rows of the resized cells, then re-deduplicate
+	// the flattened fast-path forms over the new table (the parent's flats
+	// arena must not be appended to — forks share it).
+	arcTab := make([]*liberty.Arc, len(e.arcTab))
+	copy(arcTab, e.arcTab)
+	for _, seq := range resized {
+		inst := nl.Instances[seq]
+		row := e.arcStart[seq]
+		if int(e.arcStart[seq+1]-row) != len(inst.Cell.Inputs) {
+			return nil, fmt.Errorf("sta: restamp %s input count changed", inst.Name)
+		}
+		for _, p := range inst.Cell.Inputs {
+			arcTab[row] = inst.Cell.Arc(p.Name)
+			row++
+		}
+	}
+	c.arcTab = arcTab
+	c.arcFlat = make([]int32, len(arcTab))
+	c.flats = nil
+	flatOf := make(map[*liberty.Arc]int32, 16)
+	for row, a := range arcTab {
+		fi, seen := flatOf[a]
+		if !seen {
+			fi = -1
+			if f, ok := flattenArc(a); ok {
+				fi = int32(len(c.flats))
+				c.flats = append(c.flats, f)
+			}
+			flatOf[a] = fi
+		}
+		c.arcFlat[row] = fi
+	}
+	return c, nil
 }
 
 // Stats reports what the last Analyze/Reanalyze call on this Engine did.
@@ -942,24 +1047,28 @@ func (e *Engine) evalCell(seq, out int32, opt Options) (bestArr, bestSlew float6
 			}
 			continue
 		}
-		// Fast path: one interpolation cell serves all four tables. Every
-		// expression matches liberty.Table.Lookup term for term, so the
-		// values are bit-identical to the generic path.
+		// Fast path: one interpolation cell serves all four tables. The
+		// segment selection matches liberty.Table.Lookup exactly; the
+		// fractions are reciprocal multiplies against the flatten-time
+		// inverted axis deltas, and the four bilinear corner weights are
+		// hoisted once per row instead of being re-multiplied per table
+		// term — the MC sampling hot path's dominant arithmetic.
 		f := &e.flats[fi]
 		i := segLin(f.slews, sinkSlew)
 		if lp := &f.loads[0]; lp != curLoads {
 			curLoads = lp
 			j := segLin(f.loads, load)
-			fl = (load - f.loads[j]) / (f.loads[j+1] - f.loads[j])
+			fl = (load - f.loads[j]) * f.invDL[j]
 			gl = 1 - fl
 			jOff, stride = j*16, (len(f.loads)-1)*16
 		}
-		fs := (sinkSlew - f.slews[i]) / (f.slews[i+1] - f.slews[i])
+		fs := (sinkSlew - f.slews[i]) * f.invDS[i]
 		gs := 1 - fs
+		w00, w10, w01, w11 := gs*gl, fs*gl, gs*fl, fs*fl
 		off := i*stride + jOff
 		blk := f.blk[off : off+16]
-		dRv := blk[0]*gs*gl + blk[1]*fs*gl + blk[2]*gs*fl + blk[3]*fs*fl
-		dFv := blk[4]*gs*gl + blk[5]*fs*gl + blk[6]*gs*fl + blk[7]*fs*fl
+		dRv := blk[0]*w00 + blk[1]*w10 + blk[2]*w01 + blk[3]*w11
+		dFv := blk[4]*w00 + blk[5]*w10 + blk[6]*w01 + blk[7]*w11
 		d := dRv
 		if dFv > d {
 			d = dFv
@@ -967,8 +1076,8 @@ func (e *Engine) evalCell(seq, out int32, opt Options) (bestArr, bestSlew float6
 		cand := e.arr[inNet] + wire + d
 		if cand > bestArr {
 			bestArr = cand
-			oR := blk[8]*gs*gl + blk[9]*fs*gl + blk[10]*gs*fl + blk[11]*fs*fl
-			oF := blk[12]*gs*gl + blk[13]*fs*gl + blk[14]*gs*fl + blk[15]*fs*fl
+			oR := blk[8]*w00 + blk[9]*w10 + blk[10]*w01 + blk[11]*w11
+			oF := blk[12]*w00 + blk[13]*w10 + blk[14]*w01 + blk[15]*w11
 			if oR > oF {
 				bestSlew = oR
 			} else {

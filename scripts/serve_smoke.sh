@@ -78,6 +78,26 @@ if [[ "${SHARED}" -lt 1 ]]; then
 fi
 echo "2 builds, ${SHARED} shared checkpoint accesses across 2 clients x 3 points"
 
+echo "== warm frequency-axis sweep takes the diff-chain path =="
+cat > "${WORK}/freq.json" <<'EOF'
+{"sweep":{"base":{"front":4,"back":4,"target_ghz":1.4,"util":0.72,"back_pins":0.5},"axis":"target_ghz","values":[1.4,1.403,1.406]}}
+EOF
+"${WORK}/ffetd" -oneshot "${WORK}/freq.json" -scale quick > "${WORK}/freq-offline.json"
+FREQBODY="$(jq -c .sweep "${WORK}/freq.json")"
+curl -sf -X POST -d "${FREQBODY}" "http://${ADDR}/v1/sweep" > "${WORK}/freq-daemon.json"
+if ! cmp -s "${WORK}/freq-daemon.json" "${WORK}/freq-offline.json"; then
+  echo "diff-chained sweep differs from offline reference:" >&2
+  diff "${WORK}/freq-offline.json" "${WORK}/freq-daemon.json" >&2 || true
+  exit 1
+fi
+STATS="$(curl -sf "http://${ADDR}/debug/stats")"
+DIFF_FORKS="$(echo "${STATS}" | jq .sweep.diff_forks)"
+if [[ "${DIFF_FORKS}" -lt 1 ]]; then
+  echo "warm target_ghz sweep never took the synth-diff path: $(echo "${STATS}" | jq .sweep)" >&2
+  exit 1
+fi
+echo "diff-chained sweep byte-identical, sweep counters: $(echo "${STATS}" | jq -c .sweep)"
+
 echo "== graceful shutdown =="
 kill -TERM "${FFETD_PID}"
 wait "${FFETD_PID}"
